@@ -1,0 +1,80 @@
+"""Shared plumbing for the benchmark suite.
+
+Each ``bench_expNN_*.py`` regenerates one of the paper's tables or
+figures (see DESIGN.md §5): it sweeps the figure's x-axis, runs the
+relevant pipeline across seeds, prints the same rows/series the paper
+reports, and persists them under ``benchmarks/results/``.  Timing runs
+through pytest-benchmark so ``pytest benchmarks/ --benchmark-only``
+exercises everything.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis.aggregate import mean_ci
+from repro.attack.attacker import CsaAttacker, PlannedAttacker
+from repro.core.windows import StealthPolicy
+from repro.detection.auditors import default_detector_suite
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_CONFIG = ScenarioConfig(node_count=100, key_count=10, horizon_days=42)
+"""The benchmark suite's default scenario (overridden per experiment)."""
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_attack(
+    cfg: ScenarioConfig,
+    seed: int,
+    controller=None,
+    detectors: bool = True,
+    audit_interval_s: float | None = None,
+) -> SimulationResult:
+    """One attack (or benign) simulation with the standard wiring."""
+    network = cfg.build_network(seed=seed)
+    charger = cfg.build_charger()
+    if controller is None:
+        controller = CsaAttacker(key_count=cfg.key_count)
+    suite = default_detector_suite(seed) if detectors else []
+    if audit_interval_s is not None and suite:
+        for detector in suite:
+            if detector.name == "voltage-audit":
+                detector.mean_interval_s = audit_interval_s
+    sim = WrsnSimulation(
+        network, charger, controller, detectors=suite, horizon_s=cfg.horizon_s
+    )
+    return sim.run()
+
+
+def csa_attacker_factory(key_count: int, stealth: StealthPolicy | None = None):
+    """Factory for fresh CSA attackers (controllers are single-use)."""
+
+    def make():
+        return CsaAttacker(key_count=key_count, stealth=stealth)
+
+    return make
+
+
+def planner_attacker_factory(planner_factory, key_count: int):
+    """Factory for baseline attackers wrapping a TIDE planner."""
+
+    def make():
+        return PlannedAttacker(planner=planner_factory(), key_count=key_count)
+
+    return make
+
+
+def mean_ratio(values) -> str:
+    """Format a list of ratios as mean ± CI."""
+    stats = mean_ci(list(values))
+    return f"{stats.mean:.2f}±{stats.ci_half_width:.2f}"

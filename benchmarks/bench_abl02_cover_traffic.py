@@ -1,0 +1,59 @@
+"""ABL-02 — the price and value of cover traffic.
+
+DESIGN.md ablation: CSA with and without genuine "cover" charging of
+non-target requesters.  Cover traffic costs real charger energy but (a)
+keeps the neglect monitor quiet and (b) swells the voltage auditor's
+candidate pool, diluting per-victim audit probability.
+"""
+
+from _common import BENCH_CONFIG, emit, run_attack
+
+from repro.analysis.metrics import attack_metrics
+from repro.analysis.tables import format_table
+from repro.attack.attacker import CsaAttacker
+
+SEEDS = (1, 2, 3, 4)
+CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
+
+
+def run_experiment():
+    rows = []
+    for cover in (True, False):
+        results = [
+            run_attack(
+                CFG, seed,
+                controller=CsaAttacker(
+                    key_count=CFG.key_count, cover_traffic=cover
+                ),
+            )
+            for seed in SEEDS
+        ]
+        metrics = [attack_metrics(r) for r in results]
+        rows.append(
+            [
+                "on" if cover else "off",
+                f"{sum(m.exhausted_key_ratio for m in metrics) / len(SEEDS):.2f}",
+                f"{sum(m.detected for m in metrics) / len(SEEDS):.2f}",
+                f"{sum(m.genuine_services for m in metrics) / len(SEEDS):.1f}",
+                f"{sum(m.mc_energy_spent_j for m in metrics) / len(SEEDS) / 1e6:.2f}",
+            ]
+        )
+    return rows
+
+
+def bench_abl02_cover_traffic(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["cover_traffic", "exhausted_ratio", "detection_rate",
+         "genuine_services", "mc_energy_MJ"],
+        rows,
+        title="ABL-02: cover traffic — stealth bought with energy",
+    )
+    emit("abl02_cover_traffic", table)
+
+    with_cover, without = rows
+    # Cover traffic costs energy and services...
+    assert float(with_cover[4]) > float(without[4])
+    assert float(with_cover[3]) > float(without[3])
+    # ...and buys a lower detection rate.
+    assert float(with_cover[2]) <= float(without[2])

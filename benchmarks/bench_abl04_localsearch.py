@@ -1,0 +1,91 @@
+"""ABL-04 — does local search on top of CSA pay?
+
+DESIGN.md ablation: CSA vs CSA+ls (2-opt + or-opt + reinsertion) on
+planning utility and planning time.  The expectation is a small utility
+gain at a noticeable runtime multiple — evidence the greedy alone is the
+right default for an on-line attacker that replans frequently.
+"""
+
+import time
+
+from _common import emit
+
+from repro.analysis.aggregate import mean_ci
+from repro.analysis.tables import format_table
+from repro.core.csa import CsaPlanner
+from repro.core.tide import TideInstance, TideTarget
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+SEEDS = tuple(range(12))
+N_TARGETS = 14
+BUDGET_J = 350_000.0
+
+
+def crowded_instance(seed: int) -> TideInstance:
+    """Clustered releases + tight budget: the regime where order matters."""
+    rng = make_rng(seed, "abl04")
+    targets = []
+    for i in range(N_TARGETS):
+        release = float(rng.uniform(0.0, 12 * 3600.0))
+        width = float(rng.uniform(2 * 3600.0, 8 * 3600.0))
+        duration = float(rng.uniform(900.0, 2_400.0))
+        targets.append(
+            TideTarget(
+                node_id=i,
+                weight=float(rng.uniform(0.2, 1.0)),
+                position=Point(
+                    float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+                ),
+                window_start=release,
+                window_end=release + width,
+                service_duration=duration,
+                service_energy_j=24.0 * duration,
+            )
+        )
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=Point(50, 50),
+        start_time=0.0,
+        energy_budget_j=BUDGET_J,
+    )
+
+
+def run_experiment():
+    base_utils, ls_utils = [], []
+    base_time = ls_time = 0.0
+    for seed in SEEDS:
+        inst = crowded_instance(seed)
+        t0 = time.perf_counter()
+        base_utils.append(CsaPlanner().plan(inst).utility)
+        base_time += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ls_utils.append(CsaPlanner(improve=True).plan(inst).utility)
+        ls_time += time.perf_counter() - t0
+    return base_utils, ls_utils, base_time / len(SEEDS), ls_time / len(SEEDS)
+
+
+def bench_abl04_localsearch(benchmark):
+    base_utils, ls_utils, base_ms, ls_ms = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    base_stats, ls_stats = mean_ci(base_utils), mean_ci(ls_utils)
+    wins = sum(1 for b, l in zip(base_utils, ls_utils) if l > b + 1e-9)
+    table = format_table(
+        ["planner", "utility", "mean_plan_time_ms", "instances_improved"],
+        [
+            ["CSA", f"{base_stats.mean:.2f}±{base_stats.ci_half_width:.2f}",
+             f"{base_ms * 1e3:.1f}", "-"],
+            ["CSA+ls", f"{ls_stats.mean:.2f}±{ls_stats.ci_half_width:.2f}",
+             f"{ls_ms * 1e3:.1f}", f"{wins}/{len(SEEDS)}"],
+        ],
+        title=(
+            "ABL-04: local search on top of CSA "
+            f"({N_TARGETS} crowded targets, {len(SEEDS)} instances)"
+        ),
+    )
+    emit("abl04_localsearch", table)
+
+    # Local search never loses utility and costs extra time.
+    assert all(l >= b - 1e-9 for b, l in zip(base_utils, ls_utils))
+    assert ls_ms >= base_ms

@@ -1,0 +1,54 @@
+"""EXP-01 — the Section II superposition experiment.
+
+Paper anchor: the bench measurement motivating the attack — two coherent
+waves charging one rectenna deliver anything from 4x one wave's power
+down to zero as their relative phase sweeps, while the incoherent
+(linear-intuition) prediction stays flat.  Regenerates the harvested-
+power-vs-phase series and the fitted interference model.
+"""
+
+import math
+
+from _common import emit
+
+from repro.analysis.tables import series_table
+from repro.em.superposition import (
+    cancellation_depth_db,
+    fit_two_wave_model,
+    superposition_sweep,
+)
+
+
+def run_experiment():
+    offsets = [i * 2.0 * math.pi / 24 for i in range(25)]
+    return superposition_sweep(offsets, wave_power_w=10e-3), offsets
+
+
+def bench_exp01_superposition(benchmark):
+    sweep, offsets = benchmark.pedantic(run_experiment, rounds=3, iterations=1)
+    fit = fit_two_wave_model(sweep["phase_offsets"], sweep["rf_power"])
+    depth = cancellation_depth_db(sweep)
+
+    table = series_table(
+        "phase/pi",
+        [f"{o / math.pi:.2f}" for o in offsets],
+        {
+            "coherent_rf_mW": [f"{p * 1e3:.2f}" for p in sweep["rf_power"]],
+            "harvested_mW": [f"{p * 1e3:.2f}" for p in sweep["harvested"]],
+            "incoherent_rf_mW": [f"{p * 1e3:.2f}" for p in sweep["incoherent_rf"]],
+        },
+        title="EXP-01: two-wave superposition sweep (10 mW per wave)",
+    )
+    summary = (
+        f"\nfit: P(dphi) = {fit.p_sum * 1e3:.2f} + "
+        f"{fit.p_cross * 1e3:.2f} cos(dphi) mW  "
+        f"(r^2 = {fit.r_squared:.4f}, modulation index = "
+        f"{fit.modulation_index:.3f})\n"
+        f"cancellation depth: "
+        + ("perfect null (inf dB)" if math.isinf(depth) else f"{depth:.1f} dB")
+    )
+    emit("exp01_superposition", table + summary)
+
+    assert fit.r_squared > 0.999
+    assert sweep["harvested"].min() == 0.0
+    assert sweep["rf_power"].max() > 3.9 * 10e-3

@@ -1,0 +1,81 @@
+"""EXP-03 — exhausted key-node ratio vs. network size (the headline figure).
+
+Paper anchor: the abstract's claim that CSA "can exhaust at least 80% of
+key nodes", across network sizes, against the planning baselines.  All
+attackers share the same stealth envelope and cover-traffic behaviour;
+only the TIDE planner differs, so the gap is pure planning quality.
+"""
+
+from _common import (
+    BENCH_CONFIG,
+    csa_attacker_factory,
+    emit,
+    mean_ratio,
+    planner_attacker_factory,
+    run_attack,
+)
+
+from repro.analysis.tables import series_table
+from repro.core.baselines import (
+    GreedyWeightPlanner,
+    NearestFirstPlanner,
+    RandomPlanner,
+)
+
+NODE_COUNTS = (50, 100, 150, 200, 250)
+SEEDS = (1, 2, 3)
+
+ATTACKERS = {
+    "CSA": lambda cfg: csa_attacker_factory(cfg.key_count),
+    "Greedy-Weight": lambda cfg: planner_attacker_factory(
+        GreedyWeightPlanner, cfg.key_count
+    ),
+    "Nearest-First": lambda cfg: planner_attacker_factory(
+        NearestFirstPlanner, cfg.key_count
+    ),
+    "Random": lambda cfg: planner_attacker_factory(
+        lambda: RandomPlanner(0), cfg.key_count
+    ),
+}
+
+
+def run_experiment():
+    series = {name: [] for name in ATTACKERS}
+    for n in NODE_COUNTS:
+        cfg = BENCH_CONFIG.with_(node_count=n)
+        for name, factory_maker in ATTACKERS.items():
+            make = factory_maker(cfg)
+            ratios = [
+                run_attack(cfg, seed, controller=make()).exhausted_key_ratio()
+                for seed in SEEDS
+            ]
+            series[name].append(ratios)
+    return series
+
+
+def bench_exp03_exhaust_vs_n(benchmark):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    formatted = {
+        name: [mean_ratio(cell) for cell in cells]
+        for name, cells in series.items()
+    }
+    table = series_table(
+        "nodes",
+        list(NODE_COUNTS),
+        formatted,
+        title=(
+            "EXP-03: exhausted key-node ratio vs network size "
+            f"(key nodes = {BENCH_CONFIG.key_count}, seeds = {len(SEEDS)})"
+        ),
+    )
+    emit("exp03_exhaust_vs_n", table)
+
+    # Shape assertions: CSA >= 0.8 everywhere and dominates every
+    # baseline on average.
+    csa_means = [sum(c) / len(c) for c in series["CSA"]]
+    assert all(m >= 0.8 for m in csa_means)
+    for name in ATTACKERS:
+        if name == "CSA":
+            continue
+        other_means = [sum(c) / len(c) for c in series[name]]
+        assert sum(csa_means) >= sum(other_means) - 1e-9

@@ -1,0 +1,70 @@
+"""EXP-04 — exhausted ratio vs. number of key nodes targeted.
+
+Paper anchor: the evaluation sweep over attack ambition.  More targets
+spread the same charger budget and crowd the stealth windows, so the
+exhausted *ratio* degrades gracefully while the absolute kill count
+rises; CSA stays ahead of the window-blind greedy throughout.
+"""
+
+from _common import (
+    BENCH_CONFIG,
+    csa_attacker_factory,
+    emit,
+    mean_ratio,
+    planner_attacker_factory,
+    run_attack,
+)
+
+from repro.analysis.tables import series_table
+from repro.core.baselines import GreedyWeightPlanner
+
+KEY_COUNTS = (5, 10, 15, 20, 25)
+SEEDS = (1, 2, 3)
+CFG = BENCH_CONFIG.with_(node_count=150)
+
+
+def run_experiment():
+    csa_cells, greedy_cells, kill_cells = [], [], []
+    for k in KEY_COUNTS:
+        cfg = CFG.with_(key_count=k)
+        csa_ratios, greedy_ratios, kills = [], [], []
+        for seed in SEEDS:
+            csa_run = run_attack(
+                cfg, seed, controller=csa_attacker_factory(k)()
+            )
+            csa_ratios.append(csa_run.exhausted_key_ratio())
+            kills.append(len(csa_run.exhausted_key_ids()))
+            greedy_run = run_attack(
+                cfg, seed,
+                controller=planner_attacker_factory(GreedyWeightPlanner, k)(),
+            )
+            greedy_ratios.append(greedy_run.exhausted_key_ratio())
+        csa_cells.append(csa_ratios)
+        greedy_cells.append(greedy_ratios)
+        kill_cells.append(kills)
+    return csa_cells, greedy_cells, kill_cells
+
+
+def bench_exp04_exhaust_vs_keys(benchmark):
+    csa_cells, greedy_cells, kill_cells = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    table = series_table(
+        "key_nodes",
+        list(KEY_COUNTS),
+        {
+            "CSA_ratio": [mean_ratio(c) for c in csa_cells],
+            "Greedy_ratio": [mean_ratio(c) for c in greedy_cells],
+            "CSA_kills": [f"{sum(c) / len(c):.1f}" for c in kill_cells],
+        },
+        title="EXP-04: exhaustion vs number of key nodes targeted (N=150)",
+    )
+    emit("exp04_exhaust_vs_keys", table)
+
+    csa_means = [sum(c) / len(c) for c in csa_cells]
+    greedy_means = [sum(c) / len(c) for c in greedy_cells]
+    # CSA at least matches greedy overall, and absolute kills grow with
+    # ambition.
+    assert sum(csa_means) >= sum(greedy_means) - 1e-9
+    kill_means = [sum(c) / len(c) for c in kill_cells]
+    assert kill_means[-1] > kill_means[0]

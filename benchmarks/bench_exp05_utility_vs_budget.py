@@ -1,0 +1,84 @@
+"""EXP-05 — attack utility vs. mobile-charger energy budget.
+
+Paper anchor: the evaluation sweep over charger capacity.  Run at the
+TIDE planning level (network state frozen at campaign start, depot
+refills excluded) so the budget is the *only* binding resource; utility
+rises with budget and saturates once every stealthy window fits.
+"""
+
+from _common import BENCH_CONFIG, emit
+
+from repro.analysis.aggregate import mean_ci
+from repro.analysis.tables import series_table
+from repro.core.baselines import NearestFirstPlanner, RandomPlanner
+from repro.core.csa import CsaPlanner
+from repro.core.tide import TideInstance
+from repro.core.windows import StealthPolicy, derive_targets
+from repro.mc.charger import default_charging_hardware
+
+BUDGETS_MJ = (0.25, 0.5, 1.0, 1.5, 2.0, 3.0)
+SEEDS = (1, 2, 3, 4, 5)
+CFG = BENCH_CONFIG.with_(node_count=150, key_count=20)
+
+PLANNERS = {
+    "CSA": CsaPlanner,
+    "Nearest-First": NearestFirstPlanner,
+    "Random": lambda: RandomPlanner(0),
+}
+
+
+def build_instance(seed: int, budget_j: float) -> TideInstance:
+    network = CFG.build_network(seed=seed)
+    network.refresh_key_nodes(CFG.key_count)
+    hardware = default_charging_hardware()
+    targets = derive_targets(network, hardware, StealthPolicy(), now=0.0)
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=CFG.depot,
+        start_time=0.0,
+        energy_budget_j=budget_j,
+        speed_m_s=CFG.mc_speed_m_s,
+        travel_cost_j_per_m=CFG.mc_travel_cost_j_per_m,
+    )
+
+
+def run_experiment():
+    series = {name: [] for name in PLANNERS}
+    for budget in BUDGETS_MJ:
+        instances = [build_instance(seed, budget * 1e6) for seed in SEEDS]
+        for name, planner_factory in PLANNERS.items():
+            utilities = [
+                planner_factory().plan(inst).utility for inst in instances
+            ]
+            series[name].append(utilities)
+    return series
+
+
+def bench_exp05_utility_vs_budget(benchmark):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    formatted = {
+        name: [
+            f"{mean_ci(c).mean:.2f}±{mean_ci(c).ci_half_width:.2f}"
+            for c in cells
+        ]
+        for name, cells in series.items()
+    }
+    table = series_table(
+        "budget_MJ",
+        list(BUDGETS_MJ),
+        formatted,
+        title=(
+            "EXP-05: attack utility vs MC energy budget "
+            f"(N={CFG.node_count}, key nodes={CFG.key_count})"
+        ),
+    )
+    emit("exp05_utility_vs_budget", table)
+
+    csa_means = [sum(c) / len(c) for c in series["CSA"]]
+    # Monotone non-decreasing in budget, and CSA dominates at the
+    # tightest budget where cost-benefit selection matters most.
+    for a, b in zip(csa_means, csa_means[1:]):
+        assert b >= a - 1e-9
+    for name in ("Nearest-First", "Random"):
+        other = sum(series[name][0]) / len(series[name][0])
+        assert csa_means[0] >= other - 1e-9

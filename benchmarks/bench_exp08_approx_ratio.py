@@ -1,0 +1,86 @@
+"""EXP-08 — empirical approximation ratio vs. the theoretical bound.
+
+Paper anchor: the "bounded performance guarantee".  On exactly solvable
+instances, CSA's utility is compared against the optimum from the
+Pareto-label DP; the observed ratios must sit above the (1 - 1/e)/2
+worst-case line — and in practice sit near 1.
+"""
+
+from _common import emit
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import GREEDY_GUARANTEE, check_guarantee
+from repro.core.csa import CsaPlanner
+from repro.core.optimal import solve_tide_exact
+from repro.core.tide import TideInstance, TideTarget
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+SIZES = (6, 8, 10)
+INSTANCES_PER_SIZE = 10
+
+
+def random_instance(n: int, seed: int) -> TideInstance:
+    rng = make_rng(seed, "exp08")
+    targets = []
+    for i in range(n):
+        release = float(rng.uniform(0.0, 86_400.0))
+        width = float(rng.uniform(2 * 3600.0, 30 * 3600.0))
+        duration = float(rng.uniform(600.0, 3_000.0))
+        targets.append(
+            TideTarget(
+                node_id=i,
+                weight=float(rng.uniform(0.2, 1.0)),
+                position=Point(
+                    float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+                ),
+                window_start=release,
+                window_end=release + width,
+                service_duration=duration,
+                service_energy_j=24.0 * duration,
+            )
+        )
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=Point(50, 50),
+        start_time=0.0,
+        energy_budget_j=float(rng.uniform(150_000.0, 450_000.0)),
+    )
+
+
+def run_experiment():
+    planner = CsaPlanner()
+    rows = []
+    for n in SIZES:
+        ratios = []
+        for k in range(INSTANCES_PER_SIZE):
+            inst = random_instance(n, seed=n * 1000 + k)
+            cert = check_guarantee(
+                inst, planner.plan(inst), solve_tide_exact(inst)
+            )
+            assert cert.holds, f"bound violated at n={n}, k={k}"
+            ratios.append(cert.ratio)
+        rows.append(
+            [
+                n,
+                INSTANCES_PER_SIZE,
+                f"{min(ratios):.3f}",
+                f"{sum(ratios) / len(ratios):.3f}",
+                f"{GREEDY_GUARANTEE:.3f}",
+            ]
+        )
+    return rows
+
+
+def bench_exp08_approx_ratio(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = format_table(
+        ["targets", "instances", "min_ratio", "mean_ratio", "theoretical_bound"],
+        rows,
+        title="EXP-08: CSA / OPT empirical approximation ratio",
+    )
+    emit("exp08_approx_ratio", table)
+
+    for row in rows:
+        assert float(row[2]) >= GREEDY_GUARANTEE
+        assert float(row[3]) >= 0.9  # near-optimal in practice

@@ -1,0 +1,80 @@
+"""EXP-09 — planning runtime scalability.
+
+Paper anchor: the algorithm-cost figure.  Times CSA planning across
+instance sizes (the quantity an on-line attacker replans with) and the
+exact DP at its practical limit, via pytest-benchmark's proper timing
+machinery.
+"""
+
+import pytest
+from _common import emit
+
+from repro.analysis.tables import format_table
+from repro.core.csa import CsaPlanner
+from repro.core.optimal import solve_tide_exact
+from repro.core.tide import TideInstance, TideTarget
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+_RESULTS: dict[str, float] = {}
+
+
+def make_instance(n: int, seed: int = 0) -> TideInstance:
+    rng = make_rng(seed, "exp09")
+    targets = []
+    for i in range(n):
+        release = float(rng.uniform(0.0, 4 * 86_400.0))
+        width = float(rng.uniform(2 * 3600.0, 30 * 3600.0))
+        duration = float(rng.uniform(600.0, 3_000.0))
+        targets.append(
+            TideTarget(
+                node_id=i,
+                weight=float(rng.uniform(0.2, 1.0)),
+                position=Point(
+                    float(rng.uniform(0, 100)), float(rng.uniform(0, 100))
+                ),
+                window_start=release,
+                window_end=release + width,
+                service_duration=duration,
+                service_energy_j=24.0 * duration,
+            )
+        )
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=Point(50, 50),
+        start_time=0.0,
+        energy_budget_j=5e6,
+    )
+
+
+@pytest.mark.parametrize("n", [10, 20, 40, 80])
+def bench_exp09_csa_runtime(benchmark, n):
+    instance = make_instance(n)
+    planner = CsaPlanner()
+    plan = benchmark(planner.plan, instance)
+    _RESULTS[f"CSA n={n}"] = benchmark.stats.stats.mean
+    assert plan.evaluation.feasible
+
+
+def bench_exp09_exact_runtime(benchmark):
+    instance = make_instance(10)
+    plan = benchmark.pedantic(
+        solve_tide_exact, args=(instance,), rounds=3, iterations=1
+    )
+    _RESULTS["ExactDP n=10"] = benchmark.stats.stats.mean
+    assert plan.evaluation.feasible
+
+
+def bench_exp09_report(benchmark):
+    """Summarise the runtimes collected above into the figure table."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [[name, f"{mean * 1e3:.2f}"] for name, mean in sorted(_RESULTS.items())]
+    if rows:
+        emit(
+            "exp09_runtime",
+            format_table(
+                ["planner/size", "mean_ms"],
+                rows,
+                title="EXP-09: planning runtime",
+            ),
+        )

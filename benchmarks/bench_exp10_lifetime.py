@@ -1,0 +1,76 @@
+"""EXP-10 — network health over time: attacked vs. benign.
+
+Paper anchor: the network-impact figure.  Tracks the cumulative dead-
+node count over the campaign for (a) an honestly charged network and
+(b) the same network (same seed, same hardware) under the CSA attacker,
+plus the first-partition time — the moment the attack starts isolating
+regions from the base station.
+"""
+
+from _common import BENCH_CONFIG, emit, run_attack
+
+from repro.analysis.metrics import lifetime_metrics
+from repro.analysis.tables import series_table
+from repro.attack.attacker import CsaAttacker
+from repro.sim.benign import BenignController
+
+SEEDS = (1, 2)
+CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
+SAMPLE_DAYS = (7, 14, 21, 28, 35, 42)
+
+
+def dead_by_day(result, days):
+    deaths = sorted(d.time for d in result.trace.deaths())
+    counts = []
+    for day in days:
+        t = day * 86_400.0
+        counts.append(sum(1 for dt in deaths if dt <= t))
+    return counts
+
+
+def run_experiment():
+    attacked = [
+        run_attack(CFG, seed, controller=CsaAttacker(key_count=CFG.key_count))
+        for seed in SEEDS
+    ]
+    benign = [
+        run_attack(CFG, seed, controller=BenignController()) for seed in SEEDS
+    ]
+    return attacked, benign
+
+
+def bench_exp10_lifetime(benchmark):
+    attacked, benign = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    att_series = [dead_by_day(r, SAMPLE_DAYS) for r in attacked]
+    ben_series = [dead_by_day(r, SAMPLE_DAYS) for r in benign]
+    avg = lambda rows: [sum(col) / len(col) for col in zip(*rows)]
+
+    table = series_table(
+        "day",
+        list(SAMPLE_DAYS),
+        {
+            "dead_under_attack": [f"{v:.1f}" for v in avg(att_series)],
+            "dead_benign": [f"{v:.1f}" for v in avg(ben_series)],
+        },
+        title="EXP-10: cumulative dead nodes over the campaign (N=100)",
+    )
+
+    partitions = [lifetime_metrics(r).first_partition_s for r in attacked]
+    partition_note = "\nfirst partition under attack: " + ", ".join(
+        "none" if p is None else f"day {p / 86_400.0:.1f}" for p in partitions
+    )
+    att_cov = [lifetime_metrics(r).coverage_ratio for r in attacked]
+    ben_cov = [lifetime_metrics(r).coverage_ratio for r in benign]
+    coverage_note = (
+        f"\nfinal sensing coverage: attacked "
+        f"{sum(att_cov) / len(att_cov):.0%} vs benign "
+        f"{sum(ben_cov) / len(ben_cov):.0%}"
+    )
+    emit("exp10_lifetime", table + partition_note + coverage_note)
+
+    assert sum(att_cov) / len(att_cov) < sum(ben_cov) / len(ben_cov)
+
+    # Shape: the benign network loses nobody; the attacked one decays.
+    assert all(v == 0 for row in ben_series for v in row)
+    assert avg(att_series)[-1] > 0.0

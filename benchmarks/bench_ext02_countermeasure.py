@@ -1,0 +1,79 @@
+"""EXT-02 — closing the attack: in-service charge verification.
+
+Extension experiment (the defence the attack family motivates): nodes
+probe their own harvest during a random fraction of charging services
+(:class:`repro.detection.ChargeVerificationDefense`).  Sweep the probe
+rate and measure CSA's detection probability and how many key nodes it
+manages to exhaust *before* the first alarm.  Unlike every behavioural
+detector, probing reads physical ground truth, so its catch probability
+per spoof is exactly the probe rate — the defender dials its assurance
+directly against its probing energy budget.
+"""
+
+from _common import BENCH_CONFIG, emit
+
+from repro.analysis.tables import series_table
+from repro.attack.attacker import CsaAttacker
+from repro.detection.auditors import default_detector_suite
+from repro.detection.countermeasures import ChargeVerificationDefense
+from repro.sim.wrsn_sim import WrsnSimulation
+
+PROBE_RATES = (0.0, 0.1, 0.25, 0.5, 1.0)
+SEEDS = (1, 2, 3, 4)
+CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
+
+
+def run_once(seed: int, probe_rate: float):
+    detectors = default_detector_suite(seed) + [
+        ChargeVerificationDefense(probe_rate=probe_rate, seed=seed)
+    ]
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        CsaAttacker(key_count=CFG.key_count),
+        detectors=detectors,
+        horizon_s=CFG.horizon_s,
+        stop_on_detection=True,
+    )
+    return sim.run()
+
+
+def run_experiment():
+    detect_cells, kill_cells = [], []
+    for rate in PROBE_RATES:
+        detections, kills = [], []
+        for seed in SEEDS:
+            result = run_once(seed, rate)
+            detections.append(float(result.detected))
+            kills.append(len(result.exhausted_key_ids()))
+        detect_cells.append(detections)
+        kill_cells.append(kills)
+    return detect_cells, kill_cells
+
+
+def bench_ext02_countermeasure(benchmark):
+    detect_cells, kill_cells = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    avg = lambda c: sum(c) / len(c)
+    table = series_table(
+        "probe_rate",
+        list(PROBE_RATES),
+        {
+            "detection_rate": [f"{avg(c):.2f}" for c in detect_cells],
+            "key_kills_before_alarm": [f"{avg(c):.1f}" for c in kill_cells],
+        },
+        title=(
+            "EXT-02: in-service charge verification vs CSA "
+            "(runs halt at first alarm)"
+        ),
+    )
+    emit("ext02_countermeasure", table)
+
+    # No probing: the attack proceeds as in EXP-03.
+    assert avg(kill_cells[0]) >= 8.0
+    # Full probing: the very first spoof is caught; damage collapses.
+    assert avg(detect_cells[-1]) == 1.0
+    assert avg(kill_cells[-1]) <= 1.0
+    # Detection rises monotonically-ish with the probe rate.
+    assert avg(detect_cells[-1]) >= avg(detect_cells[1])

@@ -1,0 +1,99 @@
+"""EXT-03 — the grace-period arms race.
+
+Extension experiment: the death-after-charge detector and the attacker's
+grace margin chase each other.  Sweep the *defender's* grace window with
+the attacker's margin fixed at its default 3 h: the moment the detector
+looks further back than the attacker stays ahead of, every spoofed death
+lands inside the window and detection is certain.  Then let the attacker
+adapt (margin = defender grace + 1 h, if it knows the deployment's
+detector configuration): stealth is restored — at the price of ever
+longer audit exposure, which the voltage auditor eventually converts
+into detections anyway.  Defences compose: pushing on one detector
+squeezes the attacker onto the other.
+"""
+
+from _common import BENCH_CONFIG, emit
+
+from repro.analysis.tables import series_table
+from repro.attack.attacker import CsaAttacker
+from repro.core.windows import StealthPolicy
+from repro.detection.auditors import (
+    DeathAfterChargeAuditor,
+    NeglectMonitor,
+    RandomVoltageAuditor,
+    TrajectoryAnomalyDetector,
+)
+from repro.sim.wrsn_sim import WrsnSimulation
+
+DETECTOR_GRACE_H = (1.0, 2.0, 4.0, 8.0, 16.0)
+SEEDS = (1, 2, 3, 4)
+CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
+FIXED_ATTACKER_GRACE_H = 3.0
+
+
+def run_once(seed: int, detector_grace_h: float, attacker_grace_h: float):
+    stealth = StealthPolicy(
+        grace_period_s=attacker_grace_h * 3600.0,
+        exposure_cap_s=max(attacker_grace_h * 3600.0 + 10_800.0, 21_600.0),
+    )
+    detectors = [
+        DeathAfterChargeAuditor(grace_s=detector_grace_h * 3600.0),
+        RandomVoltageAuditor(seed=seed),
+        TrajectoryAnomalyDetector(),
+        NeglectMonitor(),
+    ]
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        CsaAttacker(key_count=CFG.key_count, stealth=stealth),
+        detectors=detectors,
+        horizon_s=CFG.horizon_s,
+    )
+    return sim.run()
+
+
+def run_experiment():
+    fixed_det, adaptive_det, adaptive_exh = [], [], []
+    for grace_h in DETECTOR_GRACE_H:
+        fixed = [
+            float(run_once(s, grace_h, FIXED_ATTACKER_GRACE_H).detected)
+            for s in SEEDS
+        ]
+        adaptive_runs = [run_once(s, grace_h, grace_h + 1.0) for s in SEEDS]
+        fixed_det.append(fixed)
+        adaptive_det.append([float(r.detected) for r in adaptive_runs])
+        adaptive_exh.append(
+            [r.exhausted_key_ratio() for r in adaptive_runs]
+        )
+    return fixed_det, adaptive_det, adaptive_exh
+
+
+def bench_ext03_grace_race(benchmark):
+    fixed_det, adaptive_det, adaptive_exh = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    avg = lambda c: sum(c) / len(c)
+    table = series_table(
+        "detector_grace_h",
+        list(DETECTOR_GRACE_H),
+        {
+            "det[attacker@3h]": [f"{avg(c):.2f}" for c in fixed_det],
+            "det[attacker@grace+1h]": [f"{avg(c):.2f}" for c in adaptive_det],
+            "exh[attacker@grace+1h]": [f"{avg(c):.2f}" for c in adaptive_exh],
+        },
+        title=(
+            "EXT-03: death-after-charge grace arms race "
+            f"({len(SEEDS)} seeds per point)"
+        ),
+    )
+    emit("ext03_grace_race", table)
+
+    # A fixed attacker is safe while it out-margins the detector and is
+    # caught deterministically once it does not.
+    assert avg(fixed_det[0]) == 0.0  # detector 1 h < attacker 3 h
+    assert avg(fixed_det[2]) == 1.0  # detector 4 h > attacker 3 h
+    # The adaptive attacker dodges the death detector everywhere, but at
+    # 16 h of forced exposure the voltage auditor starts collecting.
+    assert avg(adaptive_det[0]) <= 0.25
+    assert avg(adaptive_det[-1]) >= avg(adaptive_det[0])
+    assert avg(adaptive_exh[0]) >= 0.8

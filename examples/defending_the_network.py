@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Defending against the Charging Spoofing Attack.
+
+Shows the defender's escalation ladder against the same CSA campaign:
+
+1. behavioural detectors only (the default suite) — CSA walks through;
+2. a hawkish voltage auditor — catches CSA, at an absurd audit budget;
+3. in-service charge verification at a 25% probe duty cycle — catches
+   the campaign at its first or second spoof, cheaply.
+
+Run:  python examples/defending_the_network.py
+"""
+
+from repro import CsaAttacker, ScenarioConfig, WrsnSimulation
+from repro.detection import (
+    ChargeVerificationDefense,
+    RandomVoltageAuditor,
+    default_detector_suite,
+)
+
+CFG = ScenarioConfig(node_count=100, key_count=10, horizon_days=42)
+SEED = 1
+
+
+def campaign(detectors, label):
+    sim = WrsnSimulation(
+        CFG.build_network(seed=SEED),
+        CFG.build_charger(),
+        CsaAttacker(key_count=CFG.key_count),
+        detectors=detectors,
+        horizon_s=CFG.horizon_s,
+        stop_on_detection=True,
+    )
+    result = sim.run()
+    print(f"\n--- {label} ---")
+    print(
+        f"key nodes exhausted before any alarm: "
+        f"{len(result.exhausted_key_ids())}/{len(result.initial_key_ids)}"
+    )
+    if result.detected:
+        first = result.detections[0]
+        print(f"caught by {first.detector} at day {first.time / 86_400:.1f}")
+        print(f"  {first.reason}")
+    else:
+        print("never caught; the campaign ran to completion")
+
+
+def main() -> None:
+    print(f"CSA campaign vs three defender postures "
+          f"(N={CFG.node_count}, seed {SEED})")
+
+    campaign(default_detector_suite(SEED), "behavioural detectors (default)")
+
+    hawkish = default_detector_suite(SEED)
+    for detector in hawkish:
+        if isinstance(detector, RandomVoltageAuditor):
+            detector.mean_interval_s = 6 * 3600.0  # audit every 6 h (!)
+    campaign(hawkish, "hawkish voltage audits every ~6 h")
+
+    probing = default_detector_suite(SEED) + [
+        ChargeVerificationDefense(probe_rate=0.25, seed=SEED)
+    ]
+    campaign(probing, "in-service charge verification (25% probe rate)")
+
+
+if __name__ == "__main__":
+    main()

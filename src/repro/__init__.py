@@ -1,0 +1,116 @@
+"""repro — reproduction of "Are You Really Charging Me?" (ICDCS 2022).
+
+A wireless rechargeable sensor network (WRSN) security library built
+around the paper's Charging Spoofing Attack (CSA): a malicious mobile
+charger that *appears* to charge its victims while destructively
+superposing its antenna array's waves at their rectennas, exhausting the
+network's key nodes without tripping the base station's detectors.
+
+The package layers, bottom-up:
+
+* :mod:`repro.em` — wave superposition, nonlinear rectenna, null steering.
+* :mod:`repro.network` — the WRSN substrate: nodes, routing, traffic,
+  key-node identification, charging requests.
+* :mod:`repro.mc` — the mobile charger and benign scheduling policies.
+* :mod:`repro.core` — the paper's contribution: the TIDE optimisation
+  problem, the CSA approximation algorithm, exact solvers, and the
+  performance guarantee.
+* :mod:`repro.attack` / :mod:`repro.detection` — attacker controllers
+  and base-station detectors.
+* :mod:`repro.sim` — the discrete-event simulation tying it together.
+* :mod:`repro.testbed` — the bench-scale validation campaign.
+* :mod:`repro.analysis` — metrics, aggregation and table rendering.
+
+Quickstart::
+
+    from repro import ScenarioConfig, WrsnSimulation, CsaAttacker
+    from repro.detection import default_detector_suite
+
+    cfg = ScenarioConfig(node_count=100, key_count=10)
+    sim = WrsnSimulation(
+        cfg.build_network(seed=1),
+        cfg.build_charger(),
+        CsaAttacker(key_count=cfg.key_count),
+        detectors=default_detector_suite(1),
+        horizon_s=cfg.horizon_s,
+    )
+    result = sim.run()
+    print(result.exhausted_key_ratio(), result.detected)
+"""
+
+from repro.attack import (
+    BlatantAttacker,
+    CsaAttacker,
+    NoisyEstimator,
+    PlannedAttacker,
+    execute_spoof,
+    exposure_cap_for_risk,
+)
+from repro.core import (
+    CsaPlanner,
+    EdfPlanner,
+    GreedyWeightPlanner,
+    ModularUtility,
+    NearestFirstPlanner,
+    RandomPlanner,
+    StealthPolicy,
+    TideInstance,
+    TidePlan,
+    TideTarget,
+    TspPlanner,
+    derive_targets,
+    evaluate_route,
+    solve_tide_exact,
+)
+from repro.detection import default_detector_suite
+from repro.detection import ChargeVerificationDefense
+from repro.em import ChargerArray, Rectenna, superposition_sweep
+from repro.mc import MobileCharger, default_charging_hardware
+from repro.network import Network, build_network
+from repro.sim import (
+    BenignController,
+    ScenarioConfig,
+    SimulationResult,
+    WrsnSimulation,
+)
+from repro.testbed import run_testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenignController",
+    "BlatantAttacker",
+    "ChargeVerificationDefense",
+    "ChargerArray",
+    "CsaAttacker",
+    "CsaPlanner",
+    "EdfPlanner",
+    "GreedyWeightPlanner",
+    "MobileCharger",
+    "ModularUtility",
+    "NearestFirstPlanner",
+    "Network",
+    "NoisyEstimator",
+    "PlannedAttacker",
+    "RandomPlanner",
+    "Rectenna",
+    "ScenarioConfig",
+    "SimulationResult",
+    "StealthPolicy",
+    "TideInstance",
+    "TidePlan",
+    "TideTarget",
+    "TspPlanner",
+    "WrsnSimulation",
+    "build_network",
+    "default_charging_hardware",
+    "default_detector_suite",
+    "derive_targets",
+    "evaluate_route",
+    "execute_spoof",
+    "exposure_cap_for_risk",
+    "run_testbed",
+    "solve_tide_exact",
+    "superposition_sweep",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Metrics, aggregation and table rendering for experiments."""
+
+from repro.analysis.aggregate import SeriesStats, aggregate, mean_ci
+from repro.analysis.metrics import (
+    AttackMetrics,
+    attack_metrics,
+    lifetime_metrics,
+    network_lifetime_s,
+)
+from repro.analysis.tables import format_table, series_table
+
+__all__ = [
+    "AttackMetrics",
+    "SeriesStats",
+    "aggregate",
+    "attack_metrics",
+    "format_table",
+    "lifetime_metrics",
+    "mean_ci",
+    "network_lifetime_s",
+    "series_table",
+]

@@ -1,0 +1,67 @@
+"""Multi-seed aggregation: means and confidence intervals.
+
+Experiments repeat every configuration across seeds; the tables report
+mean ± half-width of a Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["SeriesStats", "aggregate", "mean_ci"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one metric across repeated trials."""
+
+    mean: float
+    ci_half_width: float
+    std: float
+    n: int
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.ci_half_width:.3f} (n={self.n})"
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> SeriesStats:
+    """Mean with a Student-t confidence interval.
+
+    A single observation yields a zero-width interval (there is no
+    variance estimate to widen it with).
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot aggregate an empty series")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return SeriesStats(mean, 0.0, 0.0, 1, mean, mean)
+    std = float(arr.std(ddof=1))
+    sem = std / np.sqrt(arr.size)
+    t_crit = float(stats.t.ppf((1.0 + confidence) / 2.0, df=arr.size - 1))
+    return SeriesStats(
+        mean=mean,
+        ci_half_width=float(t_crit * sem),
+        std=std,
+        n=int(arr.size),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def aggregate(
+    rows: Iterable[dict[str, float]], keys: Sequence[str]
+) -> dict[str, SeriesStats]:
+    """Aggregate the named numeric fields across a batch of row dicts."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("no rows to aggregate")
+    return {key: mean_ci([row[key] for row in rows]) for key in keys}

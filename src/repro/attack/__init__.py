@@ -1,0 +1,31 @@
+"""Attack execution: the malicious mobile charger.
+
+* :mod:`repro.attack.stealth` — sizing the exposure cap against the
+  defender's audit intensity.
+* :mod:`repro.attack.spoofing` — the physical-layer spoof report tying a
+  service to the antenna-array physics.
+* :mod:`repro.attack.attacker` — the mission controllers: the CSA
+  attacker (plans with the paper's algorithm, interleaves genuine cover
+  charging), planner-swappable variants for the baselines, and the
+  blatant attacker the detectors exist to catch.
+"""
+
+from repro.attack.attacker import BlatantAttacker, CsaAttacker, PlannedAttacker
+from repro.attack.knowledge import NoisyEstimator, derive_targets_with_error
+from repro.attack.spoofing import SpoofReport, execute_spoof
+from repro.attack.stealth import (
+    detection_probability,
+    exposure_cap_for_risk,
+)
+
+__all__ = [
+    "BlatantAttacker",
+    "CsaAttacker",
+    "NoisyEstimator",
+    "PlannedAttacker",
+    "SpoofReport",
+    "derive_targets_with_error",
+    "detection_probability",
+    "execute_spoof",
+    "exposure_cap_for_risk",
+]

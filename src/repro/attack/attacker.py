@@ -1,0 +1,423 @@
+"""Malicious mission controllers.
+
+:class:`PlannedAttacker` is the general stealthy attacker: it annotates
+the network's key nodes, derives their stealthy service windows, plans a
+spoofing campaign with a pluggable TIDE planner (CSA by default — that
+configuration is exported as :class:`CsaAttacker`), and executes it while
+*behaving like an honest charger*: it radiates full service durations,
+reports plausible logs, and fills schedule slack with genuine "cover"
+charges of non-key requesters so the neglect monitor stays quiet.
+
+:class:`BlatantAttacker` is the strawman the detectors exist for: it
+simply pretends to charge its victims (no emission, no window logic, no
+cover traffic).  It spends almost nothing and gets caught almost
+immediately — the contrast the paper's detection experiment draws.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.core.baselines import Planner
+from repro.core.csa import CsaPlanner
+from repro.core.tide import (
+    TideInstance,
+    TidePlan,
+    TideTarget,
+    latest_start_schedule,
+)
+from repro.core.windows import StealthPolicy, derive_targets
+from repro.mc.charger import ChargeMode
+from repro.network.requests import ChargingRequest
+from repro.sim.actions import (
+    Action,
+    IdleAction,
+    MissionController,
+    RechargeAction,
+    ServeAction,
+)
+from repro.sim.events import (
+    NodeDied,
+    RequestIssued,
+    ServiceAborted,
+    ServiceCompleted,
+    TraceEvent,
+)
+from repro.utils.validation import check_non_negative, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["BlatantAttacker", "CsaAttacker", "PlannedAttacker"]
+
+_EPS = 1e-6
+
+
+class PlannedAttacker(MissionController):
+    """Stealthy spoofing attacker with a pluggable TIDE planner.
+
+    Parameters
+    ----------
+    planner:
+        TIDE planner choosing and ordering victims (default: CSA).
+    stealth:
+        The stealth envelope fed into window derivation.
+    key_count:
+        Number of key nodes to annotate and target.
+    cover_traffic:
+        Whether to genuinely charge non-key requesters in schedule slack.
+        Costs real energy; keeps the neglect monitor quiet (ablation
+        ABL-02 quantifies the trade).
+    depot_reserve_frac:
+        Fraction of the charger battery reserved outside the plan budget
+        (getting stranded mid-field would itself be suspicious).
+    recharge_below_frac:
+        Return to the depot when energy falls below this fraction and the
+        schedule allows.
+    estimator:
+        Optional :class:`repro.attack.knowledge.NoisyEstimator`; when
+        given, windows are derived from *estimated* consumption rates
+        instead of ground truth (experiment EXT-01).
+    error_safety_sigma:
+        How many sigmas of rate-estimation error the stealth margins are
+        widened to absorb (only meaningful with an estimator).  0 is the
+        naive attacker whose margins assume perfect prediction.
+    """
+
+    def __init__(
+        self,
+        planner: Planner | CsaPlanner | None = None,
+        stealth: StealthPolicy | None = None,
+        key_count: int = 15,
+        cover_traffic: bool = True,
+        depot_reserve_frac: float = 0.05,
+        recharge_below_frac: float = 0.15,
+        estimator=None,
+        error_safety_sigma: float = 0.0,
+    ) -> None:
+        self.planner = planner or CsaPlanner()
+        self.stealth = stealth or StealthPolicy()
+        if key_count < 1:
+            raise ValueError(f"key_count must be >= 1, got {key_count}")
+        self.key_count = key_count
+        self.cover_traffic = cover_traffic
+        self.depot_reserve_frac = check_probability(
+            "depot_reserve_frac", depot_reserve_frac
+        )
+        self.recharge_below_frac = check_probability(
+            "recharge_below_frac", recharge_below_frac
+        )
+        self.estimator = estimator
+        self.error_safety_sigma = check_non_negative(
+            "error_safety_sigma", error_safety_sigma
+        )
+
+        self._route: deque[TideTarget] = deque()
+        self._latest_starts: deque[float] = deque()
+        self._dirty = True
+        self._spoofed: set[int] = set()
+        self._in_flight: int | None = None
+        self.last_plan: TidePlan | None = None
+        self.replans = 0
+
+    @property
+    def name(self) -> str:
+        planner_name = getattr(self.planner, "name", type(self.planner).__name__)
+        return f"attacker[{planner_name}]"
+
+    # ------------------------------------------------------------------
+    # Lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_start(self, sim: "WrsnSimulation") -> None:
+        sim.network.refresh_key_nodes(self.key_count)
+        self._dirty = True
+
+    def on_event(self, event: TraceEvent, sim: "WrsnSimulation") -> None:
+        if isinstance(event, NodeDied):
+            # Deaths shift every prediction the plan was built on.
+            self._dirty = True
+        elif isinstance(event, ServiceAborted):
+            self._dirty = True
+        elif isinstance(event, RequestIssued) and event.is_key:
+            # A key node's request turns its predicted window into a
+            # concrete one (and, for the noisy-estimator attacker, lets
+            # the error margin shrink with the shorter horizon).
+            self._dirty = True
+        elif isinstance(event, ServiceCompleted):
+            if event.mode == ChargeMode.SPOOF:
+                self.note_spoofed(event.node_id)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _reserve_j(self, sim: "WrsnSimulation") -> float:
+        return self.depot_reserve_frac * (self.charger or sim.charger).battery_capacity_j
+
+    def _derive(self, sim: "WrsnSimulation") -> list[TideTarget]:
+        if self.estimator is not None:
+            from repro.attack.knowledge import derive_targets_with_error
+
+            return derive_targets_with_error(
+                sim.network, (self.charger or sim.charger).hardware,
+                self.stealth, sim.now, self.estimator, safety_sigma=self.error_safety_sigma,
+            )
+        return derive_targets(
+            sim.network, (self.charger or sim.charger).hardware,
+            self.stealth, sim.now,
+        )
+
+    def _replan(self, sim: "WrsnSimulation") -> None:
+        mc = self.charger or sim.charger
+        targets = [
+            t
+            for t in self._derive(sim)
+            if t.node_id not in self._spoofed and t.node_id != self._in_flight
+        ]
+        budget = max(0.0, mc.energy_j - self._reserve_j(sim))
+        instance = TideInstance(
+            targets=tuple(targets),
+            start_position=mc.position,
+            start_time=sim.now,
+            energy_budget_j=budget,
+            speed_m_s=mc.speed_m_s,
+            travel_cost_j_per_m=mc.travel_cost_j_per_m,
+        )
+        plan = self.planner.plan(instance)
+        self._route = deque(instance.target(nid) for nid in plan.route)
+        # Serve every victim as LATE as the route allows: minimal
+        # spoofed-but-alive exposure to voltage audits.  Latest starts
+        # depend only on downstream visits, so they stay valid as the
+        # route is consumed from the front.
+        self._latest_starts = deque(latest_start_schedule(instance, plan.route))
+        self.last_plan = plan
+        self._dirty = False
+        self.replans += 1
+
+    def _pop_head(self) -> TideTarget:
+        self._latest_starts.popleft()
+        return self._route.popleft()
+
+    def _prune_route(self, sim: "WrsnSimulation") -> None:
+        """Drop dead/expired targets; replan when the schedule slipped.
+
+        An arrival past the head's *latest* start does not kill the head
+        (its own window may still be open) but could squeeze downstream
+        visits, so the route is replanned rather than patched.
+        """
+        mc = self.charger or sim.charger
+        while self._route:
+            head = self._route[0]
+            node = sim.network.nodes[head.node_id]
+            arrival = sim.now + mc.travel_time_to(head.position)
+            if not node.alive or arrival > head.window_end + _EPS:
+                self._pop_head()
+                self._dirty = True
+                continue
+            if arrival > self._latest_starts[0] + _EPS and len(self._route) > 1:
+                self._dirty = True
+            break
+
+    def _route_cost_j(self, sim: "WrsnSimulation") -> float:
+        """Energy the remaining planned route still needs."""
+        mc = self.charger or sim.charger
+        position = mc.position
+        total = 0.0
+        for target in self._route:
+            total += (
+                position.distance_to(target.position) * mc.travel_cost_j_per_m
+                + target.service_energy_j
+            )
+            position = target.position
+        return total
+
+    # ------------------------------------------------------------------
+    # Decision logic
+    # ------------------------------------------------------------------
+    def next_action(self, sim: "WrsnSimulation") -> Action | None:
+        self._in_flight = None
+        if self._dirty:
+            self._replan(sim)
+        self._prune_route(sim)
+        if self._dirty:
+            self._replan(sim)
+            self._prune_route(sim)
+
+        mc = self.charger or sim.charger
+        recharge = self._maybe_recharge(sim)
+        if recharge is not None:
+            return recharge
+
+        cover = self._maybe_cover(sim)
+        if cover is not None:
+            return cover
+
+        if self._route:
+            head = self._route[0]
+            start_at = max(self._latest_starts[0], head.window_start)
+            travel = mc.travel_time_to(head.position)
+            depart_by = start_at - travel
+            # In a fleet, an honest co-charger would race us to any node
+            # with an outstanding request and genuinely recharge it,
+            # destroying the window.  Claim the victim the moment it
+            # requests: dispatch now and camp there until the window
+            # opens.  Solo, camping only wastes cover opportunities.
+            must_claim = sim.unit_count > 1 and any(
+                r.node_id == head.node_id for r in sim.pending_requests()
+            )
+            if sim.now < depart_by - _EPS and not must_claim:
+                # Too early: camping at the victim would waste hours the
+                # charger could spend on cover traffic.  Idle (interrupt-
+                # ibly) until it is time to leave.
+                return IdleAction(until=depart_by)
+            self._pop_head()
+            self._in_flight = head.node_id
+            return ServeAction(
+                node_id=head.node_id,
+                mode=ChargeMode.SPOOF,
+                not_before=start_at,
+                duration_s=head.service_duration,
+            )
+        return None
+
+    def _maybe_recharge(self, sim: "WrsnSimulation") -> Action | None:
+        mc = self.charger or sim.charger
+        if mc.energy_j >= self.recharge_below_frac * mc.battery_capacity_j:
+            return None
+        if not self._route:
+            self._dirty = True  # fresh budget deserves a fresh plan
+            return RechargeAction()
+        head = self._route[0]
+        depot_leg = mc.travel_time_to(mc.depot)
+        back_leg = (
+            mc.depot.distance_to(head.position) / mc.speed_m_s
+        )
+        done = sim.now + depot_leg + mc.depot_recharge_s + back_leg
+        if done <= self._latest_starts[0] - _EPS:
+            self._dirty = True
+            return RechargeAction()
+        return None
+
+    def _maybe_cover(self, sim: "WrsnSimulation") -> Action | None:
+        """Serve one genuine cover request if the schedule and budget allow.
+
+        Any requester outside the current spoofing route qualifies —
+        including key nodes whose stealthy window turned out infeasible
+        this cycle: charging them genuinely keeps the neglect monitor
+        quiet *and* restarts their discharge cycle, giving the next
+        planning round another shot at them.
+        """
+        if not self.cover_traffic:
+            return None
+        mc = self.charger or sim.charger
+        in_route = {t.node_id for t in self._route}
+        candidates: list[ChargingRequest] = []
+        for request in sim.unclaimed_requests():
+            node = sim.network.nodes[request.node_id]
+            if not node.alive or request.node_id in in_route:
+                continue
+            if request.node_id in self._spoofed:
+                continue
+            candidates.append(request)
+        if not candidates:
+            return None
+        candidates.sort(
+            key=lambda r: (
+                mc.position.distance_to(sim.network.nodes[r.node_id].position),
+                r.node_id,
+            )
+        )
+        plan_cost = self._route_cost_j(sim)
+        for request in candidates:
+            node = sim.network.nodes[request.node_id]
+            travel = mc.travel_time_to(node.position)
+            deficit = node.battery_capacity_j - node.believed_energy_j
+            duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+            cost = (
+                mc.position.distance_to(node.position) * mc.travel_cost_j_per_m
+                + mc.hardware.emission_w * duration
+            )
+            if mc.energy_j - cost < plan_cost + self._reserve_j(sim):
+                continue
+            finish = sim.now + travel + duration
+            if self._route:
+                head = self._route[0]
+                onward = (
+                    node.position.distance_to(head.position) / mc.speed_m_s
+                )
+                if finish + onward > self._latest_starts[0] - _EPS:
+                    continue
+            return ServeAction(node_id=request.node_id, mode=ChargeMode.GENUINE)
+        return None
+
+    # ------------------------------------------------------------------
+    # Bookkeeping fed back from the simulation
+    # ------------------------------------------------------------------
+    def note_spoofed(self, node_id: int) -> None:
+        """The simulation confirms a spoof completed on this node."""
+        self._spoofed.add(node_id)
+
+    def spoofed_ids(self) -> frozenset[int]:
+        """Nodes successfully spoofed so far."""
+        return frozenset(self._spoofed)
+
+
+class CsaAttacker(PlannedAttacker):
+    """The paper's attacker: :class:`PlannedAttacker` with the CSA planner."""
+
+    def __init__(
+        self,
+        stealth: StealthPolicy | None = None,
+        key_count: int = 15,
+        cover_traffic: bool = True,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            planner=CsaPlanner(),
+            stealth=stealth,
+            key_count=key_count,
+            cover_traffic=cover_traffic,
+            **kwargs,
+        )
+
+
+class BlatantAttacker(MissionController):
+    """The naive attacker: pretends to charge, fools nobody.
+
+    Visits each key node as soon as it requests charging, parks for the
+    legitimate duration, but never radiates (saving emission energy —
+    this attacker optimises effort, not stealth).  Ignores every non-key
+    request.  Exists to show what the detectors catch.
+    """
+
+    name = "attacker[Blatant]"
+
+    def __init__(self, key_count: int = 15) -> None:
+        if key_count < 1:
+            raise ValueError(f"key_count must be >= 1, got {key_count}")
+        self.key_count = key_count
+        self._visited: set[int] = set()
+
+    def on_start(self, sim: "WrsnSimulation") -> None:
+        sim.network.refresh_key_nodes(self.key_count)
+
+    def next_action(self, sim: "WrsnSimulation") -> Action | None:
+        mc = self.charger or sim.charger
+        pending = [
+            r
+            for r in sim.unclaimed_requests()
+            if sim.network.nodes[r.node_id].alive
+            and sim.network.nodes[r.node_id].is_key
+            and r.node_id not in self._visited
+        ]
+        if not pending:
+            return None
+        pending.sort(
+            key=lambda r: (
+                mc.position.distance_to(sim.network.nodes[r.node_id].position),
+                r.node_id,
+            )
+        )
+        request = pending[0]
+        self._visited.add(request.node_id)
+        return ServeAction(node_id=request.node_id, mode=ChargeMode.PRETEND)

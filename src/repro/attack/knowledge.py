@@ -1,0 +1,151 @@
+"""Attacker-side knowledge models: what if the predictions are wrong?
+
+The CSA planner's time windows come from *predicting* each victim's
+request and death times, which requires knowing its consumption rate.
+A real attacker estimates those rates from observed traffic and gets
+them wrong by some factor.  This module derives TIDE targets from a
+noisy view of the network: each key node's rate estimate is perturbed
+multiplicatively, shifting its predicted request/death — and therefore
+the stealth window the attacker plans against — away from the truth.
+
+The simulation still runs on the *true* dynamics, so estimation error
+manifests exactly the way it would in the field: arriving before the
+real request (the visit itself is anomalous — modelled by the window
+simply being wrong), parking for the wrong duration, or worst of all
+letting the victim die inside the death-after-charge grace window.
+Experiment EXT-01 sweeps the error magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.tide import TideTarget
+from repro.core.windows import StealthPolicy
+from repro.mc.charger import ChargingHardware
+from repro.network.network import Network
+from repro.utils.validation import check_non_negative
+
+__all__ = ["NoisyEstimator", "derive_targets_with_error"]
+
+
+class NoisyEstimator:
+    """Multiplicative log-normal error on per-node rate estimates.
+
+    Parameters
+    ----------
+    rate_error_std:
+        Standard deviation of the log rate error.  0.0 is a perfect
+        observer; 0.1 means rate estimates are typically ~10% off.
+    rng:
+        Source of the (per-node, stable across replans) errors.
+
+    The error for a node is drawn once and cached: an attacker's
+    systematic misestimate of one node does not resample itself every
+    replanning round.
+    """
+
+    def __init__(self, rate_error_std: float, rng: np.random.Generator) -> None:
+        self.rate_error_std = check_non_negative("rate_error_std", rate_error_std)
+        self._rng = rng
+        self._factors: dict[int, float] = {}
+
+    def rate_factor(self, node_id: int) -> float:
+        """The multiplicative error applied to this node's rate estimate."""
+        if node_id not in self._factors:
+            if self.rate_error_std == 0.0:
+                self._factors[node_id] = 1.0
+            else:
+                self._factors[node_id] = float(
+                    math.exp(self._rng.normal(0.0, self.rate_error_std))
+                )
+        return self._factors[node_id]
+
+
+def derive_targets_with_error(
+    network: Network,
+    hardware: ChargingHardware,
+    policy: StealthPolicy,
+    now: float,
+    estimator: NoisyEstimator,
+    safety_sigma: float = 0.0,
+) -> list[TideTarget]:
+    """Stealthy TIDE targets as seen through a noisy rate estimator.
+
+    Mirrors :func:`repro.core.windows.derive_targets` but computes each
+    node's predicted request/death from ``estimated_rate = true_rate *
+    factor`` while leaving the node's *current believed energy reading*
+    exact (the attacker can observe telemetry; it is the drift rate it
+    must estimate).
+
+    ``safety_sigma`` is the error-aware attacker's response.  A k-sigma
+    rate error misplaces the predicted death by about ``k *
+    rate_error_std * (death - now)``; violating the *death-after-charge*
+    grace is a deterministic detector hit, while extra audit exposure is
+    only a probabilistic risk.  The error-aware attacker therefore
+    shifts its whole service window **earlier** by that buffer: the hard
+    grace boundary gains the margin, the soft exposure side absorbs it
+    (the victim lingers a few extra hours under the Poisson auditor).
+    Window *width* is preserved, so damage survives; experiment EXT-01
+    quantifies the residual stealth cost.
+    """
+    targets: list[TideTarget] = []
+    for info in network.key_nodes:
+        node = network.nodes[info.node_id]
+        if not node.alive:
+            continue
+        true_rate = node.consumption_w
+        if true_rate <= 0.0:
+            continue
+        est_rate = true_rate * estimator.rate_factor(info.node_id)
+
+        believed = node.believed_energy_j
+        threshold = node.request_threshold_j
+        deficit_to_threshold = believed - threshold
+        if deficit_to_threshold > 0.0:
+            request_time = node.clock + deficit_to_threshold / est_rate
+        else:
+            request_time = node.clock
+        # True energy at the (estimated) request instant, then death.
+        true_at_request = node.energy_j - est_rate * (request_time - node.clock)
+        if true_at_request <= 0.0:
+            continue
+        death_time = request_time + true_at_request / est_rate
+
+        energy_needed = node.battery_capacity_j - max(
+            believed - est_rate * (request_time - node.clock), 0.0
+        )
+        duration = hardware.service_duration_for(max(energy_needed, 0.0))
+        service_energy = hardware.emission_w * duration
+
+        margin = safety_sigma * estimator.rate_error_std * max(
+            death_time - now, 0.0
+        )
+        latest = death_time - duration - policy.grace_period_s - margin
+        if math.isinf(policy.exposure_cap_s):
+            earliest = request_time
+        else:
+            earliest = max(
+                request_time,
+                death_time - duration - policy.exposure_cap_s - margin,
+            )
+        earliest = max(earliest, now)
+        if latest < earliest:
+            continue
+        targets.append(
+            TideTarget(
+                node_id=info.node_id,
+                weight=info.weight,
+                position=node.position,
+                window_start=earliest,
+                window_end=latest,
+                service_duration=duration,
+                service_energy_j=service_energy,
+                request_time=request_time,
+                death_time=death_time,
+            )
+        )
+    targets.sort(key=lambda t: (t.window_end, t.node_id))
+    return targets

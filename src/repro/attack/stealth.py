@@ -1,0 +1,84 @@
+"""Sizing stealth margins against the defender's audit process.
+
+The voltage auditor fires at Poisson times with mean interval ``T`` and
+picks uniformly among the ``c`` recently-charged alive candidates, so a
+particular spoofed victim that stays alive (exposed) for ``x`` seconds is
+hit by an audit with probability::
+
+    p(x) = 1 - exp(-x / (T * c))
+
+For a campaign spoofing ``n`` victims, each exposed at most ``X`` seconds,
+the union probability of any audit landing on a spoofed victim is at most
+``n * p(X)``.  Inverting for a total risk budget ``eps`` gives the
+per-victim exposure cap the CSA planner feeds into its time windows::
+
+    X = -T * c * ln(1 - eps / n)
+
+These are planning-side estimates: the attacker does not know the
+defender's exact state, only the audit intensity it assumes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["detection_probability", "exposure_cap_for_risk"]
+
+
+def detection_probability(
+    exposure_s: float,
+    mean_audit_interval_s: float,
+    candidate_pool_size: float = 10.0,
+) -> float:
+    """Probability one victim's exposure attracts an audit.
+
+    Parameters
+    ----------
+    exposure_s:
+        Seconds the victim remains spoofed-but-alive.
+    mean_audit_interval_s:
+        Mean seconds between defender audits.
+    candidate_pool_size:
+        Expected number of audit candidates the victim hides among.
+    """
+    if exposure_s < 0.0:
+        raise ValueError(f"exposure_s must be >= 0, got {exposure_s}")
+    check_positive("mean_audit_interval_s", mean_audit_interval_s)
+    check_positive("candidate_pool_size", candidate_pool_size)
+    hazard = 1.0 / (mean_audit_interval_s * candidate_pool_size)
+    return 1.0 - math.exp(-hazard * exposure_s)
+
+
+def exposure_cap_for_risk(
+    risk_budget: float,
+    n_targets: int,
+    mean_audit_interval_s: float,
+    candidate_pool_size: float = 10.0,
+) -> float:
+    """Per-victim exposure cap keeping total detection risk under budget.
+
+    Parameters
+    ----------
+    risk_budget:
+        Tolerated total probability of detection over the campaign,
+        in (0, 1).
+    n_targets:
+        Number of victims the campaign will spoof.
+    mean_audit_interval_s, candidate_pool_size:
+        The assumed defender audit process (see
+        :func:`detection_probability`).
+
+    Returns the exposure cap in seconds; feed it into
+    :class:`repro.core.windows.StealthPolicy`.
+    """
+    risk_budget = check_probability("risk_budget", risk_budget)
+    if not 0.0 < risk_budget < 1.0:
+        raise ValueError(f"risk_budget must be in (0, 1), got {risk_budget}")
+    if n_targets < 1:
+        raise ValueError(f"n_targets must be >= 1, got {n_targets}")
+    check_positive("mean_audit_interval_s", mean_audit_interval_s)
+    check_positive("candidate_pool_size", candidate_pool_size)
+    per_target = risk_budget / n_targets
+    return -mean_audit_interval_s * candidate_pool_size * math.log(1.0 - per_target)

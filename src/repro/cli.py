@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library's main entry points so a downstream user
+can see the system work before writing any code:
+
+* ``quickstart`` — one attack campaign with the full detector suite;
+* ``testbed`` — the bench campaign and the headline-claim verdict;
+* ``superposition`` — the Section II phase sweep as a table;
+* ``params`` — the default simulation parameter table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Sequence
+
+__all__ = ["build_parser", "main"]
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> int:
+    from repro import CsaAttacker, ScenarioConfig, WrsnSimulation
+    from repro.analysis.metrics import attack_metrics
+    from repro.detection import default_detector_suite
+
+    cfg = ScenarioConfig(
+        node_count=args.nodes, key_count=args.key_nodes, horizon_days=args.days
+    )
+    sim = WrsnSimulation(
+        cfg.build_network(seed=args.seed),
+        cfg.build_charger(),
+        CsaAttacker(key_count=cfg.key_count),
+        detectors=default_detector_suite(args.seed),
+        horizon_s=cfg.horizon_s,
+    )
+    metrics = attack_metrics(sim.run())
+    print(
+        f"exhausted {metrics.exhausted_key_count}/{metrics.key_count} key nodes "
+        f"({metrics.exhausted_key_ratio:.0%}) over {args.days:.0f} days"
+    )
+    print(f"spoofed services: {metrics.spoof_services}; "
+          f"genuine cover services: {metrics.genuine_services}")
+    if metrics.detected:
+        print(f"DETECTED at t = {metrics.detection_time_s / 3600:.1f} h")
+    else:
+        print("detected: no")
+    return 0
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.testbed import run_testbed
+
+    summary = run_testbed(trial_count=args.trials)
+    for trial in summary.trials:
+        print(
+            f"trial {trial.seed:>2}: {trial.exhausted_key_count}/"
+            f"{trial.key_count} exhausted, "
+            f"{'DETECTED' if trial.detected else 'undetected'}"
+        )
+    print(f"mean exhausted ratio: {summary.mean_exhausted_ratio:.0%}; "
+          f"detections: {summary.detection_count}/{args.trials}")
+    print("headline claim: "
+          + ("HOLDS" if summary.headline_claim_holds else "FAILS"))
+    return 0 if summary.headline_claim_holds else 1
+
+
+def _cmd_superposition(args: argparse.Namespace) -> int:
+    from repro.em.superposition import fit_two_wave_model, superposition_sweep
+
+    offsets = [i * 2.0 * math.pi / (args.points - 1) for i in range(args.points)]
+    sweep = superposition_sweep(offsets, wave_power_w=args.power_mw * 1e-3)
+    print(f"{'phase/pi':>9} {'coherent_mW':>12} {'harvested_mW':>13}")
+    for dphi, rf, dc in zip(offsets, sweep["rf_power"], sweep["harvested"]):
+        print(f"{dphi / math.pi:>9.2f} {rf * 1e3:>12.3f} {dc * 1e3:>13.3f}")
+    fit = fit_two_wave_model(sweep["phase_offsets"], sweep["rf_power"])
+    print(f"fit: {fit.p_sum * 1e3:.3f} + {fit.p_cross * 1e3:.3f} cos(dphi) mW, "
+          f"r^2 = {fit.r_squared:.4f}")
+    return 0
+
+
+def _cmd_params(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import format_table
+    from repro.sim.scenario import ScenarioConfig
+
+    print(
+        format_table(
+            ["parameter", "value"],
+            list(ScenarioConfig().parameter_rows()),
+            title="Default simulation parameters",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Are You Really Charging Me?' (ICDCS 2022): "
+            "the Charging Spoofing Attack on WRSNs."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quick = sub.add_parser("quickstart", help="run one attack campaign")
+    quick.add_argument("--nodes", type=int, default=100)
+    quick.add_argument("--key-nodes", type=int, default=10)
+    quick.add_argument("--days", type=float, default=42.0)
+    quick.add_argument("--seed", type=int, default=1)
+    quick.set_defaults(func=_cmd_quickstart)
+
+    bench = sub.add_parser("testbed", help="run the bench campaign")
+    bench.add_argument("--trials", type=int, default=20)
+    bench.set_defaults(func=_cmd_testbed)
+
+    sweep = sub.add_parser("superposition", help="print the phase sweep")
+    sweep.add_argument("--points", type=int, default=25)
+    sweep.add_argument("--power-mw", type=float, default=10.0)
+    sweep.set_defaults(func=_cmd_superposition)
+
+    params = sub.add_parser("params", help="print the parameter table")
+    params.set_defaults(func=_cmd_params)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""The paper's primary contribution: TIDE and the CSA algorithm.
+
+* :mod:`repro.core.tide` — the charging uTility optImization problem with
+  key noDe timE window constraints: instances, routes, feasibility and
+  evaluation.
+* :mod:`repro.core.windows` — deriving each key node's stealthy service
+  window from network state and the detection environment.
+* :mod:`repro.core.utility` — monotone (sub)modular attack utilities.
+* :mod:`repro.core.csa` — the CSA approximation algorithm.
+* :mod:`repro.core.optimal` — exact solvers for small instances.
+* :mod:`repro.core.baselines` — attack-planning baselines.
+* :mod:`repro.core.bounds` — the bounded performance guarantee.
+"""
+
+from repro.core.baselines import (
+    EdfPlanner,
+    GreedyWeightPlanner,
+    NearestFirstPlanner,
+    Planner,
+    RandomPlanner,
+    TspPlanner,
+)
+from repro.core.bounds import (
+    GREEDY_GUARANTEE,
+    GuaranteeCertificate,
+    check_guarantee,
+    empirical_ratio,
+)
+from repro.core.csa import CsaPlanner
+from repro.core.improvement import improve_plan, improve_route
+from repro.core.optimal import solve_tide_bruteforce, solve_tide_exact
+from repro.core.tide import (
+    RouteEvaluation,
+    TideInstance,
+    TidePlan,
+    TideTarget,
+    VisitSchedule,
+    evaluate_route,
+    latest_start_schedule,
+)
+from repro.core.utility import CoverageUtility, ModularUtility, Utility
+from repro.core.windows import StealthPolicy, derive_targets
+
+__all__ = [
+    "CoverageUtility",
+    "CsaPlanner",
+    "EdfPlanner",
+    "GREEDY_GUARANTEE",
+    "GreedyWeightPlanner",
+    "GuaranteeCertificate",
+    "ModularUtility",
+    "NearestFirstPlanner",
+    "Planner",
+    "RandomPlanner",
+    "RouteEvaluation",
+    "StealthPolicy",
+    "TideInstance",
+    "TidePlan",
+    "TideTarget",
+    "TspPlanner",
+    "Utility",
+    "VisitSchedule",
+    "check_guarantee",
+    "derive_targets",
+    "empirical_ratio",
+    "evaluate_route",
+    "improve_plan",
+    "improve_route",
+    "latest_start_schedule",
+    "solve_tide_bruteforce",
+    "solve_tide_exact",
+]

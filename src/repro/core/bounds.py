@@ -1,0 +1,89 @@
+"""The bounded performance guarantee of CSA.
+
+The paper's theoretical analysis establishes that CSA's utility is within
+a constant factor of optimal.  The reconstructed guarantee is the
+classic one for cost-benefit greedy + best-single under a budget with a
+monotone submodular objective (Khuller-Moss-Naor, adapted to routes)::
+
+    U(CSA) >= (1 - 1/e) / 2 * U(OPT)   ~=   0.3161 * U(OPT)
+
+This module exposes the constant, utilities to measure the empirical
+ratio against the exact solver, and a certificate object the benchmark
+(EXP-08) and tests use to assert that every observed instance respects
+the bound — with the empirical ratios typically far above it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tide import TideInstance, TidePlan
+
+__all__ = [
+    "GREEDY_GUARANTEE",
+    "GuaranteeCertificate",
+    "check_guarantee",
+    "empirical_ratio",
+]
+
+GREEDY_GUARANTEE = 0.5 * (1.0 - 1.0 / math.e)
+"""The approximation factor of CSA: (1 - 1/e) / 2 ≈ 0.3161."""
+
+
+def empirical_ratio(algorithm_utility: float, optimal_utility: float) -> float:
+    """Observed approximation ratio ``alg / opt``.
+
+    Defined as 1.0 when the optimum is zero (nothing to approximate).
+    """
+    if optimal_utility < 0.0 or algorithm_utility < 0.0:
+        raise ValueError("utilities must be non-negative")
+    if optimal_utility == 0.0:
+        return 1.0
+    return algorithm_utility / optimal_utility
+
+
+@dataclass(frozen=True)
+class GuaranteeCertificate:
+    """One instance's evidence for (or against) the guarantee.
+
+    Attributes
+    ----------
+    ratio:
+        Observed ``U(CSA) / U(OPT)``.
+    holds:
+        Whether the observed ratio meets :data:`GREEDY_GUARANTEE` (with a
+        small numerical slack).
+    csa_utility, optimal_utility:
+        The raw utilities.
+    n_targets:
+        Instance size, for aggregation.
+    """
+
+    ratio: float
+    holds: bool
+    csa_utility: float
+    optimal_utility: float
+    n_targets: int
+
+
+def check_guarantee(
+    instance: TideInstance,
+    csa_plan: TidePlan,
+    optimal_plan: TidePlan,
+    slack: float = 1e-9,
+) -> GuaranteeCertificate:
+    """Certify one instance against the theoretical bound.
+
+    ``slack`` absorbs floating-point noise only; it must not paper over a
+    genuine violation.
+    """
+    ratio = empirical_ratio(csa_plan.utility, optimal_plan.utility)
+    holds = ratio + slack >= GREEDY_GUARANTEE or optimal_plan.utility == 0.0
+    return GuaranteeCertificate(
+        ratio=ratio,
+        holds=holds,
+        csa_utility=csa_plan.utility,
+        optimal_utility=optimal_plan.utility,
+        n_targets=len(instance.targets),
+    )

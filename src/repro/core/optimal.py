@@ -1,0 +1,178 @@
+"""Exact TIDE solvers for small instances.
+
+Used to measure CSA's empirical approximation ratio (EXP-08) and to
+cross-validate the greedy in tests.  Two solvers:
+
+* :func:`solve_tide_bruteforce` — enumerate every ordered subset; the
+  ground truth for tiny instances (n <= 8) and the oracle the DP solver
+  is itself tested against.
+* :func:`solve_tide_exact` — Held-Karp-style dynamic programming over
+  (visited-set, last-target) states with Pareto label sets over the two
+  resources (finish time, consumed energy).  A label ``(t, e)`` dominates
+  ``(t', e')`` iff ``t <= t'`` and ``e <= e'``; dominated labels can never
+  complete a route the dominating one cannot, because later legs depend on
+  the past only through time, energy and position.  Practical to ~14
+  targets.
+
+Both maximise the modular (weight-sum) utility — the utility the paper's
+evaluation uses — and return a :class:`~repro.core.tide.TidePlan`.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.core.tide import TideInstance, TidePlan, evaluate_route
+
+__all__ = ["solve_tide_bruteforce", "solve_tide_exact"]
+
+_EPS = 1e-9
+
+
+def solve_tide_bruteforce(
+    instance: TideInstance, max_targets: int = 8
+) -> TidePlan:
+    """Optimal plan by exhaustive enumeration of ordered subsets.
+
+    Factorially expensive; refuses instances with more than
+    ``max_targets`` targets.
+    """
+    ids = instance.target_ids()
+    if len(ids) > max_targets:
+        raise ValueError(
+            f"brute force limited to {max_targets} targets, got {len(ids)}"
+        )
+    best_route: tuple[int, ...] = ()
+    best_eval = evaluate_route(instance, [])
+    best_utility = 0.0
+    for size in range(1, len(ids) + 1):
+        for perm in permutations(ids, size):
+            evaluation = evaluate_route(instance, perm)
+            if evaluation.feasible and evaluation.utility > best_utility + _EPS:
+                best_route = perm
+                best_eval = evaluation
+                best_utility = evaluation.utility
+    return TidePlan(best_route, best_eval, "BruteForce")
+
+
+def _dominates(a: tuple[float, float], b: tuple[float, float]) -> bool:
+    """Whether label ``a`` (time, energy) dominates label ``b``."""
+    return a[0] <= b[0] + _EPS and a[1] <= b[1] + _EPS
+
+
+def _insert_label(
+    labels: list[tuple[float, float, tuple[int, ...]]],
+    candidate: tuple[float, float, tuple[int, ...]],
+) -> bool:
+    """Add ``candidate`` to a Pareto label list; returns True if kept."""
+    cand_key = (candidate[0], candidate[1])
+    for time_, energy_, _route in labels:
+        if _dominates((time_, energy_), cand_key):
+            return False
+    labels[:] = [
+        lbl for lbl in labels if not _dominates(cand_key, (lbl[0], lbl[1]))
+    ]
+    labels.append(candidate)
+    return True
+
+
+def solve_tide_exact(instance: TideInstance, max_targets: int = 14) -> TidePlan:
+    """Optimal plan by Pareto-label dynamic programming.
+
+    State: (bitmask of served targets, index of last target).  Each state
+    keeps the Pareto frontier of (finish time, consumed energy) labels,
+    with the generating route attached for reconstruction.  The optimum is
+    the heaviest mask with any surviving label.
+    """
+    targets = instance.targets
+    n = len(targets)
+    if n > max_targets:
+        raise ValueError(
+            f"exact DP limited to {max_targets} targets, got {n} "
+            "(use CSA for larger instances)"
+        )
+    if n == 0:
+        return TidePlan((), evaluate_route(instance, []), "ExactDP")
+
+    weights = [t.weight for t in targets]
+
+    # labels[(mask, last)] -> list of (finish_time, energy, route)
+    labels: dict[tuple[int, int], list[tuple[float, float, tuple[int, ...]]]] = {}
+
+    def try_extend(
+        mask: int,
+        position_index: int | None,
+        time_: float,
+        energy_: float,
+        route: tuple[int, ...],
+        next_index: int,
+    ) -> None:
+        target = targets[next_index]
+        if position_index is None:
+            origin = instance.start_position
+        else:
+            origin = targets[position_index].position
+        leg = origin.distance_to(target.position)
+        arrival = time_ + leg / instance.speed_m_s
+        service_start = max(arrival, target.window_start)
+        if service_start > target.window_end + _EPS:
+            return
+        new_energy = (
+            energy_
+            + leg * instance.travel_cost_j_per_m
+            + target.service_energy_j
+        )
+        if new_energy > instance.energy_budget_j + _EPS:
+            return
+        finish = service_start + target.service_duration
+        new_mask = mask | (1 << next_index)
+        key = (new_mask, next_index)
+        _insert_label(
+            labels.setdefault(key, []),
+            (finish, new_energy, route + (target.node_id,)),
+        )
+
+    # Seed with single-target routes.
+    for i in range(n):
+        try_extend(0, None, instance.start_time, 0.0, (), i)
+
+    # Expand masks in increasing popcount so every predecessor is final.
+    by_popcount: dict[int, list[tuple[int, int]]] = {}
+    processed: set[tuple[int, int]] = set()
+    frontier = sorted(labels.keys())
+    while frontier:
+        by_popcount.clear()
+        for key in frontier:
+            by_popcount.setdefault(bin(key[0]).count("1"), []).append(key)
+        next_frontier: list[tuple[int, int]] = []
+        for popcount in sorted(by_popcount):
+            for key in by_popcount[popcount]:
+                if key in processed:
+                    continue
+                processed.add(key)
+                mask, last = key
+                for time_, energy_, route in list(labels.get(key, [])):
+                    for nxt in range(n):
+                        if mask & (1 << nxt):
+                            continue
+                        before = len(labels.get((mask | (1 << nxt), nxt), []))
+                        try_extend(mask, last, time_, energy_, route, nxt)
+                        after_key = (mask | (1 << nxt), nxt)
+                        if len(labels.get(after_key, [])) != before:
+                            if after_key not in processed:
+                                next_frontier.append(after_key)
+        frontier = sorted(set(next_frontier))
+
+    best_route: tuple[int, ...] = ()
+    best_weight = 0.0
+    for (mask, _last), lbls in labels.items():
+        if not lbls:
+            continue
+        weight = sum(weights[i] for i in range(n) if mask & (1 << i))
+        if weight > best_weight + _EPS:
+            best_weight = weight
+            # Any label of the mask serves the same set; take the earliest.
+            best_route = min(lbls)[2]
+    evaluation = evaluate_route(instance, best_route)
+    assert evaluation.feasible, "exact DP produced an infeasible route"
+    return TidePlan(best_route, evaluation, "ExactDP")

@@ -1,0 +1,330 @@
+"""The TIDE problem: charging uTility optImization with key noDe timE
+window constraints.
+
+An instance fixes the attacker's situation at planning time: a set of key
+node *targets*, each with a positive weight (its criticality), a required
+spoof-service duration (the time a genuine charge of the same deficit
+would take — parking for less would betray the spoof), an emission energy
+cost, and a **time window on the service start**.  The window encodes
+stealth: starting earlier than ``window_start`` would mean visiting a node
+that has not requested charging (or leaving the victim exposed to energy
+audits for too long); starting later than ``window_end`` would let the
+victim die during or suspiciously soon after the visit.
+
+A solution is an open route: an ordered subset of targets.  The charger
+departs its start position at the start time, drives at constant speed,
+may wait (free) for a window to open, must begin each service inside the
+target's window, and must fund all travel and emission from its energy
+budget.  The objective is the total weight of the targets served.
+
+TIDE contains the Orienteering Problem with Time Windows (set all service
+durations and energies so only travel binds), hence is NP-hard, which is
+why the paper resorts to the CSA approximation algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.utils.geometry import Point
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "RouteEvaluation",
+    "TideInstance",
+    "TidePlan",
+    "TideTarget",
+    "VisitSchedule",
+    "evaluate_route",
+    "latest_start_schedule",
+]
+
+_TIME_EPS = 1e-6
+"""Slack tolerated on window comparisons, absorbing float accumulation."""
+
+
+@dataclass(frozen=True)
+class TideTarget:
+    """One key node the attacker may choose to exhaust.
+
+    Attributes
+    ----------
+    node_id:
+        The victim's network identifier.
+    weight:
+        Criticality weight — the utility of exhausting this node.
+    position:
+        Where the charger must park to serve it.
+    window_start, window_end:
+        Earliest and latest *service start* times keeping the visit
+        stealthy.  ``window_start <= window_end``.
+    service_duration:
+        Seconds the spoof must radiate to mimic a genuine recharge.
+    service_energy_j:
+        Emission energy of the service.
+    request_time, death_time:
+        Underlying network predictions the window was derived from
+        (diagnostics; not used by feasibility).
+    """
+
+    node_id: int
+    weight: float
+    position: Point
+    window_start: float
+    window_end: float
+    service_duration: float
+    service_energy_j: float
+    request_time: float = 0.0
+    death_time: float = float("inf")
+
+    def __post_init__(self) -> None:
+        check_positive("weight", self.weight)
+        check_non_negative("service_duration", self.service_duration)
+        check_non_negative("service_energy_j", self.service_energy_j)
+        if self.window_end < self.window_start:
+            raise ValueError(
+                f"target {self.node_id}: window_end {self.window_end} precedes "
+                f"window_start {self.window_start}"
+            )
+
+    @property
+    def window_width(self) -> float:
+        """Seconds of slack on the service start."""
+        return self.window_end - self.window_start
+
+
+@dataclass(frozen=True)
+class TideInstance:
+    """A complete TIDE planning problem.
+
+    Attributes
+    ----------
+    targets:
+        Candidate key nodes.  Node ids must be unique.
+    start_position, start_time:
+        Charger state at planning time.
+    energy_budget_j:
+        Energy available for travel plus emission.
+    speed_m_s, travel_cost_j_per_m:
+        Charger locomotion parameters.
+    """
+
+    targets: tuple[TideTarget, ...]
+    start_position: Point
+    start_time: float
+    energy_budget_j: float
+    speed_m_s: float = 5.0
+    travel_cost_j_per_m: float = 50.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("energy_budget_j", self.energy_budget_j)
+        check_positive("speed_m_s", self.speed_m_s)
+        check_non_negative("travel_cost_j_per_m", self.travel_cost_j_per_m)
+        by_id = {t.node_id: t for t in self.targets}
+        if len(by_id) != len(self.targets):
+            raise ValueError("target node ids must be unique")
+        # Frozen dataclass: install the lookup index via object.__setattr__.
+        object.__setattr__(self, "_by_id", by_id)
+
+    def target(self, node_id: int) -> TideTarget:
+        """The target with the given node id."""
+        try:
+            return self._by_id[node_id]  # type: ignore[attr-defined]
+        except KeyError:
+            raise KeyError(f"no target with node id {node_id}") from None
+
+    def target_ids(self) -> list[int]:
+        """All candidate node ids, in declaration order."""
+        return [t.node_id for t in self.targets]
+
+    def total_weight(self) -> float:
+        """Utility upper bound: the weight of serving everything."""
+        return sum(t.weight for t in self.targets)
+
+
+@dataclass(frozen=True)
+class VisitSchedule:
+    """Timing of one visit within an evaluated route."""
+
+    node_id: int
+    arrival: float
+    service_start: float
+    departure: float
+
+    @property
+    def waiting(self) -> float:
+        """Idle seconds between arrival and the window opening."""
+        return self.service_start - self.arrival
+
+
+@dataclass(frozen=True)
+class RouteEvaluation:
+    """Feasibility, schedule and cost of a candidate route.
+
+    ``utility`` is the modular (weight-sum) utility; planners optimising a
+    different utility object recompute value from ``served_ids``.
+    """
+
+    feasible: bool
+    visits: tuple[VisitSchedule, ...]
+    utility: float
+    energy_j: float
+    finish_time: float
+    infeasible_reason: str | None = None
+
+    def served_ids(self) -> frozenset[int]:
+        """Node ids served by this route (empty when infeasible)."""
+        if not self.feasible:
+            return frozenset()
+        return frozenset(v.node_id for v in self.visits)
+
+
+def evaluate_route(
+    instance: TideInstance, route: Sequence[int]
+) -> RouteEvaluation:
+    """Schedule a route and check every TIDE constraint.
+
+    The charger departs ``start_position`` at ``start_time``, drives
+    between consecutive targets, waits (free of charge) when early, and
+    must start each service within its target's window.  Returns an
+    infeasible evaluation — with a human-readable reason — at the first
+    violated constraint.
+
+    Duplicated node ids in the route are rejected: spoofing a node twice
+    is meaningless (it is dead or fully "charged" after the first visit).
+    """
+    if len(set(route)) != len(route):
+        return RouteEvaluation(
+            feasible=False,
+            visits=(),
+            utility=0.0,
+            energy_j=0.0,
+            finish_time=instance.start_time,
+            infeasible_reason="route visits a node more than once",
+        )
+
+    position = instance.start_position
+    clock = instance.start_time
+    energy = 0.0
+    utility = 0.0
+    visits: list[VisitSchedule] = []
+
+    for node_id in route:
+        target = instance.target(node_id)
+        leg = position.distance_to(target.position)
+        arrival = clock + leg / instance.speed_m_s
+        energy += leg * instance.travel_cost_j_per_m
+        service_start = max(arrival, target.window_start)
+        if service_start > target.window_end + _TIME_EPS:
+            return RouteEvaluation(
+                feasible=False,
+                visits=tuple(visits),
+                utility=0.0,
+                energy_j=energy,
+                finish_time=arrival,
+                infeasible_reason=(
+                    f"node {node_id}: arrival {arrival:.0f}s misses window "
+                    f"[{target.window_start:.0f}, {target.window_end:.0f}]"
+                ),
+            )
+        departure = service_start + target.service_duration
+        energy += target.service_energy_j
+        if energy > instance.energy_budget_j + _TIME_EPS:
+            return RouteEvaluation(
+                feasible=False,
+                visits=tuple(visits),
+                utility=0.0,
+                energy_j=energy,
+                finish_time=departure,
+                infeasible_reason=(
+                    f"node {node_id}: cumulative energy {energy:.0f} J exceeds "
+                    f"budget {instance.energy_budget_j:.0f} J"
+                ),
+            )
+        visits.append(
+            VisitSchedule(
+                node_id=node_id,
+                arrival=arrival,
+                service_start=service_start,
+                departure=departure,
+            )
+        )
+        utility += target.weight
+        position = target.position
+        clock = departure
+
+    return RouteEvaluation(
+        feasible=True,
+        visits=tuple(visits),
+        utility=utility,
+        energy_j=energy,
+        finish_time=clock,
+    )
+
+
+def latest_start_schedule(
+    instance: TideInstance, route: Sequence[int]
+) -> list[float]:
+    """Latest feasible service-start time for each visit of a feasible route.
+
+    A feasible route evaluated by :func:`evaluate_route` serves every
+    target as *early* as possible.  For the attacker, early is bad: the
+    longer a spoofed victim lingers alive, the longer the defender can
+    spot-audit it.  This backward recursion pushes every service as late
+    as its own window and the downstream visits allow::
+
+        s_last = window_end_last
+        s_k    = min(window_end_k, s_{k+1} - travel(k, k+1) - duration_k)
+
+    The returned starts are pointwise >= the eager schedule's, keep the
+    exact same visiting order and energy cost, and remain feasible.
+
+    Raises ``ValueError`` if the route is not feasible to begin with.
+    """
+    evaluation = evaluate_route(instance, route)
+    if not evaluation.feasible:
+        raise ValueError(
+            f"latest_start_schedule needs a feasible route: "
+            f"{evaluation.infeasible_reason}"
+        )
+    if not route:
+        return []
+    targets = [instance.target(node_id) for node_id in route]
+    latest = [0.0] * len(route)
+    latest[-1] = targets[-1].window_end
+    for k in range(len(route) - 2, -1, -1):
+        leg = targets[k].position.distance_to(targets[k + 1].position)
+        slack_limit = (
+            latest[k + 1]
+            - leg / instance.speed_m_s
+            - targets[k].service_duration
+        )
+        latest[k] = min(targets[k].window_end, slack_limit)
+    # Never earlier than the eager schedule (which is feasible), so the
+    # result is feasible too.
+    eager = [v.service_start for v in evaluation.visits]
+    return [max(l, e) for l, e in zip(latest, eager)]
+
+
+@dataclass(frozen=True)
+class TidePlan:
+    """A planner's answer: the chosen route and its evaluation."""
+
+    route: tuple[int, ...]
+    evaluation: RouteEvaluation
+    planner_name: str
+
+    def __post_init__(self) -> None:
+        if not self.evaluation.feasible and self.route:
+            raise ValueError("a TidePlan must wrap a feasible evaluation")
+
+    @property
+    def utility(self) -> float:
+        """Modular utility of the plan."""
+        return self.evaluation.utility
+
+    @property
+    def served(self) -> frozenset[int]:
+        """Node ids the plan exhausts."""
+        return self.evaluation.served_ids()

@@ -1,0 +1,145 @@
+"""Deriving stealthy service windows from network state.
+
+For a key node ``i`` with predicted charging-request time ``r_i`` and
+predicted death time ``d_i``, a spoofed service of duration ``tau_i`` that
+starts at ``s`` is stealthy only if all three hold:
+
+1. **Legitimacy** — ``s >= r_i``: the node must have asked for a charge,
+   otherwise the visit itself is anomalous (the benign scheduler only
+   dispatches the charger to requesters).
+2. **Grace** — ``s + tau_i <= d_i - grace``: the victim must not die
+   during, or within the defender's death-after-charge grace period of,
+   the service; a "freshly charged" node dropping dead is the loudest
+   possible alarm.
+3. **Exposure** — ``d_i - (s + tau_i) <= exposure_cap``: between the end
+   of the fake charge and the victim's death, the base station may spot-
+   audit the node's true voltage and unmask the spoof; the attacker caps
+   this exposure.
+
+Constraints 2 and 3 pull in opposite directions, pinning the service into
+a genuine two-sided window::
+
+    s in [ max(r_i, d_i - tau_i - exposure_cap),  d_i - tau_i - grace ]
+
+The window is empty when ``exposure_cap < grace`` or when the node's
+remaining life is too short to fit the service plus the grace period — in
+which case the node simply cannot be exhausted stealthily and is dropped
+from the instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.tide import TideTarget
+from repro.mc.charger import ChargingHardware
+from repro.network.network import Network
+from repro.network.requests import predict_request
+from repro.utils.validation import check_non_negative
+
+__all__ = ["StealthPolicy", "derive_targets"]
+
+
+@dataclass(frozen=True)
+class StealthPolicy:
+    """The attacker's stealth requirements.
+
+    Parameters
+    ----------
+    grace_period_s:
+        Minimum seconds between the end of a (fake) charge and the
+        victim's death.  Default 3 hours — strictly above the defender's
+        default 2-hour death-after-charge window, because landing exactly
+        on the detector's boundary is detection, not stealth.
+    exposure_cap_s:
+        Maximum seconds the victim may linger, spoofed but alive, exposed
+        to voltage spot-audits.  Default 6 hours (size it with
+        :func:`repro.attack.stealth.exposure_cap_for_risk` for a specific
+        audit intensity).  ``math.inf`` disables the exposure constraint
+        (an audit-blind attacker).
+    """
+
+    grace_period_s: float = 10_800.0
+    exposure_cap_s: float = 21_600.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("grace_period_s", self.grace_period_s)
+        if not math.isinf(self.exposure_cap_s):
+            check_non_negative("exposure_cap_s", self.exposure_cap_s)
+        elif self.exposure_cap_s < 0:
+            raise ValueError("exposure_cap_s must be >= 0")
+        if self.exposure_cap_s < self.grace_period_s:
+            raise ValueError(
+                "exposure_cap_s must be >= grace_period_s, or every window "
+                f"is empty (got cap {self.exposure_cap_s} < grace "
+                f"{self.grace_period_s})"
+            )
+
+    @classmethod
+    def audit_blind(cls, grace_period_s: float = 10_800.0) -> "StealthPolicy":
+        """A policy ignoring voltage audits (exposure unconstrained)."""
+        return cls(grace_period_s=grace_period_s, exposure_cap_s=math.inf)
+
+    @classmethod
+    def none(cls) -> "StealthPolicy":
+        """No stealth at all: the only constraint is physics.
+
+        The service must still start after the request (before it, the
+        node has no deficit worth spoofing) and finish before death.
+        """
+        return cls(grace_period_s=0.0, exposure_cap_s=math.inf)
+
+
+def derive_targets(
+    network: Network,
+    hardware: ChargingHardware,
+    policy: StealthPolicy,
+    now: float,
+) -> list[TideTarget]:
+    """Stealthy TIDE targets for the network's current key nodes.
+
+    For each annotated key node, predicts its request and death times at
+    the current draw, sizes the spoof service to the deficit a genuine
+    charge would cover, and intersects the three stealth constraints into
+    a service-start window.  Nodes whose window is empty or already past
+    are omitted — they cannot be exhausted stealthily from ``now``.
+
+    Returns targets ordered by ``window_end`` (most urgent first), a
+    convenient default for planners and humans alike.
+    """
+    targets: list[TideTarget] = []
+    for info in network.key_nodes:
+        node = network.nodes[info.node_id]
+        if not node.alive:
+            continue
+        request = predict_request(node)
+        if request is None:
+            continue
+        duration = hardware.service_duration_for(request.energy_needed_j)
+        service_energy = hardware.emission_w * duration
+
+        death = request.deadline
+        latest = death - duration - policy.grace_period_s
+        if math.isinf(policy.exposure_cap_s):
+            earliest = request.time
+        else:
+            earliest = max(request.time, death - duration - policy.exposure_cap_s)
+        earliest = max(earliest, now)
+        if latest < earliest:
+            continue
+        targets.append(
+            TideTarget(
+                node_id=info.node_id,
+                weight=info.weight,
+                position=node.position,
+                window_start=earliest,
+                window_end=latest,
+                service_duration=duration,
+                service_energy_j=service_energy,
+                request_time=request.time,
+                death_time=death,
+            )
+        )
+    targets.sort(key=lambda t: (t.window_end, t.node_id))
+    return targets

@@ -1,0 +1,47 @@
+"""Defender substrate: base-station detectors against charging anomalies.
+
+The abstract claims CSA exhausts key nodes *without being detected*; to
+make that claim falsifiable this package implements the natural detectors
+a WRSN base station would run (reconstruction R5 in DESIGN.md):
+
+* :class:`DeathAfterChargeAuditor` — a node dying during, or within a
+  grace period of, a completed charge is flagged.
+* :class:`RandomVoltageAuditor` — Poisson spot-audits compare a recently
+  charged node's true energy against its reported belief.
+* :class:`TrajectoryAnomalyDetector` — the charger's service claims must
+  be reflected in the victim's own telemetry.
+* :class:`NeglectMonitor` — too many requesters dying unserved means the
+  charger is not doing its job.
+
+Naive attacks trip one or more of these; CSA's time-window constraints
+exist precisely to evade the first two, and its emission + cover traffic
+evade the last two.
+"""
+
+from repro.detection.auditors import (
+    DeathAfterChargeAuditor,
+    NeglectMonitor,
+    RandomVoltageAuditor,
+    TrajectoryAnomalyDetector,
+    default_detector_suite,
+)
+from repro.detection.countermeasures import ChargeVerificationDefense
+from repro.detection.metrics import (
+    DetectionSummary,
+    detection_rate,
+    summarize_detections,
+)
+from repro.detection.monitors import Detector
+
+__all__ = [
+    "ChargeVerificationDefense",
+    "DeathAfterChargeAuditor",
+    "DetectionSummary",
+    "Detector",
+    "NeglectMonitor",
+    "RandomVoltageAuditor",
+    "TrajectoryAnomalyDetector",
+    "default_detector_suite",
+    "detection_rate",
+    "summarize_detections",
+]

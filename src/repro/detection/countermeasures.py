@@ -1,0 +1,93 @@
+"""Defensive countermeasures against charging spoofing.
+
+The base detectors in :mod:`repro.detection.auditors` are behavioural:
+they reason about deaths, telemetry and claims.  This module adds the
+*physical-layer* defence the attack family motivates as future work —
+in-service harvest verification:
+
+**Charge probing.**  During a charging session the node briefly perturbs
+its own receive chain (detunes the rectenna's matching network or
+switches to a secondary antenna a few centimetres away) and checks that
+the harvested power *tracks the perturbation* the way a genuine
+beamformed field would.  A null-steered field fails the check trivially
+— there is no harvested power to track.  Probing needs extra RF hardware
+and consumes energy, so real deployments would enable it on a fraction
+of services; :class:`ChargeVerificationDefense` models that fraction.
+
+A spoofed service that is probed is caught *during the service*, not
+hours later — this is the defence that actually closes the attack, and
+experiment EXT-02 quantifies the probe rate it takes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.detection.monitors import Detector
+from repro.sim.events import DetectionRaised, ServiceCompleted
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["ChargeVerificationDefense"]
+
+
+class ChargeVerificationDefense(Detector):
+    """In-service harvest probing on a random fraction of services.
+
+    Parameters
+    ----------
+    probe_rate:
+        Probability that any given charging service is probed.  Probing
+        hardware is assumed on every node; the rate models its duty
+        cycle (energy cost).
+    mismatch_ratio:
+        The probe flags the service when the measured harvest is below
+        this fraction of the charger's claimed delivery rate.
+    seed:
+        Probe-scheduling randomness.
+
+    The probe measures ground truth *during* the service, so unlike the
+    telemetry detectors it cannot be fooled by the victim's own spoofed
+    belief: ``delivered_j`` (what the battery actually gained) is
+    compared against ``claimed_j`` directly.
+    """
+
+    name = "charge-verification"
+
+    def __init__(
+        self,
+        probe_rate: float = 0.25,
+        mismatch_ratio: float = 0.5,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        super().__init__()
+        self.probe_rate = check_probability("probe_rate", probe_rate)
+        self.mismatch_ratio = check_probability("mismatch_ratio", mismatch_ratio)
+        if isinstance(seed, np.random.Generator):
+            self._rng = seed
+        else:
+            self._rng = make_rng(int(seed), "charge-verification")
+        self.probes_run = 0
+
+    def observe_service(
+        self, event: ServiceCompleted, sim: "WrsnSimulation"
+    ) -> DetectionRaised | None:
+        if event.claimed_j <= 0.0:
+            return None
+        if float(self._rng.random()) >= self.probe_rate:
+            return None
+        self.probes_run += 1
+        if event.delivered_j < self.mismatch_ratio * event.claimed_j:
+            return self._raise(
+                event.time,
+                f"in-service probe at node {event.node_id}: charger claims "
+                f"{event.claimed_j:.0f} J but the rectenna harvested "
+                f"{event.delivered_j:.0f} J",
+                node_id=event.node_id,
+            )
+        return None

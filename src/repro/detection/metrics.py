@@ -1,0 +1,70 @@
+"""Detection-side metrics across repeated trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["DetectionSummary", "detection_rate", "summarize_detections"]
+
+
+@dataclass(frozen=True)
+class DetectionSummary:
+    """Aggregate detection statistics over a batch of runs.
+
+    Attributes
+    ----------
+    trials:
+        Number of runs observed.
+    detected:
+        Runs in which at least one detector fired.
+    rate:
+        ``detected / trials``.
+    mean_time_to_detection_s:
+        Mean first-alarm time over the detected runs (``None`` when no
+        run was detected).
+    by_detector:
+        Detector name → number of runs in which it fired first.
+    """
+
+    trials: int
+    detected: int
+    rate: float
+    mean_time_to_detection_s: float | None
+    by_detector: dict[str, int]
+
+
+def detection_rate(outcomes: Iterable[bool]) -> float:
+    """Fraction of trials in which the attack was detected."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("no trials to summarise")
+    return sum(1 for o in outcomes if o) / len(outcomes)
+
+
+def summarize_detections(
+    first_alarms: Sequence[tuple[str, float] | None],
+) -> DetectionSummary:
+    """Summarise per-run first alarms.
+
+    Parameters
+    ----------
+    first_alarms:
+        One entry per run: ``(detector_name, time)`` of the first alarm,
+        or ``None`` for an undetected run.
+    """
+    trials = len(first_alarms)
+    if trials == 0:
+        raise ValueError("no trials to summarise")
+    hits = [a for a in first_alarms if a is not None]
+    by_detector: dict[str, int] = {}
+    for name, _time in hits:
+        by_detector[name] = by_detector.get(name, 0) + 1
+    mean_time = sum(t for _n, t in hits) / len(hits) if hits else None
+    return DetectionSummary(
+        trials=trials,
+        detected=len(hits),
+        rate=len(hits) / trials,
+        mean_time_to_detection_s=mean_time,
+        by_detector=by_detector,
+    )

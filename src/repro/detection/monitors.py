@@ -1,0 +1,96 @@
+"""Detector framework.
+
+A detector is a stateful observer of the simulation trace plus, for the
+sampling auditors, a source of scheduled audit times.  Observation hooks
+return a :class:`~repro.sim.events.DetectionRaised` record when (and only
+when) the detector concludes the charger is malicious; the simulation
+traces it and, optionally, halts.
+
+Detectors never see ground truth they could not plausibly have: they see
+service *claims*, node *telemetry* (believed energy), deaths, and — only
+inside an explicit audit — a node's true voltage.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import TYPE_CHECKING
+
+from repro.sim.events import (
+    DetectionRaised,
+    NodeDied,
+    RequestIssued,
+    ServiceCompleted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["AuditOutcome", "Detector"]
+
+
+class AuditOutcome:
+    """Result of one scheduled audit: the audit record and any alarm."""
+
+    def __init__(self, audit=None, detection: DetectionRaised | None = None) -> None:
+        self.audit = audit
+        self.detection = detection
+
+
+class Detector(ABC):
+    """Base class for all base-station detectors.
+
+    Subclasses override the hooks they care about; all hooks default to
+    "no alarm".  ``detected`` latches on the first alarm.
+    """
+
+    name = "detector"
+
+    def __init__(self) -> None:
+        self.detected = False
+        self.detection_time: float | None = None
+        self.detection_reason: str | None = None
+
+    def _raise(
+        self, time: float, reason: str, node_id: int | None = None
+    ) -> DetectionRaised:
+        """Latch the alarm and build the trace record."""
+        if not self.detected:
+            self.detected = True
+            self.detection_time = time
+            self.detection_reason = reason
+        return DetectionRaised(
+            time=time, detector=self.name, reason=reason, node_id=node_id
+        )
+
+    # ------------------------------------------------------------------
+    # Observation hooks
+    # ------------------------------------------------------------------
+    def observe_request(
+        self, event: RequestIssued, sim: "WrsnSimulation"
+    ) -> DetectionRaised | None:
+        """A node asked for charging."""
+        return None
+
+    def observe_service(
+        self, event: ServiceCompleted, sim: "WrsnSimulation"
+    ) -> DetectionRaised | None:
+        """The charger claims to have completed a service."""
+        return None
+
+    def observe_death(
+        self, event: NodeDied, sim: "WrsnSimulation"
+    ) -> DetectionRaised | None:
+        """A node died."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Scheduled audits (sampling detectors only)
+    # ------------------------------------------------------------------
+    def next_audit_time(self, now: float) -> float | None:
+        """When this detector next wants to run an audit (``None`` = never)."""
+        return None
+
+    def perform_audit(self, now: float, sim: "WrsnSimulation") -> AuditOutcome:
+        """Run the scheduled audit; default does nothing."""
+        return AuditOutcome()

@@ -1,0 +1,35 @@
+"""Mobile charger (MC) substrate.
+
+The MC is the vehicle both the benign charging service and the attack run
+on: it has a finite battery spent on locomotion and RF emission, travels
+at constant speed, and charges one node at a time from close range through
+its antenna array.
+"""
+
+from repro.mc.charger import (
+    ChargingHardware,
+    ChargingService,
+    MobileCharger,
+    default_charging_hardware,
+)
+from repro.mc.scheduling import (
+    EdfScheduler,
+    FcfsScheduler,
+    NjnpScheduler,
+    Scheduler,
+)
+from repro.mc.tour import nearest_neighbour_tour, tour_cost, two_opt
+
+__all__ = [
+    "ChargingHardware",
+    "ChargingService",
+    "EdfScheduler",
+    "FcfsScheduler",
+    "MobileCharger",
+    "NjnpScheduler",
+    "Scheduler",
+    "default_charging_hardware",
+    "nearest_neighbour_tour",
+    "tour_cost",
+    "two_opt",
+]

@@ -1,0 +1,104 @@
+"""Benign charging schedulers.
+
+These policies decide which pending charging request the mobile charger
+serves next.  They matter twice over: they define the *normal* behaviour a
+stealthy attacker must imitate, and they provide the no-attack baseline
+for the network-lifetime experiments.
+
+All schedulers share one interface: given the pending requests, the
+charger's position and the current time, pick a request (or ``None`` to
+idle).  Requests whose deadline has passed should be skipped by callers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.network.requests import ChargingRequest
+from repro.utils.geometry import Point
+
+__all__ = ["EdfScheduler", "FcfsScheduler", "NjnpScheduler", "Scheduler"]
+
+
+class Scheduler(ABC):
+    """Strategy interface for picking the next charging request."""
+
+    @abstractmethod
+    def select(
+        self,
+        pending: Sequence[ChargingRequest],
+        position: Point,
+        positions: dict[int, Point],
+        time: float,
+    ) -> ChargingRequest | None:
+        """Choose the next request to serve.
+
+        Parameters
+        ----------
+        pending:
+            Outstanding requests (callers should pre-filter expired ones).
+        position:
+            The charger's current location.
+        positions:
+            Node id → node position, for distance-aware policies.
+        time:
+            Current simulation time.
+        """
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name (class name by default)."""
+        return type(self).__name__
+
+
+class FcfsScheduler(Scheduler):
+    """First come, first served: serve the oldest request."""
+
+    def select(
+        self,
+        pending: Sequence[ChargingRequest],
+        position: Point,
+        positions: dict[int, Point],
+        time: float,
+    ) -> ChargingRequest | None:
+        if not pending:
+            return None
+        return min(pending, key=lambda r: (r.time, r.node_id))
+
+
+class NjnpScheduler(Scheduler):
+    """Nearest job next: serve the spatially closest requester.
+
+    The classic on-demand WRSN policy (NJNP); travel-efficient but can
+    starve far-away nodes.
+    """
+
+    def select(
+        self,
+        pending: Sequence[ChargingRequest],
+        position: Point,
+        positions: dict[int, Point],
+        time: float,
+    ) -> ChargingRequest | None:
+        if not pending:
+            return None
+        return min(
+            pending,
+            key=lambda r: (position.distance_to(positions[r.node_id]), r.node_id),
+        )
+
+
+class EdfScheduler(Scheduler):
+    """Earliest deadline first: serve the requester closest to death."""
+
+    def select(
+        self,
+        pending: Sequence[ChargingRequest],
+        position: Point,
+        positions: dict[int, Point],
+        time: float,
+    ) -> ChargingRequest | None:
+        if not pending:
+            return None
+        return min(pending, key=lambda r: (r.deadline, r.node_id))

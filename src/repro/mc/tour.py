@@ -1,0 +1,98 @@
+"""Tour construction for periodic charging rounds.
+
+Benign periodic chargers and several attack baselines order their visits
+as a travelling-salesman tour.  Optimal TSP is out of scope; nearest
+neighbour plus 2-opt is the standard good-enough pairing in this
+literature.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.utils.geometry import Point, pairwise_distances
+
+__all__ = ["nearest_neighbour_tour", "tour_cost", "two_opt"]
+
+
+def tour_cost(points: Sequence[Point], order: Sequence[int], closed: bool = True) -> float:
+    """Length of the tour visiting ``points`` in the given order."""
+    if len(order) < 2:
+        return 0.0
+    total = sum(
+        points[order[i]].distance_to(points[order[i + 1]])
+        for i in range(len(order) - 1)
+    )
+    if closed:
+        total += points[order[-1]].distance_to(points[order[0]])
+    return total
+
+
+def nearest_neighbour_tour(points: Sequence[Point], start_index: int = 0) -> list[int]:
+    """Greedy nearest-neighbour visiting order over ``points``.
+
+    Starts at ``start_index`` and repeatedly hops to the closest unvisited
+    point.  Deterministic: distance ties break toward the lower index.
+    """
+    n = len(points)
+    if n == 0:
+        return []
+    if not 0 <= start_index < n:
+        raise IndexError(f"start_index {start_index} out of range for {n} points")
+    dists = pairwise_distances(points)
+    unvisited = set(range(n))
+    order = [start_index]
+    unvisited.remove(start_index)
+    current = start_index
+    while unvisited:
+        nxt = min(unvisited, key=lambda j: (dists[current, j], j))
+        order.append(nxt)
+        unvisited.remove(nxt)
+        current = nxt
+    return order
+
+
+def two_opt(
+    points: Sequence[Point],
+    order: Sequence[int],
+    closed: bool = True,
+    max_passes: int = 20,
+) -> list[int]:
+    """2-opt improvement of a visiting order.
+
+    Repeatedly reverses segments whose reversal shortens the tour, until a
+    full pass finds no improvement or ``max_passes`` passes have run.
+    """
+    tour = list(order)
+    n = len(tour)
+    if n < 4:
+        return tour
+    dists = pairwise_distances(points)
+
+    def seg(a: int, b: int) -> float:
+        return float(dists[tour[a], tour[b]])
+
+    for _ in range(max_passes):
+        improved = False
+        # For an open route the final "wrap" edge does not exist.
+        last = n if closed else n - 1
+        for i in range(last - 1):
+            for j in range(i + 2, last):
+                i_next = (i + 1) % n
+                j_next = (j + 1) % n
+                if i == j_next:
+                    continue
+                before = seg(i, i_next) + seg(j, j_next % n) if closed else (
+                    seg(i, i_next) + (seg(j, j_next) if j_next < n else 0.0)
+                )
+                after = seg(i, j) + (
+                    seg(i_next, j_next % n)
+                    if closed
+                    else (seg(i_next, j_next) if j_next < n else 0.0)
+                )
+                if after < before - 1e-12:
+                    tour[i + 1 : j + 1] = reversed(tour[i + 1 : j + 1])
+                    improved = True
+        if not improved:
+            break
+    return tour

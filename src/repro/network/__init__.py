@@ -1,0 +1,50 @@
+"""Wireless rechargeable sensor network (WRSN) substrate.
+
+Models the network the attack is launched against: sensor nodes with
+batteries and data duties, a base station collecting data over a routing
+tree, per-node energy consumption from the first-order radio model,
+on-demand charging requests, and the identification of *key nodes* whose
+exhaustion cripples the network.
+"""
+
+from repro.network.energy import RadioEnergyModel, node_power_w
+from repro.network.keynodes import (
+    KeyNodeInfo,
+    connectivity_impact,
+    identify_key_nodes,
+)
+from repro.network.network import Network, build_network
+from repro.network.node import NodeState, SensorNode
+from repro.network.requests import ChargingRequest, predict_request
+from repro.network.routing import build_routing_tree, subtree_sizes
+from repro.network.topology import (
+    Deployment,
+    communication_graph,
+    deploy_clustered,
+    deploy_grid,
+    deploy_uniform,
+)
+from repro.network.traffic import TrafficModel, relay_loads
+
+__all__ = [
+    "ChargingRequest",
+    "Deployment",
+    "KeyNodeInfo",
+    "Network",
+    "NodeState",
+    "RadioEnergyModel",
+    "SensorNode",
+    "TrafficModel",
+    "build_network",
+    "build_routing_tree",
+    "communication_graph",
+    "connectivity_impact",
+    "deploy_clustered",
+    "deploy_grid",
+    "deploy_uniform",
+    "identify_key_nodes",
+    "node_power_w",
+    "predict_request",
+    "relay_loads",
+    "subtree_sizes",
+]

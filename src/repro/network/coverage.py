@@ -1,0 +1,72 @@
+"""Sensing-coverage metrics.
+
+A WRSN's purpose is to observe its field; "the network still has alive
+nodes" understates the damage when those nodes cluster in one corner.
+Coverage is measured on a regular grid: a grid point is covered when at
+least one *alive, base-station-connected* node senses it (Euclidean
+sensing radius).  The attack's endgame — killing articulation nodes —
+shows up here twice: dead sensors lose their own disks, and stranded
+subtrees stop counting even though their nodes still live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.network import Network
+from repro.utils.validation import check_positive
+
+__all__ = ["coverage_ratio", "covered_fraction_of_points"]
+
+DEFAULT_SENSING_RADIUS_M = 12.0
+"""Default sensing radius: slightly over half the communication range."""
+
+
+def covered_fraction_of_points(
+    points: np.ndarray,
+    sensor_positions: np.ndarray,
+    sensing_radius_m: float,
+) -> float:
+    """Fraction of ``points`` within the radius of any sensor.
+
+    ``points`` is (m, 2), ``sensor_positions`` (n, 2); an empty sensor
+    set covers nothing.
+    """
+    check_positive("sensing_radius_m", sensing_radius_m)
+    if len(points) == 0:
+        raise ValueError("no points to measure coverage over")
+    if len(sensor_positions) == 0:
+        return 0.0
+    deltas = points[:, None, :] - sensor_positions[None, :, :]
+    dist_sq = (deltas**2).sum(axis=-1)
+    covered = (dist_sq <= sensing_radius_m**2).any(axis=1)
+    return float(covered.mean())
+
+
+def coverage_ratio(
+    network: Network,
+    sensing_radius_m: float = DEFAULT_SENSING_RADIUS_M,
+    grid_resolution: int = 25,
+) -> float:
+    """Field fraction observed by alive, connected sensors.
+
+    Evaluated on a ``grid_resolution`` × ``grid_resolution`` lattice over
+    the deployment field.  Only nodes that are alive *and* can deliver
+    their readings to the base station count.
+    """
+    if grid_resolution < 2:
+        raise ValueError(f"grid_resolution must be >= 2, got {grid_resolution}")
+    deployment = network.deployment
+    xs = np.linspace(0.0, deployment.width, grid_resolution)
+    ys = np.linspace(0.0, deployment.height, grid_resolution)
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    points = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+
+    tree = network.routing_tree
+    active = [
+        network.nodes[node_id].position
+        for node_id in sorted(network.alive_ids())
+        if tree.is_connected(node_id)
+    ]
+    sensors = np.array([(p.x, p.y) for p in active], dtype=float).reshape(-1, 2)
+    return covered_fraction_of_points(points, sensors, sensing_radius_m)

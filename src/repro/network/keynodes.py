@@ -1,0 +1,137 @@
+"""Key-node identification and weighting.
+
+The attack does not waste its budget on arbitrary nodes: it targets *key
+nodes* — the nodes whose exhaustion does the most structural damage.  Two
+complementary signals identify them:
+
+* **Articulation points** of the communication graph: killing one
+  disconnects part of the network from the base station outright.
+* **Relay load**: nodes carrying the most traffic; their death forces
+  expensive reroutes and shortens everyone's lifetime.
+
+Each key node gets a positive weight — its *criticality* — combining the
+number of nodes its death strands with its normalised relay load.  These
+weights are the per-node utilities the TIDE optimisation maximises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.network.routing import RoutingTree
+from repro.network.topology import BASE_STATION_ID
+from repro.network.traffic import TrafficModel, relay_loads
+
+__all__ = ["KeyNodeInfo", "connectivity_impact", "identify_key_nodes"]
+
+
+@dataclass(frozen=True)
+class KeyNodeInfo:
+    """A key node and why it matters.
+
+    Attributes
+    ----------
+    node_id:
+        The node's identifier.
+    weight:
+        Criticality weight in (0, 1]; the TIDE utility of exhausting it.
+    stranded_count:
+        Nodes that lose their route to the base station if this node dies.
+    relay_load_bps:
+        Traffic the node currently relays.
+    is_articulation:
+        Whether the node is an articulation point of the alive graph.
+    """
+
+    node_id: int
+    weight: float
+    stranded_count: int
+    relay_load_bps: float
+    is_articulation: bool
+
+
+def connectivity_impact(graph: nx.Graph, node_id: int) -> int:
+    """Number of sensor nodes stranded from the base station if ``node_id`` dies.
+
+    Computed by removing the node and counting vertices that can no longer
+    reach :data:`BASE_STATION_ID`.  The dead node itself is not counted —
+    its loss is priced separately.
+    """
+    if node_id == BASE_STATION_ID:
+        raise ValueError("the base station is not a candidate key node")
+    if node_id not in graph:
+        raise KeyError(f"node {node_id} is not in the graph")
+    remaining = graph.subgraph(v for v in graph.nodes if v != node_id)
+    reachable = nx.node_connected_component(remaining, BASE_STATION_ID)
+    stranded = [
+        v for v in remaining.nodes if v != BASE_STATION_ID and v not in reachable
+    ]
+    return len(stranded)
+
+
+def identify_key_nodes(
+    graph: nx.Graph,
+    tree: RoutingTree,
+    traffic: TrafficModel,
+    count: int,
+    exclude: frozenset[int] = frozenset(),
+) -> list[KeyNodeInfo]:
+    """The ``count`` most critical nodes of the network, most critical first.
+
+    Criticality of node ``i``::
+
+        score_i = stranded_i / n  +  relay_i / max_relay
+
+    i.e. the fraction of the network stranded by its death plus its relay
+    load normalised by the heaviest relay.  Articulation points therefore
+    rank first, heavy relays next.  Weights are the scores renormalised to
+    (0, 1] by the maximum score so downstream utilities are scale-free.
+
+    ``exclude`` removes nodes from candidacy (e.g. already-dead nodes).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    candidates = [n for n in tree.connected_nodes() if n not in exclude]
+    if not candidates:
+        return []
+
+    n_total = max(len(candidates), 1)
+    relays = relay_loads(tree, traffic)
+    max_relay = max((relays.get(c, 0.0) for c in candidates), default=0.0)
+    articulation = set(nx.articulation_points(graph)) - {BASE_STATION_ID}
+
+    scored: list[tuple[float, KeyNodeInfo]] = []
+    for node_id in candidates:
+        stranded = connectivity_impact(graph, node_id)
+        relay = relays.get(node_id, 0.0)
+        relay_norm = relay / max_relay if max_relay > 0.0 else 0.0
+        score = stranded / n_total + relay_norm
+        scored.append(
+            (
+                score,
+                KeyNodeInfo(
+                    node_id=node_id,
+                    weight=score,  # renormalised below
+                    stranded_count=stranded,
+                    relay_load_bps=relay,
+                    is_articulation=node_id in articulation,
+                ),
+            )
+        )
+
+    # Highest score first; node id as the deterministic tie-breaker.
+    scored.sort(key=lambda item: (-item[0], item[1].node_id))
+    top = scored[: min(count, len(scored))]
+    max_score = top[0][0] if top and top[0][0] > 0.0 else 1.0
+    return [
+        KeyNodeInfo(
+            node_id=info.node_id,
+            weight=max(score / max_score, 1e-6),
+            stranded_count=info.stranded_count,
+            relay_load_bps=info.relay_load_bps,
+            is_articulation=info.is_articulation,
+        )
+        for score, info in top
+    ]

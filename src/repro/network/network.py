@@ -1,0 +1,250 @@
+"""The ``Network`` façade: deployment + nodes + routing + consumption.
+
+Ties the substrate together: owns the sensor nodes, rebuilds the routing
+tree over the alive subgraph whenever membership changes, derives every
+node's steady-state power draw from the traffic it carries, and annotates
+the key nodes the attack will target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.energy import RadioEnergyModel, node_power_w
+from repro.network.keynodes import KeyNodeInfo, identify_key_nodes
+from repro.network.node import SensorNode
+from repro.network.requests import ChargingRequest, predict_request
+from repro.network.routing import RoutingTree, build_routing_tree
+from repro.network.topology import BASE_STATION_ID, Deployment, deploy_uniform
+from repro.network.traffic import TrafficModel, relay_loads
+
+__all__ = ["Network", "build_network"]
+
+
+class Network:
+    """A live wireless rechargeable sensor network.
+
+    Parameters
+    ----------
+    deployment:
+        Node and base-station placement.
+    traffic:
+        Per-node data-generation rates.
+    radio:
+        Radio energy model pricing transmission and reception.
+    battery_capacity_j, request_threshold_frac, initial_energy_frac:
+        Node battery parameters, applied uniformly.
+
+    After construction, call :meth:`refresh_key_nodes` to annotate targets
+    and keep driving :meth:`advance_to` / :meth:`handle_death` from the
+    simulation loop.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        traffic: TrafficModel,
+        radio: RadioEnergyModel | None = None,
+        battery_capacity_j: float = 10_800.0,
+        request_threshold_frac: float = 0.2,
+        initial_energy_frac: float = 1.0,
+    ) -> None:
+        if traffic.node_count != deployment.node_count:
+            raise ValueError(
+                f"traffic covers {traffic.node_count} nodes but the "
+                f"deployment has {deployment.node_count}"
+            )
+        self.deployment = deployment
+        self.traffic = traffic
+        self.radio = radio or RadioEnergyModel()
+        self.graph = deployment.graph()
+        self.nodes: dict[int, SensorNode] = {
+            i: SensorNode(
+                node_id=i,
+                position=pos,
+                battery_capacity_j=battery_capacity_j,
+                initial_energy_frac=initial_energy_frac,
+                request_threshold_frac=request_threshold_frac,
+                generation_rate_bps=traffic.rate(i),
+            )
+            for i, pos in enumerate(deployment.positions)
+        }
+        self.key_nodes: list[KeyNodeInfo] = []
+        self._tree: RoutingTree | None = None
+        self.recompute_consumption()
+
+    # ------------------------------------------------------------------
+    # Topology and routing
+    # ------------------------------------------------------------------
+    @property
+    def base_station(self):
+        """Base station position."""
+        return self.deployment.base_station
+
+    @property
+    def routing_tree(self) -> RoutingTree:
+        """The current routing tree over alive nodes."""
+        assert self._tree is not None
+        return self._tree
+
+    def alive_ids(self) -> set[int]:
+        """Ids of nodes still operating."""
+        return {i for i, node in self.nodes.items() if node.alive}
+
+    def dead_ids(self) -> set[int]:
+        """Ids of exhausted nodes."""
+        return {i for i, node in self.nodes.items() if not node.alive}
+
+    def alive_graph(self):
+        """Communication graph restricted to alive nodes (plus the BS)."""
+        keep = self.alive_ids() | {BASE_STATION_ID}
+        return self.graph.subgraph(keep)
+
+    def recompute_consumption(self) -> None:
+        """Rebuild routing over alive nodes and reset every node's draw.
+
+        Connected nodes pay baseline + relay + uplink transmission;
+        stranded-but-alive nodes pay only the baseline (their radio idles
+        with no route).  Dead nodes pay nothing.
+        """
+        alive = self.alive_ids()
+        self._tree = build_routing_tree(self.graph, alive)
+        relays = relay_loads(self._tree, self.traffic, alive)
+        for node_id, node in self.nodes.items():
+            if not node.alive:
+                node.set_consumption(0.0)
+                continue
+            if self._tree.is_connected(node_id):
+                power = node_power_w(
+                    self.radio,
+                    own_rate_bps=self.traffic.rate(node_id),
+                    relay_rate_bps=relays.get(node_id, 0.0),
+                    uplink_distance_m=self._tree.uplink_distance[node_id],
+                )
+            else:
+                power = self.radio.baseline_w
+            node.set_consumption(power)
+
+    # ------------------------------------------------------------------
+    # Key nodes
+    # ------------------------------------------------------------------
+    def refresh_key_nodes(self, count: int) -> list[KeyNodeInfo]:
+        """Identify the ``count`` most critical alive nodes and annotate them.
+
+        Clears previous annotations, so the returned list is always the
+        current target set.
+        """
+        for node in self.nodes.values():
+            node.is_key = False
+            node.weight = 0.0
+        infos = identify_key_nodes(
+            self.alive_graph(),
+            self.routing_tree,
+            self.traffic,
+            count,
+            exclude=frozenset(self.dead_ids()),
+        )
+        for info in infos:
+            node = self.nodes[info.node_id]
+            node.is_key = True
+            node.weight = info.weight
+        self.key_nodes = infos
+        return infos
+
+    def key_ids(self) -> set[int]:
+        """Ids of the currently annotated key nodes."""
+        return {info.node_id for info in self.key_nodes}
+
+    # ------------------------------------------------------------------
+    # Time evolution
+    # ------------------------------------------------------------------
+    def advance_to(self, time: float) -> list[int]:
+        """Advance every node to ``time``; return ids of nodes that died.
+
+        Does *not* recompute routing — the caller decides when (typically
+        immediately, via :meth:`recompute_consumption`).
+        """
+        died: list[int] = []
+        for node_id, node in sorted(self.nodes.items()):
+            was_alive = node.alive
+            node.advance_to(time)
+            if was_alive and not node.alive:
+                died.append(node_id)
+        return died
+
+    def next_death_time(self) -> float:
+        """Earliest predicted node death at current draws (``inf`` if none)."""
+        times = [n.predicted_death_time() for n in self.nodes.values() if n.alive]
+        return min(times, default=float("inf"))
+
+    def next_request(self) -> ChargingRequest | None:
+        """The earliest charging request any node will issue (or ``None``)."""
+        best: ChargingRequest | None = None
+        for _, node in sorted(self.nodes.items()):
+            request = predict_request(node)
+            if request is None:
+                continue
+            if best is None or request.time < best.time:
+                best = request
+        return best
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def total_true_energy(self) -> float:
+        """Sum of true residual energies over alive nodes, joules."""
+        return sum(n.energy_j for n in self.nodes.values() if n.alive)
+
+    def stranded_ids(self) -> set[int]:
+        """Alive nodes currently without a route to the base station."""
+        return {
+            i
+            for i in self.alive_ids()
+            if not self.routing_tree.is_connected(i)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(n={len(self.nodes)}, alive={len(self.alive_ids())}, "
+            f"key={len(self.key_nodes)})"
+        )
+
+
+def build_network(
+    node_count: int,
+    seed: int | np.random.Generator,
+    width: float = 100.0,
+    height: float = 100.0,
+    comm_range: float = 20.0,
+    battery_capacity_j: float = 10_800.0,
+    request_threshold_frac: float = 0.2,
+    initial_energy_frac: float = 1.0,
+    homogeneous_rate_bps: float | None = None,
+    radio: RadioEnergyModel | None = None,
+) -> Network:
+    """Convenience constructor: uniform deployment + heterogeneous traffic.
+
+    ``seed`` may be an integer (a fresh generator is derived) or an
+    existing :class:`numpy.random.Generator`.
+    """
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(int(seed), "network")
+    deployment = deploy_uniform(
+        node_count, rng, width=width, height=height, comm_range=comm_range
+    )
+    if homogeneous_rate_bps is not None:
+        traffic = TrafficModel.homogeneous(node_count, homogeneous_rate_bps)
+    else:
+        traffic = TrafficModel.heterogeneous(node_count, rng)
+    return Network(
+        deployment,
+        traffic,
+        radio=radio,
+        battery_capacity_j=battery_capacity_j,
+        request_threshold_frac=request_threshold_frac,
+        initial_energy_frac=initial_energy_frac,
+    )

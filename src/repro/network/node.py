@@ -1,0 +1,246 @@
+"""The sensor node: battery, duty cycle, and (spoofable) energy belief.
+
+A node's true battery drains piecewise-linearly at its current consumption
+rate, which the network recomputes whenever the routing tree changes.  The
+node additionally maintains a *believed* energy level — its own estimate,
+driven by coulomb counting plus the charging-presence indicator.  Genuine
+charging raises both true and believed energy.  A spoofed charging session
+raises only the believed energy: the pilot detector saw RF for the full
+service duration, so the node credits itself the expected harvest, while
+the rectenna delivered nothing.  This divergence between belief and truth
+is what lets a spoofed node die "in vain" without ever re-requesting a
+charge.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+from repro.utils.geometry import Point
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = ["NodeState", "SensorNode"]
+
+
+class NodeState(Enum):
+    """Liveness of a sensor node."""
+
+    ALIVE = "alive"
+    DEAD = "dead"
+
+
+class SensorNode:
+    """A wireless rechargeable sensor node.
+
+    Parameters
+    ----------
+    node_id:
+        Stable integer identifier, unique within a network.
+    position:
+        Location in the field, metres.
+    battery_capacity_j:
+        Full battery energy in joules.  Default 10.8 kJ (the 2×AA-class
+        battery standard in this literature).
+    initial_energy_frac:
+        Starting charge as a fraction of capacity.
+    request_threshold_frac:
+        The node issues a charging request when its *believed* energy falls
+        to this fraction of capacity.
+    generation_rate_bps:
+        The node's own data-generation rate.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        battery_capacity_j: float = 10_800.0,
+        initial_energy_frac: float = 1.0,
+        request_threshold_frac: float = 0.2,
+        generation_rate_bps: float = 3_000.0,
+    ) -> None:
+        if node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {node_id}")
+        self.node_id = int(node_id)
+        self.position = position
+        self.battery_capacity_j = check_positive(
+            "battery_capacity_j", battery_capacity_j
+        )
+        initial_energy_frac = check_probability(
+            "initial_energy_frac", initial_energy_frac
+        )
+        self.request_threshold_frac = check_probability(
+            "request_threshold_frac", request_threshold_frac
+        )
+        self.generation_rate_bps = check_non_negative(
+            "generation_rate_bps", generation_rate_bps
+        )
+
+        self._energy_j = self.battery_capacity_j * initial_energy_frac
+        self._believed_energy_j = self._energy_j
+        self._consumption_w = 0.0
+        self._clock = 0.0
+        self.state = NodeState.ALIVE
+        self.death_time: float | None = None
+
+        # Key-node annotations, filled in by repro.network.keynodes.
+        self.is_key = False
+        self.weight = 0.0
+
+    # ------------------------------------------------------------------
+    # Read-only views
+    # ------------------------------------------------------------------
+    @property
+    def energy_j(self) -> float:
+        """True residual battery energy at the node's local clock."""
+        return self._energy_j
+
+    @property
+    def believed_energy_j(self) -> float:
+        """The node's own energy estimate at its local clock."""
+        return self._believed_energy_j
+
+    @property
+    def consumption_w(self) -> float:
+        """Current steady-state power draw."""
+        return self._consumption_w
+
+    @property
+    def clock(self) -> float:
+        """Simulation time the node's energy state is valid at."""
+        return self._clock
+
+    @property
+    def alive(self) -> bool:
+        """Whether the node is still operating."""
+        return self.state == NodeState.ALIVE
+
+    @property
+    def request_threshold_j(self) -> float:
+        """Believed energy level at which the node requests charging."""
+        return self.battery_capacity_j * self.request_threshold_frac
+
+    # ------------------------------------------------------------------
+    # Consumption control (driven by the network's routing recomputation)
+    # ------------------------------------------------------------------
+    def set_consumption(self, power_w: float) -> None:
+        """Set the node's steady-state power draw (>= 0)."""
+        self._consumption_w = check_non_negative("power_w", power_w)
+
+    # ------------------------------------------------------------------
+    # Time evolution
+    # ------------------------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        """Drain the battery up to the given simulation time.
+
+        Time never flows backwards for a node; the caller (the simulation
+        engine) must advance nodes monotonically.  If the battery empties
+        en route, the node dies at the exact depletion instant.
+        """
+        if time < self._clock - 1e-9:
+            raise ValueError(
+                f"node {self.node_id}: cannot advance to {time} "
+                f"(clock already at {self._clock})"
+            )
+        dt = max(0.0, time - self._clock)
+        if not self.alive:
+            self._clock = time
+            return
+        drained = self._consumption_w * dt
+        # The small tolerance realises deaths scheduled at the exact
+        # predicted depletion instant despite float rounding.
+        if drained >= self._energy_j - 1e-7 and self._consumption_w > 0.0:
+            time_of_death = min(
+                self._clock + self._energy_j / self._consumption_w, time
+            )
+            self._energy_j = 0.0
+            self._believed_energy_j = 0.0
+            self.state = NodeState.DEAD
+            self.death_time = time_of_death
+        else:
+            self._energy_j -= drained
+            self._believed_energy_j = max(0.0, self._believed_energy_j - drained)
+        self._clock = time
+
+    def predicted_death_time(self) -> float:
+        """Time at which the battery will empty at the current draw.
+
+        ``inf`` if the node draws no power.  Based on *true* energy.
+        """
+        if not self.alive:
+            return self.death_time if self.death_time is not None else self._clock
+        if self._consumption_w <= 0.0:
+            return math.inf
+        return self._clock + self._energy_j / self._consumption_w
+
+    def predicted_request_time(self) -> float:
+        """Time at which *believed* energy will cross the request threshold.
+
+        Returns the current clock if the belief is already below threshold,
+        ``inf`` if it never will (no draw).
+        """
+        if not self.alive:
+            return math.inf
+        deficit = self._believed_energy_j - self.request_threshold_j
+        if deficit <= 0.0:
+            return self._clock
+        if self._consumption_w <= 0.0:
+            return math.inf
+        return self._clock + deficit / self._consumption_w
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def receive_charge(self, delivered_j: float, believed_j: float) -> None:
+        """Apply a completed charging service.
+
+        Parameters
+        ----------
+        delivered_j:
+            Energy actually harvested (zero for a successful spoof).
+        believed_j:
+            Energy the node *credits itself* based on its charging-presence
+            indicator and the service duration (full expected harvest for
+            both genuine and spoofed services).
+
+        Both are clamped to the battery capacity.  Dead nodes cannot be
+        revived by charging.
+        """
+        delivered_j = check_non_negative("delivered_j", delivered_j)
+        believed_j = check_non_negative("believed_j", believed_j)
+        if not self.alive:
+            return
+        self._energy_j = min(self.battery_capacity_j, self._energy_j + delivered_j)
+        self._believed_energy_j = min(
+            self.battery_capacity_j, self._believed_energy_j + believed_j
+        )
+
+    def set_initial_energy(self, fraction: float) -> None:
+        """Reset both true and believed energy to a fraction of capacity.
+
+        For pre-run calibration only (e.g. bench batteries that do not
+        start full); raises if the node has already evolved.
+        """
+        fraction = check_probability("fraction", fraction)
+        if self._clock != 0.0:
+            raise RuntimeError(
+                "set_initial_energy is only valid before the simulation starts"
+            )
+        self._energy_j = self.battery_capacity_j * fraction
+        self._believed_energy_j = self._energy_j
+
+    def belief_gap_j(self) -> float:
+        """How much the node over-estimates its own energy (>= 0 under attack)."""
+        return self._believed_energy_j - self._energy_j
+
+    def __repr__(self) -> str:
+        return (
+            f"SensorNode(id={self.node_id}, pos=({self.position.x:.1f}, "
+            f"{self.position.y:.1f}), energy={self._energy_j:.0f}J, "
+            f"state={self.state.value})"
+        )

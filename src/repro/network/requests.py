@@ -1,0 +1,90 @@
+"""On-demand charging requests.
+
+When a node's *believed* energy crosses its request threshold it sends a
+charging request to the base station, which forwards it to the mobile
+charger.  A request carries a deadline — the node's predicted death time —
+because serving it later is pointless.  For the attacker, a key node's
+request opens the time window inside which a spoofed visit is
+indistinguishable from legitimate service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.node import SensorNode
+
+__all__ = ["ChargingRequest", "predict_request"]
+
+
+@dataclass(frozen=True, order=True)
+class ChargingRequest:
+    """A node's plea for energy.
+
+    Attributes
+    ----------
+    time:
+        When the request was (or will be) issued.
+    node_id:
+        The requesting node.
+    deadline:
+        Predicted death time of the node at its draw when requesting;
+        service completing after this is futile.
+    energy_needed_j:
+        Energy required to refill the battery at request time.
+    """
+
+    time: float
+    node_id: int
+    deadline: float
+    energy_needed_j: float
+
+    def __post_init__(self) -> None:
+        if self.deadline < self.time:
+            raise ValueError(
+                f"request deadline {self.deadline} precedes issue time {self.time}"
+            )
+        if self.energy_needed_j < 0.0:
+            raise ValueError(
+                f"energy_needed_j must be >= 0, got {self.energy_needed_j}"
+            )
+
+    @property
+    def window_width(self) -> float:
+        """Seconds between the request and the node's predicted death."""
+        return self.deadline - self.time
+
+
+def predict_request(node: SensorNode) -> ChargingRequest | None:
+    """The next charging request this node will issue at its current draw.
+
+    Returns ``None`` for dead nodes and for nodes that will never cross
+    their threshold (zero draw).  Assumes the draw stays constant — the
+    caller must re-predict after routing changes.
+    """
+    if not node.alive:
+        return None
+    request_time = node.predicted_request_time()
+    if request_time == float("inf"):
+        return None
+
+    # Energy state at the moment of the request.
+    dt = request_time - node.clock
+    true_energy_at_request = node.energy_j - node.consumption_w * dt
+    if true_energy_at_request <= 0.0:
+        # The node's belief lags reality so badly it will die before it
+        # even asks; its "request" would never be sent.
+        return None
+    death_time = request_time + true_energy_at_request / max(
+        node.consumption_w, 1e-300
+    )
+    believed_at_request = max(
+        node.believed_energy_j - node.consumption_w * dt, 0.0
+    )
+    needed = node.battery_capacity_j - believed_at_request
+    return ChargingRequest(
+        time=request_time,
+        node_id=node.node_id,
+        deadline=death_time,
+        energy_needed_j=needed,
+    )

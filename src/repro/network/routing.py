@@ -1,0 +1,165 @@
+"""Data-gathering routing tree.
+
+All sensor data flows to the base station over a shortest-path tree of the
+communication graph (hop count first, total Euclidean length as the
+tie-breaker — the standard minimum-hop/minimum-energy compromise).  The
+tree is recomputed whenever a node dies; nodes cut off from the base
+station stop generating billable traffic but keep paying their baseline
+draw (their radios idle without a route).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.network.topology import BASE_STATION_ID
+
+__all__ = [
+    "RoutingTree",
+    "build_routing_tree",
+    "descendants_by_node",
+    "subtree_sizes",
+]
+
+
+class RoutingTree:
+    """A rooted data-gathering tree.
+
+    Attributes
+    ----------
+    parent:
+        Maps each connected node id to its next hop toward the base
+        station (the base station maps to ``None``).
+    uplink_distance:
+        Maps each connected node id to the Euclidean length of its uplink.
+    disconnected:
+        Node ids present in the graph but unable to reach the base station.
+    """
+
+    def __init__(
+        self,
+        parent: dict[int, int | None],
+        uplink_distance: dict[int, float],
+        disconnected: frozenset[int],
+    ) -> None:
+        self.parent = parent
+        self.uplink_distance = uplink_distance
+        self.disconnected = disconnected
+        self._children: dict[int, list[int]] = {}
+        for child, par in parent.items():
+            if par is not None:
+                self._children.setdefault(par, []).append(child)
+
+    def children(self, node_id: int) -> list[int]:
+        """Direct children of ``node_id`` in the tree (sorted for determinism)."""
+        return sorted(self._children.get(node_id, []))
+
+    def connected_nodes(self) -> list[int]:
+        """Sensor node ids with a route to the base station (sorted)."""
+        return sorted(n for n in self.parent if n != BASE_STATION_ID)
+
+    def is_connected(self, node_id: int) -> bool:
+        """Whether the node can reach the base station."""
+        return node_id in self.parent
+
+    def path_to_base(self, node_id: int) -> list[int]:
+        """The node's route to the base station, inclusive of both ends."""
+        if node_id not in self.parent:
+            raise KeyError(f"node {node_id} has no route to the base station")
+        path = [node_id]
+        current: int | None = node_id
+        while current is not None and current != BASE_STATION_ID:
+            current = self.parent[current]
+            if current is not None:
+                path.append(current)
+        return path
+
+    def depth(self, node_id: int) -> int:
+        """Hop count from the node to the base station."""
+        return len(self.path_to_base(node_id)) - 1
+
+
+def build_routing_tree(graph: nx.Graph, alive: set[int] | None = None) -> RoutingTree:
+    """Shortest-path tree to the base station over the alive subgraph.
+
+    Parameters
+    ----------
+    graph:
+        Communication graph including :data:`BASE_STATION_ID`.
+    alive:
+        Sensor node ids currently alive; ``None`` means all.  The base
+        station never dies.
+
+    Paths minimise hop count, breaking ties by total Euclidean length, so
+    the tree is deterministic for a given graph.
+    """
+    if BASE_STATION_ID not in graph:
+        raise ValueError("graph must contain the base station vertex")
+    if alive is None:
+        nodes = set(graph.nodes)
+    else:
+        nodes = set(alive) | {BASE_STATION_ID}
+    subgraph = graph.subgraph(nodes)
+
+    # Hop count dominates; Euclidean length breaks ties.  Scaling distance
+    # by a factor smaller than (1 / max total length) preserves hop order.
+    max_total = sum(d for _, _, d in subgraph.edges(data="distance")) + 1.0
+    weight = {
+        (u, v): 1.0 + d / max_total
+        for u, v, d in subgraph.edges(data="distance")
+    }
+
+    def edge_weight(u: int, v: int, _attrs: dict) -> float:
+        return weight.get((u, v), weight.get((v, u), 1.0))
+
+    lengths, paths = nx.single_source_dijkstra(
+        subgraph, BASE_STATION_ID, weight=edge_weight
+    )
+    del lengths
+
+    parent: dict[int, int | None] = {BASE_STATION_ID: None}
+    uplink: dict[int, float] = {}
+    for node, path in paths.items():
+        if node == BASE_STATION_ID:
+            continue
+        next_hop = path[-2]
+        parent[node] = next_hop
+        uplink[node] = float(subgraph.edges[node, next_hop]["distance"])
+
+    reachable = set(parent)
+    disconnected = frozenset(
+        n for n in nodes if n != BASE_STATION_ID and n not in reachable
+    )
+    return RoutingTree(parent, uplink, disconnected)
+
+
+def subtree_sizes(tree: RoutingTree) -> dict[int, int]:
+    """Number of sensor nodes in each node's subtree, itself included."""
+    sizes: dict[int, int] = {}
+
+    def visit(node_id: int) -> int:
+        total = 0 if node_id == BASE_STATION_ID else 1
+        for child in tree.children(node_id):
+            total += visit(child)
+        sizes[node_id] = total
+        return total
+
+    visit(BASE_STATION_ID)
+    return sizes
+
+
+def descendants_by_node(tree: RoutingTree) -> dict[int, frozenset[int]]:
+    """Sensor-node descendants of every tree vertex (excluding itself)."""
+    result: dict[int, frozenset[int]] = {}
+
+    def visit(node_id: int) -> frozenset[int]:
+        acc: set[int] = set()
+        for child in tree.children(node_id):
+            acc.add(child)
+            acc |= visit(child)
+        frozen = frozenset(acc)
+        result[node_id] = frozen
+        return frozen
+
+    visit(BASE_STATION_ID)
+    return result

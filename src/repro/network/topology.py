@@ -1,0 +1,210 @@
+"""Node deployment and communication-graph construction.
+
+Deployments place ``n`` sensor nodes and one base station in a rectangular
+field.  The communication graph connects any two entities within the radio
+range; all experiments require the graph to be connected (otherwise some
+nodes could never deliver data and "network lifetime" is ill-defined), so
+the random generators resample until connectivity holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.utils.geometry import Point, pairwise_distances
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "BASE_STATION_ID",
+    "Deployment",
+    "communication_graph",
+    "deploy_clustered",
+    "deploy_grid",
+    "deploy_uniform",
+]
+
+BASE_STATION_ID = -1
+"""Graph identifier of the base station (sensor nodes use ids 0..n-1)."""
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A placed network: node positions, base station, field geometry.
+
+    Attributes
+    ----------
+    positions:
+        Sensor node positions, indexed by node id.
+    base_station:
+        Base station position.
+    width, height:
+        Field dimensions in metres.
+    comm_range:
+        Radio range used to build the communication graph, metres.
+    """
+
+    positions: tuple[Point, ...]
+    base_station: Point
+    width: float
+    height: float
+    comm_range: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+        check_positive("comm_range", self.comm_range)
+        if not self.positions:
+            raise ValueError("a deployment needs at least one sensor node")
+
+    @property
+    def node_count(self) -> int:
+        """Number of sensor nodes (the base station is not counted)."""
+        return len(self.positions)
+
+    def graph(self) -> nx.Graph:
+        """The communication graph of this deployment."""
+        return communication_graph(self.positions, self.base_station, self.comm_range)
+
+
+def communication_graph(
+    positions: tuple[Point, ...] | list[Point],
+    base_station: Point,
+    comm_range: float,
+) -> nx.Graph:
+    """Unit-disk communication graph over nodes and the base station.
+
+    Vertices are node ids ``0..n-1`` plus :data:`BASE_STATION_ID`; an edge
+    joins two vertices iff their distance is at most ``comm_range``.  Edge
+    attribute ``distance`` carries the Euclidean length (used by the radio
+    energy model).
+    """
+    check_positive("comm_range", comm_range)
+    all_points = list(positions) + [base_station]
+    ids = list(range(len(positions))) + [BASE_STATION_ID]
+    dists = pairwise_distances(all_points)
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    n = len(all_points)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dists[i, j] <= comm_range:
+                graph.add_edge(ids[i], ids[j], distance=float(dists[i, j]))
+    return graph
+
+
+def _connected(deployment: Deployment) -> bool:
+    return nx.is_connected(deployment.graph())
+
+
+def deploy_uniform(
+    node_count: int,
+    rng: np.random.Generator,
+    width: float = 100.0,
+    height: float = 100.0,
+    comm_range: float = 20.0,
+    base_station: Point | None = None,
+    max_attempts: int = 200,
+) -> Deployment:
+    """Uniform random deployment, resampled until connected.
+
+    The base station defaults to the field centre.  Raises ``RuntimeError``
+    if no connected deployment is found within ``max_attempts`` draws —
+    a sign the density (``node_count`` vs. field size vs. ``comm_range``)
+    is physically too sparse.
+    """
+    if node_count < 1:
+        raise ValueError(f"node_count must be >= 1, got {node_count}")
+    bs = base_station or Point(width / 2.0, height / 2.0)
+    for _ in range(max_attempts):
+        xs = rng.uniform(0.0, width, size=node_count)
+        ys = rng.uniform(0.0, height, size=node_count)
+        positions = tuple(Point(float(x), float(y)) for x, y in zip(xs, ys))
+        deployment = Deployment(positions, bs, width, height, comm_range)
+        if _connected(deployment):
+            return deployment
+    raise RuntimeError(
+        f"no connected deployment of {node_count} nodes in a "
+        f"{width}x{height} field at range {comm_range} after "
+        f"{max_attempts} attempts; increase density or range"
+    )
+
+
+def deploy_grid(
+    rows: int,
+    cols: int,
+    spacing: float = 15.0,
+    comm_range: float | None = None,
+    base_station: Point | None = None,
+) -> Deployment:
+    """Deterministic grid deployment.
+
+    Nodes sit on a ``rows x cols`` lattice with the given spacing; the
+    default radio range is 1.5x the spacing so the grid (with diagonals)
+    is connected.  The base station defaults to the grid centre.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    check_positive("spacing", spacing)
+    positions = tuple(
+        Point(c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+    )
+    width = max((cols - 1) * spacing, spacing)
+    height = max((rows - 1) * spacing, spacing)
+    bs = base_station or Point(width / 2.0, height / 2.0)
+    rng_range = comm_range if comm_range is not None else spacing * 1.5
+    deployment = Deployment(positions, bs, width, height, rng_range)
+    if not _connected(deployment):
+        raise RuntimeError(
+            "grid deployment is not connected; increase comm_range or spacing"
+        )
+    return deployment
+
+
+def deploy_clustered(
+    node_count: int,
+    cluster_count: int,
+    rng: np.random.Generator,
+    width: float = 100.0,
+    height: float = 100.0,
+    comm_range: float = 20.0,
+    cluster_std: float = 8.0,
+    base_station: Point | None = None,
+    max_attempts: int = 200,
+) -> Deployment:
+    """Clustered deployment: nodes gather around random cluster centres.
+
+    Clustered fields produce pronounced *bridge* nodes between clusters —
+    exactly the key nodes the attack targets — so this generator is used
+    by the key-node-heavy experiments.
+    """
+    if node_count < 1:
+        raise ValueError(f"node_count must be >= 1, got {node_count}")
+    if cluster_count < 1:
+        raise ValueError(f"cluster_count must be >= 1, got {cluster_count}")
+    check_positive("cluster_std", cluster_std)
+    bs = base_station or Point(width / 2.0, height / 2.0)
+    for _ in range(max_attempts):
+        centres_x = rng.uniform(0.15 * width, 0.85 * width, size=cluster_count)
+        centres_y = rng.uniform(0.15 * height, 0.85 * height, size=cluster_count)
+        assignment = rng.integers(0, cluster_count, size=node_count)
+        xs = np.clip(
+            centres_x[assignment] + rng.normal(0.0, cluster_std, node_count),
+            0.0,
+            width,
+        )
+        ys = np.clip(
+            centres_y[assignment] + rng.normal(0.0, cluster_std, node_count),
+            0.0,
+            height,
+        )
+        positions = tuple(Point(float(x), float(y)) for x, y in zip(xs, ys))
+        deployment = Deployment(positions, bs, width, height, comm_range)
+        if _connected(deployment):
+            return deployment
+    raise RuntimeError(
+        f"no connected clustered deployment of {node_count} nodes after "
+        f"{max_attempts} attempts; increase density, range, or cluster_std"
+    )

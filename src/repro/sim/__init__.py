@@ -1,0 +1,52 @@
+"""Discrete-event simulation of the full WRSN + charger + attacker system.
+
+* :mod:`repro.sim.engine` — the event queue and clock.
+* :mod:`repro.sim.events` — the event and trace-record taxonomy.
+* :mod:`repro.sim.actions` — actions a mission controller can order and
+  the controller interface itself.
+* :mod:`repro.sim.benign` — the honest charging controller.
+* :mod:`repro.sim.trace` — structured trace recording.
+* :mod:`repro.sim.wrsn_sim` — the simulation orchestrator.
+* :mod:`repro.sim.scenario` — named default parameter sets.
+"""
+
+from repro.sim.actions import (
+    IdleAction,
+    MissionController,
+    RechargeAction,
+    ServeAction,
+)
+from repro.sim.benign import BenignController
+from repro.sim.engine import EventQueue
+from repro.sim.events import (
+    AuditPerformed,
+    DetectionRaised,
+    NodeDied,
+    RequestIssued,
+    ServiceAborted,
+    ServiceCompleted,
+    TraceEvent,
+)
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.trace import SimulationTrace
+from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+
+__all__ = [
+    "AuditPerformed",
+    "BenignController",
+    "DetectionRaised",
+    "EventQueue",
+    "IdleAction",
+    "MissionController",
+    "NodeDied",
+    "RechargeAction",
+    "RequestIssued",
+    "ScenarioConfig",
+    "ServeAction",
+    "ServiceAborted",
+    "ServiceCompleted",
+    "SimulationResult",
+    "SimulationTrace",
+    "TraceEvent",
+    "WrsnSimulation",
+]

@@ -1,0 +1,97 @@
+"""Mission-controller interface and the actions it can order.
+
+The simulation asks its controller — honest dispatcher or attacker — what
+the mobile charger should do whenever the charger becomes free.  The
+controller answers with one of three actions (or ``None`` to idle until
+something happens):
+
+* :class:`ServeAction` — drive to a node and radiate at it, genuinely or
+  spoofed, optionally waiting for a ``not_before`` instant (the attacker
+  waits for stealth windows to open).
+* :class:`RechargeAction` — return to the depot and refill.
+* :class:`IdleAction` — explicitly do nothing until a given time.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.mc.charger import ChargeMode
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.events import TraceEvent
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["Action", "IdleAction", "MissionController", "RechargeAction", "ServeAction"]
+
+
+@dataclass(frozen=True)
+class ServeAction:
+    """Drive to ``node_id`` and perform a charging service.
+
+    Parameters
+    ----------
+    node_id:
+        The node to visit.
+    mode:
+        GENUINE delivers energy; SPOOF radiates a null; PRETEND logs a
+        service without radiating at all (the blatant attacker).
+    not_before:
+        Earliest allowed service start; the charger waits in place after
+        arriving early.  ``0.0`` means start on arrival.
+    duration_s:
+        Service duration; ``None`` lets the simulation size it to the
+        node's deficit (what a genuine charger would do).
+    """
+
+    node_id: int
+    mode: ChargeMode = ChargeMode.GENUINE
+    not_before: float = 0.0
+    duration_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RechargeAction:
+    """Return to the depot and refill the charger's battery."""
+
+
+@dataclass(frozen=True)
+class IdleAction:
+    """Hold position until the given time (or until woken by an event)."""
+
+    until: float
+
+
+Action = Union[ServeAction, RechargeAction, IdleAction]
+
+
+class MissionController(ABC):
+    """Decides one mobile charger's next move.
+
+    Implementations: :class:`repro.sim.benign.BenignController` (honest
+    on-demand charging) and the attackers in :mod:`repro.attack.attacker`.
+
+    The simulation assigns the controller its vehicle via the ``charger``
+    attribute before ``on_start`` — in a fleet, each controller commands
+    exactly one charger and reads shared state (pending requests, the
+    network) from the simulation.
+    """
+
+    name = "controller"
+    charger = None  # assigned by WrsnSimulation before on_start
+
+    def on_start(self, sim: "WrsnSimulation") -> None:
+        """Called once before the first event; build initial plans here."""
+
+    def on_event(self, event: "TraceEvent", sim: "WrsnSimulation") -> None:
+        """Called after every trace event; use to trigger replanning."""
+
+    @abstractmethod
+    def next_action(self, sim: "WrsnSimulation") -> Action | None:
+        """The charger is free at ``sim.now``; what should it do?
+
+        Return ``None`` to idle until the next request or death wakes the
+        controller again.
+        """

@@ -1,0 +1,83 @@
+"""The honest charging controller.
+
+Wraps a :class:`repro.mc.scheduling.Scheduler` policy into the mission-
+controller interface: serve pending requests genuinely, go home to
+recharge when low, idle when there is nothing to do.  This is both the
+no-attack baseline for the lifetime experiments and the behavioural
+template a stealthy attacker imitates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mc.charger import ChargeMode
+from repro.mc.scheduling import NjnpScheduler, Scheduler
+from repro.sim.actions import Action, MissionController, RechargeAction, ServeAction
+from repro.utils.validation import check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["BenignController"]
+
+
+class BenignController(MissionController):
+    """Serve charging requests honestly under a pluggable scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        Request-selection policy (default NJNP, the on-demand standard).
+    recharge_below_frac:
+        Return to the depot when battery falls below this fraction.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        recharge_below_frac: float = 0.15,
+    ) -> None:
+        self.scheduler = scheduler or NjnpScheduler()
+        self.recharge_below_frac = check_probability(
+            "recharge_below_frac", recharge_below_frac
+        )
+
+    @property
+    def name(self) -> str:
+        return f"benign[{self.scheduler.name}]"
+
+    def next_action(self, sim: "WrsnSimulation") -> Action | None:
+        mc = self.charger or sim.charger
+        if mc.energy_j < self.recharge_below_frac * mc.battery_capacity_j:
+            return RechargeAction()
+
+        viable = []
+        for request in sim.unclaimed_requests():
+            node = sim.network.nodes[request.node_id]
+            if not node.alive:
+                continue
+            arrival = sim.now + mc.travel_time_to(node.position)
+            if arrival >= node.predicted_death_time():
+                continue  # it would be dead on arrival
+            viable.append(request)
+        if not viable:
+            return None
+
+        positions = {
+            r.node_id: sim.network.nodes[r.node_id].position for r in viable
+        }
+        choice = self.scheduler.select(viable, mc.position, positions, sim.now)
+        if choice is None:
+            return None
+
+        node = sim.network.nodes[choice.node_id]
+        deficit = node.battery_capacity_j - node.energy_j
+        duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+        cost = (
+            mc.travel_energy_to(node.position)
+            + mc.hardware.emission_w * duration
+        )
+        if cost > mc.energy_j:
+            return RechargeAction()
+        return ServeAction(node_id=choice.node_id, mode=ChargeMode.GENUINE)

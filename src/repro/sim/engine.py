@@ -1,0 +1,99 @@
+"""The discrete-event engine: a versioned priority queue of events.
+
+Node-related events (requests, deaths) are *predictions* that become stale
+whenever a node's consumption changes or it receives charge.  Rather than
+hunting stale entries out of the heap, every scheduled event carries the
+version stamp of the entity it concerns; pops with an outdated stamp are
+silently discarded.  Ties on time break by insertion order, making runs
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventQueue", "ScheduledEvent"]
+
+
+@dataclass(frozen=True, order=True)
+class ScheduledEvent:
+    """One queue entry.
+
+    Ordering is by (time, sequence); the payload never participates in
+    comparisons.
+    """
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    version_key: Any = field(compare=False, default=None)
+    version: int = field(compare=False, default=0)
+
+
+class EventQueue:
+    """Deterministic min-heap of :class:`ScheduledEvent` with versioning."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._versions: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def current_version(self, key: Any) -> int:
+        """Current version stamp of the given entity key."""
+        return self._versions.get(key, 0)
+
+    def invalidate(self, key: Any) -> int:
+        """Bump the entity's version, implicitly cancelling its events."""
+        self._versions[key] = self._versions.get(key, 0) + 1
+        return self._versions[key]
+
+    def schedule(
+        self,
+        time: float,
+        kind: str,
+        payload: Any = None,
+        version_key: Any = None,
+    ) -> ScheduledEvent:
+        """Enqueue an event; stamps it with the entity's current version."""
+        if time != time or time == float("inf"):  # NaN or never
+            raise ValueError(f"cannot schedule event at time {time!r}")
+        event = ScheduledEvent(
+            time=time,
+            sequence=next(self._counter),
+            kind=kind,
+            payload=payload,
+            version_key=version_key,
+            version=self._versions.get(version_key, 0) if version_key is not None else 0,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> ScheduledEvent | None:
+        """Next live event, skipping stale ones; ``None`` when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.version_key is not None:
+                if self._versions.get(event.version_key, 0) != event.version:
+                    continue
+            return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event without removing it."""
+        while self._heap:
+            event = self._heap[0]
+            if (
+                event.version_key is not None
+                and self._versions.get(event.version_key, 0) != event.version
+            ):
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None

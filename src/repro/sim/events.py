@@ -1,0 +1,123 @@
+"""Trace-record taxonomy.
+
+Everything observable that happens in a simulation is recorded as one of
+these frozen dataclasses.  Detectors, metrics, tests and the benchmark
+tables are all computed from the trace, so the records carry enough
+context to be interpreted standalone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mc.charger import ChargeMode
+
+__all__ = [
+    "AuditPerformed",
+    "DepotRecharged",
+    "DetectionRaised",
+    "NodeDied",
+    "RequestIssued",
+    "RoutingRecomputed",
+    "ServiceAborted",
+    "ServiceCompleted",
+    "TraceEvent",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base class: every record carries its simulation time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class RequestIssued(TraceEvent):
+    """A node's believed energy crossed its request threshold."""
+
+    node_id: int
+    deadline: float
+    energy_needed_j: float
+    is_key: bool
+
+
+@dataclass(frozen=True)
+class ServiceCompleted(TraceEvent):
+    """The charger finished radiating at a node.
+
+    ``claimed_j`` is what the charger reported delivering to the base
+    station (always the genuine amount — malicious chargers lie);
+    ``believed_energy_after_j`` is the victim's own post-service telemetry
+    reading, the quantity the base station can cross-check claims against.
+    """
+
+    node_id: int
+    start_time: float
+    mode: ChargeMode
+    delivered_j: float
+    believed_j: float
+    claimed_j: float
+    emission_j: float
+    is_key: bool
+    believed_energy_after_j: float = 0.0
+    battery_capacity_j: float = 0.0
+    charger_index: int = 0
+
+
+@dataclass(frozen=True)
+class ServiceAborted(TraceEvent):
+    """The charger arrived but could not serve (node already dead)."""
+
+    node_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class NodeDied(TraceEvent):
+    """A node's battery emptied.
+
+    ``stranded_ids`` are nodes that lost their base-station route as a
+    direct result (before rerouting was attempted).
+    """
+
+    node_id: int
+    is_key: bool
+    was_spoofed: bool
+    stranded_count: int
+
+
+@dataclass(frozen=True)
+class AuditPerformed(TraceEvent):
+    """The base station spot-audited a node's true energy."""
+
+    detector: str
+    node_id: int
+    true_energy_j: float
+    believed_energy_j: float
+    mismatch: bool
+
+
+@dataclass(frozen=True)
+class DetectionRaised(TraceEvent):
+    """A detector concluded the charger is malicious."""
+
+    detector: str
+    reason: str
+    node_id: int | None = None
+
+
+@dataclass(frozen=True)
+class RoutingRecomputed(TraceEvent):
+    """The routing tree was rebuilt after a membership change."""
+
+    alive_count: int
+    stranded_count: int
+
+
+@dataclass(frozen=True)
+class DepotRecharged(TraceEvent):
+    """A charger refilled its own battery at the depot."""
+
+    energy_before_j: float
+    charger_index: int = 0

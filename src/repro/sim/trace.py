@@ -1,0 +1,80 @@
+"""Structured simulation traces.
+
+A :class:`SimulationTrace` is an append-only, time-ordered list of
+:class:`~repro.sim.events.TraceEvent` records with typed accessors for the
+queries metrics and tests keep making.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Type, TypeVar
+
+from repro.sim.events import (
+    DetectionRaised,
+    NodeDied,
+    RequestIssued,
+    ServiceCompleted,
+    TraceEvent,
+)
+
+__all__ = ["SimulationTrace"]
+
+E = TypeVar("E", bound=TraceEvent)
+
+
+class SimulationTrace:
+    """Append-only record of everything that happened in a run."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        """Append an event; times must be non-decreasing."""
+        if self._events and event.time < self._events[-1].time - 1e-6:
+            raise ValueError(
+                f"trace must be time-ordered: got {event.time} after "
+                f"{self._events[-1].time}"
+            )
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_type(self, event_type: Type[E]) -> list[E]:
+        """All events of the given type, in time order."""
+        return [e for e in self._events if isinstance(e, event_type)]
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+    def services(self) -> list[ServiceCompleted]:
+        """All completed charging services."""
+        return self.of_type(ServiceCompleted)
+
+    def deaths(self) -> list[NodeDied]:
+        """All node deaths."""
+        return self.of_type(NodeDied)
+
+    def requests(self) -> list[RequestIssued]:
+        """All charging requests."""
+        return self.of_type(RequestIssued)
+
+    def detections(self) -> list[DetectionRaised]:
+        """All detector alarms."""
+        return self.of_type(DetectionRaised)
+
+    def first_detection_time(self) -> float | None:
+        """Time of the first alarm, or ``None`` if the run stayed clean."""
+        detections = self.detections()
+        return detections[0].time if detections else None
+
+    def served_node_ids(self) -> set[int]:
+        """Nodes that received at least one completed service."""
+        return {s.node_id for s in self.services()}
+
+    def dead_key_node_ids(self) -> set[int]:
+        """Key nodes that died during the run."""
+        return {d.node_id for d in self.deaths() if d.is_key}

@@ -1,0 +1,529 @@
+"""The WRSN simulation orchestrator.
+
+Drives the network, one or more mobile chargers (each with its own
+mission controller — honest or malicious) and the base-station detectors
+through a shared discrete-event loop.  Node energies are piecewise
+linear, so requests and deaths are *predicted* events revalidated on pop
+(see :mod:`repro.sim.engine`); the chargers' travel/wait/serve cycles
+and the detectors' audits supply the remaining events.
+
+The loop maintains four invariants:
+
+1. Every node's local clock equals the simulation clock whenever a
+   handler runs (``_advance`` walks all nodes forward first).
+2. A charger's clock equals the simulation clock whenever its controller
+   is consulted.
+3. The trace is time-ordered and contains every observable occurrence,
+   so metrics and detectors never need private channels into the loop.
+4. A pending request is *claimed* by at most one charger at a time, so
+   fleet members never race to the same node.
+
+Single-charger deployments (the paper's setting) use the plain
+``(network, charger, controller)`` constructor; fleets add
+``extra_units`` — each an independent ``(charger, controller)`` pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.detection.monitors import Detector
+from repro.mc.charger import ChargeMode, MobileCharger
+from repro.network.network import Network
+from repro.network.requests import ChargingRequest, predict_request
+from repro.sim.actions import (
+    IdleAction,
+    MissionController,
+    RechargeAction,
+    ServeAction,
+)
+from repro.sim.engine import EventQueue
+from repro.sim.events import (
+    DepotRecharged,
+    DetectionRaised,
+    NodeDied,
+    RequestIssued,
+    RoutingRecomputed,
+    ServiceAborted,
+    ServiceCompleted,
+)
+from repro.sim.trace import SimulationTrace
+from repro.utils.validation import check_positive
+
+__all__ = ["SimulationResult", "WrsnSimulation"]
+
+_EPS = 1e-6
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run leaves behind.
+
+    ``charger`` is the first (or only) unit's charger, preserving the
+    single-charger API; ``chargers`` lists the whole fleet.
+    """
+
+    trace: SimulationTrace
+    network: Network
+    charger: MobileCharger
+    controller_name: str
+    horizon_s: float
+    ended_at: float
+    initial_key_ids: frozenset[int]
+    detections: list[DetectionRaised] = field(default_factory=list)
+    charger_stranded: bool = False
+    chargers: list[MobileCharger] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.chargers:
+            self.chargers = [self.charger]
+
+    @property
+    def detected(self) -> bool:
+        """Whether any detector fired during the run."""
+        return bool(self.detections)
+
+    def exhausted_key_ids(self) -> frozenset[int]:
+        """Initially annotated key nodes that are dead at the end."""
+        return frozenset(
+            node_id
+            for node_id in self.initial_key_ids
+            if not self.network.nodes[node_id].alive
+        )
+
+    def exhausted_key_ratio(self) -> float:
+        """Fraction of the initial key nodes exhausted (0 if none existed)."""
+        if not self.initial_key_ids:
+            return 0.0
+        return len(self.exhausted_key_ids()) / len(self.initial_key_ids)
+
+
+class WrsnSimulation:
+    """One network, one or more chargers, a suite of detectors.
+
+    Parameters
+    ----------
+    network, charger, controller:
+        The substrate entities (mutated in place by the run); the first
+        charger/controller pair.
+    detectors:
+        Base-station detectors observing the run.
+    horizon_s:
+        Simulated duration.  Default 45 days — long enough for multi-
+        cycle charging campaigns at the default energy scales.
+    stop_on_detection:
+        Halt the run at the first alarm (detection-latency experiments);
+        by default the run continues so damage and detection can both be
+        measured.
+    extra_units:
+        Additional ``(charger, controller)`` pairs forming a fleet.
+        Every controller receives its charger via its ``charger``
+        attribute before ``on_start``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        charger: MobileCharger,
+        controller: MissionController,
+        detectors: Sequence[Detector] = (),
+        horizon_s: float = 45.0 * 86_400.0,
+        stop_on_detection: bool = False,
+        extra_units: Sequence[tuple[MobileCharger, MissionController]] = (),
+    ) -> None:
+        self.network = network
+        self.detectors = list(detectors)
+        self.horizon_s = check_positive("horizon_s", horizon_s)
+        self.stop_on_detection = stop_on_detection
+
+        self._units: list[tuple[MobileCharger, MissionController]] = [
+            (charger, controller)
+        ] + list(extra_units)
+        seen_chargers = set()
+        for mc, ctrl in self._units:
+            if id(mc) in seen_chargers:
+                raise ValueError("each unit needs its own MobileCharger")
+            seen_chargers.add(id(mc))
+            ctrl.charger = mc  # controllers command their own vehicle
+
+        self.now = 0.0
+        self.trace = SimulationTrace()
+        self.detections: list[DetectionRaised] = []
+        self._queue = EventQueue()
+        self._pending: dict[int, ChargingRequest] = {}
+        self._claimed: dict[int, int] = {}  # node id -> claiming unit
+        self._spoofed: set[int] = set()
+        n = len(self._units)
+        self._mc_idle = [True] * n
+        self._mc_busy = [False] * n
+        self._stranded_units: set[int] = set()
+        self._halted = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Unit accessors (single-charger API preserved)
+    # ------------------------------------------------------------------
+    @property
+    def charger(self) -> MobileCharger:
+        """The first (or only) charger."""
+        return self._units[0][0]
+
+    @property
+    def controller(self) -> MissionController:
+        """The first (or only) controller."""
+        return self._units[0][1]
+
+    @property
+    def chargers(self) -> list[MobileCharger]:
+        """Every charger in the fleet."""
+        return [mc for mc, _ctrl in self._units]
+
+    @property
+    def unit_count(self) -> int:
+        """Number of (charger, controller) units."""
+        return len(self._units)
+
+    # ------------------------------------------------------------------
+    # Public state queries (used by controllers and detectors)
+    # ------------------------------------------------------------------
+    def pending_requests(self) -> list[ChargingRequest]:
+        """Outstanding charging requests, oldest first."""
+        return sorted(self._pending.values(), key=lambda r: (r.time, r.node_id))
+
+    def unclaimed_requests(self) -> list[ChargingRequest]:
+        """Outstanding requests no charger is currently heading for."""
+        return [
+            r for r in self.pending_requests() if r.node_id not in self._claimed
+        ]
+
+    def spoofed_ids(self) -> frozenset[int]:
+        """Nodes that have received a spoofed or pretend service."""
+        return frozenset(self._spoofed)
+
+    # ------------------------------------------------------------------
+    # Node event scheduling
+    # ------------------------------------------------------------------
+    def _reschedule_node(self, node_id: int) -> None:
+        node = self.network.nodes[node_id]
+        key = ("node", node_id)
+        self._queue.invalidate(key)
+        if not node.alive:
+            return
+        if (
+            node_id not in self._pending
+            and self.network.routing_tree.is_connected(node_id)
+        ):
+            request_time = node.predicted_request_time()
+            if request_time != float("inf"):
+                self._queue.schedule(
+                    max(request_time, self.now), "request", node_id, key
+                )
+        death_time = node.predicted_death_time()
+        if death_time != float("inf"):
+            self._queue.schedule(max(death_time, self.now), "death", node_id, key)
+
+    def _reschedule_all_nodes(self) -> None:
+        for node_id in self.network.nodes:
+            self._reschedule_node(node_id)
+
+    # ------------------------------------------------------------------
+    # Core transitions
+    # ------------------------------------------------------------------
+    def _advance(self, time: float) -> None:
+        died = self.network.advance_to(time)
+        self.now = max(self.now, time)
+        for node_id in died:
+            self._process_death(node_id)
+
+    def _notify_controllers(self, event) -> None:
+        for _mc, ctrl in self._units:
+            ctrl.on_event(event, self)
+
+    def _process_death(self, node_id: int) -> None:
+        node = self.network.nodes[node_id]
+        self._pending.pop(node_id, None)
+        self._claimed.pop(node_id, None)
+        self.network.recompute_consumption()
+        stranded = len(self.network.stranded_ids())
+        event = NodeDied(
+            time=self.now,
+            node_id=node_id,
+            is_key=node.is_key,
+            was_spoofed=node_id in self._spoofed,
+            stranded_count=stranded,
+        )
+        self.trace.record(event)
+        self.trace.record(
+            RoutingRecomputed(
+                time=self.now,
+                alive_count=len(self.network.alive_ids()),
+                stranded_count=stranded,
+            )
+        )
+        for detector in self.detectors:
+            self._maybe_detect(detector.observe_death(event, self))
+        self._notify_controllers(event)
+        self._reschedule_all_nodes()
+        self._wake_all_chargers()
+
+    def _maybe_detect(self, detection: DetectionRaised | None) -> None:
+        if detection is None:
+            return
+        self.trace.record(detection)
+        self.detections.append(detection)
+        if self.stop_on_detection:
+            self._halted = True
+
+    def _wake_unit(self, unit: int) -> None:
+        """Prompt one idle charger to reconsider (new request, death, ...).
+
+        A *busy* charger (travelling, serving, recharging) is never
+        interrupted; it reconsiders when its current activity completes.
+        Wake events are versioned per unit so a newer wake supersedes any
+        earlier scheduled one.
+        """
+        if (
+            self._mc_idle[unit]
+            and not self._mc_busy[unit]
+            and unit not in self._stranded_units
+        ):
+            key = ("mc", unit)
+            self._queue.invalidate(key)
+            self._queue.schedule(self.now, "mc_free", unit, version_key=key)
+
+    def _wake_all_chargers(self) -> None:
+        for unit in range(len(self._units)):
+            self._wake_unit(unit)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_request(self, node_id: int) -> None:
+        node = self.network.nodes[node_id]
+        if not node.alive or node_id in self._pending:
+            return
+        if node.believed_energy_j > node.request_threshold_j + _EPS:
+            self._reschedule_node(node_id)  # prediction drifted; re-aim
+            return
+        request = predict_request(node)
+        if request is None:
+            return
+        self._pending[node_id] = request
+        event = RequestIssued(
+            time=self.now,
+            node_id=node_id,
+            deadline=request.deadline,
+            energy_needed_j=request.energy_needed_j,
+            is_key=node.is_key,
+        )
+        self.trace.record(event)
+        for detector in self.detectors:
+            self._maybe_detect(detector.observe_request(event, self))
+        self._notify_controllers(event)
+        self._reschedule_node(node_id)
+        self._wake_all_chargers()
+
+    def _handle_mc_free(self, unit: int) -> None:
+        if unit in self._stranded_units or self._mc_busy[unit]:
+            return
+        mc, controller = self._units[unit]
+        mc.wait_until(self.now)
+        action = controller.next_action(self)
+        if action is None:
+            self._mc_idle[unit] = True
+            return
+        try:
+            self._execute(unit, action)
+        except RuntimeError as exc:
+            # The charger ran itself dry mid-plan; it is now a brick in
+            # the field.  Record and stop driving it.
+            self.trace.record(
+                ServiceAborted(time=self.now, node_id=-1, reason=str(exc))
+            )
+            self._stranded_units.add(unit)
+
+    def _execute(self, unit: int, action) -> None:
+        mc, _controller = self._units[unit]
+        if isinstance(action, IdleAction):
+            # Idling is interruptible: requests and deaths re-wake the
+            # charger before `until` via _wake_unit.
+            self._mc_idle[unit] = True
+            wake = max(action.until, self.now)
+            key = ("mc", unit)
+            self._queue.invalidate(key)
+            self._queue.schedule(wake, "mc_free", unit, version_key=key)
+        elif isinstance(action, RechargeAction):
+            self._mc_idle[unit] = False
+            self._mc_busy[unit] = True
+            energy_before = mc.energy_j
+            mc.travel_to(mc.depot)
+            done = mc.clock + mc.depot_recharge_s
+            self._queue.schedule(done, "recharge_done", (unit, energy_before))
+        elif isinstance(action, ServeAction):
+            self._mc_idle[unit] = False
+            self._mc_busy[unit] = True
+            self._claimed[action.node_id] = unit
+            node = self.network.nodes[action.node_id]
+            mc.travel_to(node.position)
+            start = max(mc.clock, action.not_before)
+            self._queue.schedule(start, "service_start", (unit, action))
+        else:
+            raise TypeError(f"unknown action: {action!r}")
+
+    def _release_claim(self, unit: int, node_id: int) -> None:
+        if self._claimed.get(node_id) == unit:
+            del self._claimed[node_id]
+
+    def _handle_service_start(self, unit: int, action: ServeAction) -> None:
+        if unit in self._stranded_units:
+            return
+        mc, controller = self._units[unit]
+        node = self.network.nodes[action.node_id]
+        mc.wait_until(self.now)
+        if not node.alive:
+            self._release_claim(unit, action.node_id)
+            event = ServiceAborted(
+                time=self.now,
+                node_id=action.node_id,
+                reason="target died before service began",
+            )
+            self.trace.record(event)
+            controller.on_event(event, self)
+            self._mc_busy[unit] = False
+            self._queue.schedule(self.now, "mc_free", unit)
+            return
+        if action.duration_s is not None:
+            duration = action.duration_s
+        elif action.mode == ChargeMode.GENUINE:
+            deficit = node.battery_capacity_j - node.energy_j
+            duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+        else:
+            deficit = node.battery_capacity_j - node.believed_energy_j
+            duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+        try:
+            record = mc.perform_service(action.node_id, duration, action.mode)
+        except RuntimeError as exc:
+            self._release_claim(unit, action.node_id)
+            self.trace.record(
+                ServiceAborted(time=self.now, node_id=action.node_id, reason=str(exc))
+            )
+            self._stranded_units.add(unit)
+            return
+        self._queue.schedule(record.end_time, "service_end", (unit, record))
+
+    def _handle_service_end(self, unit: int, record) -> None:
+        node = self.network.nodes[record.node_id]
+        node.receive_charge(record.delivered_j, record.believed_j)
+        if record.mode in (ChargeMode.SPOOF, ChargeMode.PRETEND):
+            self._spoofed.add(record.node_id)
+        self._pending.pop(record.node_id, None)
+        self._release_claim(unit, record.node_id)
+        self._reschedule_node(record.node_id)
+        event = ServiceCompleted(
+            time=self.now,
+            node_id=record.node_id,
+            start_time=record.start_time,
+            mode=record.mode,
+            delivered_j=record.delivered_j,
+            believed_j=record.believed_j,
+            claimed_j=record.claimed_j,
+            emission_j=record.emission_j,
+            is_key=node.is_key,
+            believed_energy_after_j=node.believed_energy_j,
+            battery_capacity_j=node.battery_capacity_j,
+            charger_index=unit,
+        )
+        self.trace.record(event)
+        for detector in self.detectors:
+            self._maybe_detect(detector.observe_service(event, self))
+        self._notify_controllers(event)
+        self._mc_busy[unit] = False
+        self._queue.schedule(self.now, "mc_free", unit)
+
+    def _handle_recharge_done(self, unit: int, energy_before: float) -> None:
+        mc, _controller = self._units[unit]
+        mc.wait_until(self.now)
+        mc.energy_j = mc.battery_capacity_j
+        self.trace.record(
+            DepotRecharged(
+                time=self.now, energy_before_j=energy_before, charger_index=unit
+            )
+        )
+        self._mc_busy[unit] = False
+        self._queue.schedule(self.now, "mc_free", unit)
+
+    def _handle_audit(self, detector: Detector) -> None:
+        outcome = detector.perform_audit(self.now, self)
+        if outcome.audit is not None:
+            self.trace.record(outcome.audit)
+        self._maybe_detect(outcome.detection)
+        next_time = detector.next_audit_time(self.now)
+        if next_time is not None and next_time <= self.horizon_s:
+            self._queue.schedule(next_time, "audit", detector)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation once; a simulation object is single-use."""
+        if self._ran:
+            raise RuntimeError("a WrsnSimulation can only run once")
+        self._ran = True
+
+        for _mc, controller in self._units:
+            controller.on_start(self)
+        initial_key_ids = frozenset(self.network.key_ids())
+        self._reschedule_all_nodes()
+        for detector in self.detectors:
+            first = detector.next_audit_time(0.0)
+            if first is not None and first <= self.horizon_s:
+                self._queue.schedule(first, "audit", detector)
+        for unit in range(len(self._units)):
+            self._queue.schedule(0.0, "mc_free", unit, version_key=("mc", unit))
+
+        while not self._halted:
+            event = self._queue.pop()
+            if event is None or event.time > self.horizon_s:
+                break
+            self._advance(event.time)
+            if self._halted:
+                break
+            if event.kind == "request":
+                self._handle_request(event.payload)
+            elif event.kind == "death":
+                # Deaths are realised inside _advance; a popped death
+                # event whose node is somehow still alive means its
+                # prediction drifted — re-aim it.
+                if self.network.nodes[event.payload].alive:
+                    self._reschedule_node(event.payload)
+            elif event.kind == "mc_free":
+                self._handle_mc_free(event.payload)
+            elif event.kind == "service_start":
+                self._handle_service_start(*event.payload)
+            elif event.kind == "service_end":
+                self._handle_service_end(*event.payload)
+            elif event.kind == "recharge_done":
+                self._handle_recharge_done(*event.payload)
+            elif event.kind == "audit":
+                self._handle_audit(event.payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {event.kind!r}")
+
+        if not self._halted:
+            self._advance(self.horizon_s)
+
+        return SimulationResult(
+            trace=self.trace,
+            network=self.network,
+            charger=self.charger,
+            controller_name=getattr(
+                self.controller, "name", type(self.controller).__name__
+            ),
+            horizon_s=self.horizon_s,
+            ended_at=self.now,
+            initial_key_ids=initial_key_ids,
+            detections=self.detections,
+            charger_stranded=bool(self._stranded_units),
+            chargers=self.chargers,
+        )

@@ -1,0 +1,28 @@
+"""Simulated testbed (reconstruction R2 in DESIGN.md).
+
+The paper validates CSA on a small physical testbed of Powercast-class
+hardware.  Without RF hardware we run the identical attack/defence code
+path at testbed scale: eight nodes on a bench-top grid, a low-power
+charger and harvester with hardware-calibrated constants, per-trial
+deployment and hardware variation standing in for measurement noise.
+"""
+
+from repro.testbed.hardware import (
+    TestbedProfile,
+    default_testbed_profile,
+)
+from repro.testbed.testbed_sim import (
+    TestbedSummary,
+    TestbedTrial,
+    run_testbed,
+    run_testbed_trial,
+)
+
+__all__ = [
+    "TestbedProfile",
+    "TestbedSummary",
+    "TestbedTrial",
+    "default_testbed_profile",
+    "run_testbed",
+    "run_testbed_trial",
+]

@@ -1,0 +1,172 @@
+"""Testbed hardware profile: Powercast-class constants plus variation.
+
+The bench hardware differs from the deployment-scale simulation in every
+magnitude: coin-sized batteries (hundreds of joules), a 4-element 1 W
+charger, a P2110-class harvester saturating at 0.2 W, metre-scale
+distances and a crawling charger trolley.  Per-trial multiplicative
+perturbations of the element powers stand in for the measurement noise a
+real bench exhibits (connector losses, alignment, temperature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.em.charger_array import AntennaElement, ChargerArray
+from repro.em.propagation import FriisModel
+from repro.em.rectenna import Rectenna
+from repro.mc.charger import ChargingHardware, MobileCharger
+from repro.network.energy import RadioEnergyModel
+from repro.network.network import Network
+from repro.network.topology import Deployment, communication_graph
+from repro.network.traffic import TrafficModel
+from repro.utils.geometry import Point
+from repro.utils.validation import check_positive
+
+__all__ = ["TestbedProfile", "default_testbed_profile"]
+
+
+@dataclass(frozen=True)
+class TestbedProfile:
+    """Bench-top parameter set.
+
+    Attributes mirror :class:`repro.sim.scenario.ScenarioConfig` but at
+    testbed magnitudes; see module docstring.
+    """
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    node_rows: int = 2
+    node_cols: int = 4
+    spacing_m: float = 1.5
+    comm_range_m: float = 1.7
+    battery_capacity_j: float = 216.0
+    request_threshold_frac: float = 0.2
+    rate_low_bps: float = 50.0
+    rate_high_bps: float = 200.0
+    element_count: int = 4
+    element_power_w: float = 1.0
+    element_power_noise: float = 0.1
+    service_distance_m: float = 0.1
+    mc_battery_j: float = 100_000.0
+    mc_speed_m_s: float = 0.5
+    mc_travel_cost_j_per_m: float = 5.0
+    mc_depot_recharge_s: float = 600.0
+    key_count: int = 3
+    horizon_s: float = 96.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        check_positive("spacing_m", self.spacing_m)
+        check_positive("battery_capacity_j", self.battery_capacity_j)
+        if self.node_rows * self.node_cols < 2:
+            raise ValueError("testbed needs at least 2 nodes")
+
+    @property
+    def node_count(self) -> int:
+        """Number of bench nodes."""
+        return self.node_rows * self.node_cols
+
+    # ------------------------------------------------------------------
+    # Factories (per-trial, noise-bearing)
+    # ------------------------------------------------------------------
+    def build_hardware(self, rng: np.random.Generator) -> ChargingHardware:
+        """Charger front end with per-element power perturbations."""
+        spacing = 0.06
+        start = -(self.element_count - 1) * spacing / 2.0
+        elements = []
+        for i in range(self.element_count):
+            noise = float(
+                rng.uniform(
+                    1.0 - self.element_power_noise, 1.0 + self.element_power_noise
+                )
+            )
+            elements.append(
+                AntennaElement(
+                    offset=Point(start + i * spacing, 0.0),
+                    tx_power=self.element_power_w * noise,
+                )
+            )
+        array = ChargerArray(
+            elements=tuple(elements), propagation=FriisModel()
+        )
+        rectenna = Rectenna(
+            sensitivity_w=80e-6,
+            peak_efficiency=0.55,
+            knee_power_w=5e-3,
+            saturation_w=0.2,
+        )
+        return ChargingHardware(
+            array=array,
+            rectenna=rectenna,
+            service_distance_m=self.service_distance_m,
+        )
+
+    def build_network(self, rng: np.random.Generator) -> Network:
+        """Bench grid with per-trial placement jitter and initial charge."""
+        jitter = 0.1 * self.spacing_m
+        positions = []
+        for r in range(self.node_rows):
+            for c in range(self.node_cols):
+                positions.append(
+                    Point(
+                        c * self.spacing_m + float(rng.uniform(-jitter, jitter)),
+                        r * self.spacing_m + float(rng.uniform(-jitter, jitter)),
+                    )
+                )
+        width = max((self.node_cols - 1) * self.spacing_m, self.spacing_m)
+        height = max((self.node_rows - 1) * self.spacing_m, self.spacing_m)
+        base_station = Point(width / 2.0, height / 2.0)
+        deployment = Deployment(
+            positions=tuple(positions),
+            base_station=base_station,
+            width=width,
+            height=height,
+            comm_range=self.comm_range_m,
+        )
+        import networkx as nx
+
+        graph = communication_graph(
+            deployment.positions, base_station, self.comm_range_m
+        )
+        if not nx.is_connected(graph):
+            raise RuntimeError(
+                "testbed grid is not connected; adjust spacing or range"
+            )
+        traffic = TrafficModel.heterogeneous(
+            self.node_count, rng, low_bps=self.rate_low_bps, high_bps=self.rate_high_bps
+        )
+        network = Network(
+            deployment,
+            traffic,
+            radio=RadioEnergyModel(),
+            battery_capacity_j=self.battery_capacity_j,
+            request_threshold_frac=self.request_threshold_frac,
+            initial_energy_frac=1.0,
+        )
+        # Bench batteries never start identically charged: knock each one
+        # down by up to 10% (true and believed together — the node's gauge
+        # is calibrated at power-on).
+        for node in network.nodes.values():
+            node.set_initial_energy(float(rng.uniform(0.9, 1.0)))
+        return network
+
+    def build_charger(self, rng: np.random.Generator) -> MobileCharger:
+        """The bench trolley charger."""
+        width = max((self.node_cols - 1) * self.spacing_m, self.spacing_m)
+        height = max((self.node_rows - 1) * self.spacing_m, self.spacing_m)
+        return MobileCharger(
+            depot=Point(width / 2.0, height / 2.0),
+            battery_capacity_j=self.mc_battery_j,
+            speed_m_s=self.mc_speed_m_s,
+            travel_cost_j_per_m=self.mc_travel_cost_j_per_m,
+            hardware=self.build_hardware(rng),
+            depot_recharge_s=self.mc_depot_recharge_s,
+        )
+
+
+def default_testbed_profile() -> TestbedProfile:
+    """The 8-node bench the testbed experiment (EXP-11) runs on."""
+    return TestbedProfile()

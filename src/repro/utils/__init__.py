@@ -1,0 +1,36 @@
+"""Foundational utilities shared across the reproduction.
+
+This subpackage deliberately contains only dependency-free helpers:
+deterministic random-number management (:mod:`repro.utils.rng`), planar
+geometry (:mod:`repro.utils.geometry`), and argument validation
+(:mod:`repro.utils.validation`).
+"""
+
+from repro.utils.geometry import (
+    Point,
+    distance,
+    pairwise_distances,
+    tour_length,
+)
+from repro.utils.rng import RngFactory, make_rng
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "Point",
+    "RngFactory",
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "distance",
+    "make_rng",
+    "pairwise_distances",
+    "tour_length",
+]

@@ -1,0 +1,72 @@
+"""Planar geometry primitives used by the WRSN and charger models.
+
+All positions in the reproduction are 2-D points in metres.  The mobile
+charger travels in the plane; propagation distances for the charging model
+are Euclidean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Point", "distance", "pairwise_distances", "tour_length"]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point in the plane, in metres."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The midpoint of the segment between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A copy of this point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """This point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return a.distance_to(b)
+
+
+def pairwise_distances(points: Sequence[Point]) -> np.ndarray:
+    """Dense symmetric distance matrix for a sequence of points.
+
+    Returns an ``(n, n)`` float array with zeros on the diagonal.
+    """
+    coords = np.array([(p.x, p.y) for p in points], dtype=float)
+    if coords.size == 0:
+        return np.zeros((0, 0))
+    deltas = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=-1))
+
+
+def tour_length(points: Iterable[Point], closed: bool = True) -> float:
+    """Total length of the path visiting ``points`` in order.
+
+    With ``closed=True`` (the default) the path returns to its start, i.e.
+    the points form a tour; with ``closed=False`` it is an open route.
+    """
+    pts = list(points)
+    if len(pts) < 2:
+        return 0.0
+    total = sum(pts[i].distance_to(pts[i + 1]) for i in range(len(pts) - 1))
+    if closed:
+        total += pts[-1].distance_to(pts[0])
+    return total

@@ -1,0 +1,79 @@
+"""Argument-validation helpers with precise error messages.
+
+Model constructors across the reproduction take many physical parameters
+(powers, distances, capacities).  Validating them eagerly at the boundary —
+with the offending name and value in the message — turns silent physics
+nonsense (negative battery capacity, probability 1.3) into immediate,
+debuggable failures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_finite",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+]
+
+
+def _as_float(name: str, value: Any) -> float:
+    try:
+        result = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a real number, got {value!r}") from exc
+    return result
+
+
+def check_finite(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to be finite."""
+    result = _as_float(name, value)
+    if not math.isfinite(result):
+        raise ValueError(f"{name} must be finite, got {result!r}")
+    return result
+
+
+def check_positive(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to be finite and > 0."""
+    result = check_finite(name, value)
+    if result <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {result!r}")
+    return result
+
+
+def check_non_negative(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to be finite and >= 0."""
+    result = check_finite(name, value)
+    if result < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {result!r}")
+    return result
+
+
+def check_probability(name: str, value: Any) -> float:
+    """Return ``value`` as a float, requiring it to lie in [0, 1]."""
+    result = check_finite(name, value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {result!r}")
+    return result
+
+
+def check_in_range(
+    name: str,
+    value: Any,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Return ``value`` as a float, requiring it to lie in the given range."""
+    result = check_finite(name, value)
+    if inclusive:
+        if not low <= result <= high:
+            raise ValueError(f"{name} must be in [{low}, {high}], got {result!r}")
+    else:
+        if not low < result < high:
+            raise ValueError(f"{name} must be in ({low}, {high}), got {result!r}")
+    return result

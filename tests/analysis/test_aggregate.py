@@ -1,0 +1,69 @@
+"""Tests for multi-seed aggregation."""
+
+import pytest
+
+from repro.analysis.aggregate import aggregate, mean_ci
+
+
+class TestMeanCi:
+    def test_basic_statistics(self):
+        stats = mean_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.n == 5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 5.0
+        assert stats.std == pytest.approx(1.5811, abs=1e-3)
+
+    def test_ci_contains_mean_direction(self):
+        stats = mean_ci([10.0, 12.0, 11.0, 13.0])
+        assert stats.ci_half_width > 0.0
+        # 95% t-interval for n=4: t ~ 3.182.
+        assert stats.ci_half_width == pytest.approx(
+            3.182 * stats.std / 2.0, rel=1e-3
+        )
+
+    def test_single_value_zero_width(self):
+        stats = mean_ci([7.0])
+        assert stats.mean == 7.0
+        assert stats.ci_half_width == 0.0
+
+    def test_identical_values_zero_width(self):
+        stats = mean_ci([2.0, 2.0, 2.0])
+        assert stats.ci_half_width == 0.0
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 3.0, 2.0, 4.0]
+        assert (
+            mean_ci(data, confidence=0.99).ci_half_width
+            > mean_ci(data, confidence=0.9).ci_half_width
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.0)
+
+    def test_str_format(self):
+        assert "n=3" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+class TestAggregate:
+    def test_per_key_aggregation(self):
+        rows = [
+            {"ratio": 0.8, "utility": 3.0},
+            {"ratio": 1.0, "utility": 5.0},
+        ]
+        result = aggregate(rows, ["ratio", "utility"])
+        assert result["ratio"].mean == pytest.approx(0.9)
+        assert result["utility"].mean == pytest.approx(4.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            aggregate([{"a": 1.0}], ["b"])
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], ["a"])

@@ -1,0 +1,92 @@
+"""Tests for outcome metrics."""
+
+import pytest
+
+from repro.analysis.metrics import attack_metrics, lifetime_metrics, network_lifetime_s
+from repro.attack.attacker import CsaAttacker
+from repro.sim.benign import BenignController
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=50, key_count=5, horizon_days=40)
+
+
+@pytest.fixture(scope="module")
+def attack_result():
+    sim = WrsnSimulation(
+        CFG.build_network(seed=8),
+        CFG.build_charger(),
+        CsaAttacker(key_count=CFG.key_count),
+        horizon_s=CFG.horizon_s,
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def benign_result():
+    sim = WrsnSimulation(
+        CFG.build_network(seed=8),
+        CFG.build_charger(),
+        BenignController(),
+        horizon_s=CFG.horizon_s,
+    )
+    return sim.run()
+
+
+class TestAttackMetrics:
+    def test_counts_consistent(self, attack_result):
+        metrics = attack_metrics(attack_result)
+        assert metrics.key_count == 5
+        assert metrics.exhausted_key_count == len(
+            attack_result.exhausted_key_ids()
+        )
+        assert metrics.exhausted_key_ratio == pytest.approx(
+            metrics.exhausted_key_count / metrics.key_count
+        )
+
+    def test_utility_positive_when_nodes_exhausted(self, attack_result):
+        metrics = attack_metrics(attack_result)
+        if metrics.exhausted_key_count:
+            assert metrics.attack_utility > 0.0
+
+    def test_service_counts(self, attack_result):
+        metrics = attack_metrics(attack_result)
+        assert metrics.spoof_services + metrics.genuine_services == len(
+            attack_result.trace.services()
+        )
+
+    def test_energy_spent_positive_and_bounded(self, attack_result):
+        metrics = attack_metrics(attack_result)
+        refills = len(
+            [e for e in attack_result.trace if type(e).__name__ == "DepotRecharged"]
+        )
+        assert 0.0 < metrics.mc_energy_spent_j <= (
+            attack_result.charger.battery_capacity_j * (1 + refills)
+        )
+
+    def test_benign_run_scores_zero_attack(self, benign_result):
+        metrics = attack_metrics(benign_result)
+        assert metrics.spoof_services == 0
+        assert metrics.exhausted_key_count == 0
+
+
+class TestLifetimeMetrics:
+    def test_benign_network_outlives_attacked(self, benign_result, attack_result):
+        benign = lifetime_metrics(benign_result)
+        attacked = lifetime_metrics(attack_result)
+        assert benign.dead_count <= attacked.dead_count
+        assert benign.alive_connected_ratio >= attacked.alive_connected_ratio
+
+    def test_network_lifetime_definition(self, benign_result, attack_result):
+        assert network_lifetime_s(benign_result) == benign_result.horizon_s
+        if attack_result.trace.deaths():
+            assert network_lifetime_s(attack_result) == attack_result.trace.deaths()[0].time
+
+    def test_first_key_death_after_first_death(self, attack_result):
+        metrics = lifetime_metrics(attack_result)
+        if metrics.first_key_death_s is not None:
+            assert metrics.first_key_death_s >= metrics.first_death_s
+
+    def test_ratios_in_unit_interval(self, attack_result):
+        metrics = lifetime_metrics(attack_result)
+        assert 0.0 <= metrics.alive_connected_ratio <= 1.0

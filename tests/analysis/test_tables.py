@@ -1,0 +1,42 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_table, series_table
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "22" in lines[3]
+        # All data lines equally wide (padded).
+        assert len(set(len(l.rstrip()) <= len(lines[0]) for l in lines)) >= 1
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_separator_row(self):
+        text = format_table(["col"], [["v"]])
+        assert set(text.splitlines()[1]) <= {"-", " "}
+
+
+class TestSeriesTable:
+    def test_figure_style_layout(self):
+        text = series_table(
+            "N", [50, 100], {"CSA": [0.9, 0.85], "Random": [0.3, 0.2]},
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["N", "CSA", "Random"]
+        assert lines[2].split() == ["50", "0.9", "0.3"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table("x", [1, 2], {"s": [1.0]})

@@ -1,0 +1,118 @@
+"""White-box tests of the planned attacker's decision internals."""
+
+import pytest
+
+from repro.attack.attacker import CsaAttacker
+from repro.detection.auditors import default_detector_suite
+from repro.mc.charger import ChargeMode
+from repro.sim.actions import IdleAction, RechargeAction, ServeAction
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+
+
+def make_sim(seed=4, **attacker_kwargs):
+    attacker = CsaAttacker(key_count=CFG.key_count, **attacker_kwargs)
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        attacker,
+        horizon_s=CFG.horizon_s,
+    )
+    attacker.on_start(sim)
+    return sim, attacker
+
+
+class TestPlanningLifecycle:
+    def test_first_decision_builds_a_plan(self):
+        sim, attacker = make_sim()
+        attacker.next_action(sim)
+        assert attacker.last_plan is not None
+        assert attacker.replans == 1
+
+    def test_plan_targets_are_key_nodes(self):
+        sim, attacker = make_sim()
+        attacker.next_action(sim)
+        key_ids = sim.network.key_ids()
+        assert set(attacker.last_plan.route) <= key_ids
+
+    def test_stable_plan_is_not_rebuilt(self):
+        sim, attacker = make_sim()
+        attacker.next_action(sim)
+        replans = attacker.replans
+        attacker.next_action(sim)
+        assert attacker.replans == replans
+
+    def test_route_cost_decreases_as_route_consumed(self):
+        sim, attacker = make_sim()
+        attacker.next_action(sim)
+        if len(attacker._route) < 2:
+            pytest.skip("plan too short for this check on this seed")
+        full_cost = attacker._route_cost_j(sim)
+        attacker._pop_head()
+        assert attacker._route_cost_j(sim) < full_cost
+
+
+class TestDecisionShapes:
+    def test_early_window_means_idle(self):
+        sim, attacker = make_sim()
+        action = attacker.next_action(sim)
+        # At t=0 the first request is days away: the attacker must not
+        # drive yet (no cover either — nobody has requested anything).
+        assert isinstance(action, IdleAction)
+        assert action.until > 0.0
+
+    def test_low_battery_forces_depot(self):
+        sim, attacker = make_sim()
+        sim.charger.energy_j = 0.05 * sim.charger.battery_capacity_j
+        action = attacker.next_action(sim)
+        assert isinstance(action, RechargeAction)
+
+    def test_spoof_dispatch_carries_window_and_duration(self):
+        sim, attacker = make_sim()
+        attacker.next_action(sim)  # builds the plan (idles)
+        # Jump the world to the head target's departure point.
+        head = attacker._route[0]
+        depart = max(attacker._latest_starts[0], head.window_start)
+        mc = sim.charger
+        travel = mc.travel_time_to(head.position)
+        sim.network.advance_to(depart - travel)
+        sim.now = depart - travel
+        mc.wait_until(sim.now)
+        action = attacker.next_action(sim)
+        assert isinstance(action, ServeAction)
+        assert action.mode == ChargeMode.SPOOF
+        assert action.node_id == head.node_id
+        assert action.not_before == pytest.approx(depart)
+        assert action.duration_s == pytest.approx(head.service_duration)
+
+
+class TestSpoofBookkeeping:
+    def test_spoofed_nodes_never_replanned(self):
+        sim, attacker = make_sim()
+        attacker.note_spoofed(sim.network.key_nodes[0].node_id)
+        attacker._dirty = True
+        attacker.next_action(sim)
+        assert sim.network.key_nodes[0].node_id not in set(
+            attacker.last_plan.route
+        )
+        assert attacker.spoofed_ids() == {sim.network.key_nodes[0].node_id}
+
+
+class TestEndToEndAccounting:
+    def test_replans_track_events(self):
+        attacker = CsaAttacker(key_count=CFG.key_count)
+        sim = WrsnSimulation(
+            CFG.build_network(seed=4),
+            CFG.build_charger(),
+            attacker,
+            detectors=default_detector_suite(4),
+            horizon_s=CFG.horizon_s,
+        )
+        result = sim.run()
+        # At least one replan per spoofed victim (death-triggered).
+        spoofs = sum(
+            1 for s in result.trace.services() if s.mode == ChargeMode.SPOOF
+        )
+        assert attacker.replans >= spoofs

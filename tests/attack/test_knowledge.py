@@ -1,0 +1,108 @@
+"""Tests for the imperfect-knowledge attacker."""
+
+import pytest
+
+from repro.attack.knowledge import NoisyEstimator, derive_targets_with_error
+from repro.core.windows import StealthPolicy, derive_targets
+from repro.mc.charger import default_charging_hardware
+from repro.network.network import build_network
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return default_charging_hardware()
+
+
+@pytest.fixture()
+def network():
+    net = build_network(60, seed=33)
+    net.refresh_key_nodes(8)
+    return net
+
+
+class TestNoisyEstimator:
+    def test_zero_noise_is_identity(self):
+        estimator = NoisyEstimator(0.0, make_rng(1, "k"))
+        assert estimator.rate_factor(5) == 1.0
+
+    def test_factors_are_cached_per_node(self):
+        estimator = NoisyEstimator(0.3, make_rng(1, "k"))
+        assert estimator.rate_factor(5) == estimator.rate_factor(5)
+
+    def test_factors_differ_across_nodes(self):
+        estimator = NoisyEstimator(0.3, make_rng(1, "k"))
+        factors = {estimator.rate_factor(i) for i in range(10)}
+        assert len(factors) > 1
+
+    def test_factors_positive(self):
+        estimator = NoisyEstimator(1.0, make_rng(2, "k"))
+        assert all(estimator.rate_factor(i) > 0.0 for i in range(50))
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            NoisyEstimator(-0.1, make_rng(0, "k"))
+
+
+class TestDeriveWithError:
+    def test_zero_noise_matches_exact_derivation(self, network, hardware):
+        estimator = NoisyEstimator(0.0, make_rng(1, "k"))
+        exact = derive_targets(network, hardware, StealthPolicy(), now=0.0)
+        noisy = derive_targets_with_error(
+            network, hardware, StealthPolicy(), now=0.0, estimator=estimator
+        )
+        assert [t.node_id for t in noisy] == [t.node_id for t in exact]
+        for a, b in zip(noisy, exact):
+            assert a.window_start == pytest.approx(b.window_start, rel=1e-9)
+            assert a.window_end == pytest.approx(b.window_end, rel=1e-9)
+
+    def test_noise_shifts_windows(self, network, hardware):
+        estimator = NoisyEstimator(0.2, make_rng(7, "k"))
+        exact = {t.node_id: t for t in
+                 derive_targets(network, hardware, StealthPolicy(), now=0.0)}
+        noisy = derive_targets_with_error(
+            network, hardware, StealthPolicy(), now=0.0, estimator=estimator
+        )
+        shifted = [
+            t for t in noisy
+            if t.node_id in exact
+            and abs(t.window_start - exact[t.node_id].window_start) > 60.0
+        ]
+        assert shifted, "20% rate error should move windows by minutes+"
+
+    def test_windows_still_well_formed(self, network, hardware):
+        estimator = NoisyEstimator(0.5, make_rng(9, "k"))
+        for t in derive_targets_with_error(
+            network, hardware, StealthPolicy(), now=0.0, estimator=estimator
+        ):
+            assert t.window_start <= t.window_end
+            assert t.service_duration > 0.0
+
+    def test_dead_nodes_skipped(self, network, hardware):
+        victim = network.key_nodes[0].node_id
+        node = network.nodes[victim]
+        node.set_consumption(1e9)
+        node.advance_to(1.0)
+        estimator = NoisyEstimator(0.2, make_rng(7, "k"))
+        targets = derive_targets_with_error(
+            network, hardware, StealthPolicy(), now=1.0, estimator=estimator
+        )
+        assert all(t.node_id != victim for t in targets)
+
+
+class TestNoisyAttackerEndToEnd:
+    def test_small_error_still_attacks_well(self):
+        from repro.attack.attacker import CsaAttacker
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.wrsn_sim import WrsnSimulation
+
+        cfg = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+        estimator = NoisyEstimator(0.02, make_rng(3, "attacker-noise"))
+        sim = WrsnSimulation(
+            cfg.build_network(seed=3),
+            cfg.build_charger(),
+            CsaAttacker(key_count=cfg.key_count, estimator=estimator),
+            horizon_s=cfg.horizon_s,
+        )
+        result = sim.run()
+        assert result.exhausted_key_ratio() >= 0.5

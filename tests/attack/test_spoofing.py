@@ -1,0 +1,38 @@
+"""Tests for the physical-layer spoof report."""
+
+import math
+
+import pytest
+
+from repro.attack.spoofing import execute_spoof
+from repro.mc.charger import default_charging_hardware
+
+
+@pytest.fixture(scope="module")
+def report():
+    return execute_spoof(default_charging_hardware())
+
+
+class TestSpoofReport:
+    def test_harvest_is_nulled(self, report):
+        assert report.harvested_w == 0.0
+
+    def test_matches_simulator_rate(self, report):
+        hardware = default_charging_hardware()
+        assert report.harvested_w == pytest.approx(hardware.spoof_rate_w)
+
+    def test_pilot_still_trips(self, report):
+        assert report.pilot_tripped
+        assert report.pilot_rf_w >= default_charging_hardware().presence_threshold_w
+
+    def test_rectenna_rf_far_below_pilot(self, report):
+        assert report.rf_at_rectenna_w < report.pilot_rf_w / 100.0
+
+    def test_suppression_infinite_for_perfect_null(self, report):
+        assert math.isinf(report.suppression_db)
+
+    def test_genuine_reference_positive(self, report):
+        assert report.genuine_harvest_w > 1.0
+
+    def test_one_phase_per_element(self, report):
+        assert len(report.phases_rad) == default_charging_hardware().array.size

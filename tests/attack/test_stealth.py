@@ -1,0 +1,70 @@
+"""Tests for stealth-margin sizing against the audit process."""
+
+import math
+
+import pytest
+
+from repro.attack.stealth import detection_probability, exposure_cap_for_risk
+
+
+class TestDetectionProbability:
+    def test_zero_exposure_is_safe(self):
+        assert detection_probability(0.0, 86_400.0) == 0.0
+
+    def test_monotone_in_exposure(self):
+        probs = [
+            detection_probability(x, 86_400.0, 10.0)
+            for x in (3600.0, 7200.0, 36_000.0, 360_000.0)
+        ]
+        assert probs == sorted(probs)
+        assert all(0.0 <= p <= 1.0 for p in probs)
+
+    def test_rarer_audits_are_safer(self):
+        frequent = detection_probability(7200.0, 21_600.0)
+        rare = detection_probability(7200.0, 172_800.0)
+        assert rare < frequent
+
+    def test_bigger_pool_hides_better(self):
+        small = detection_probability(7200.0, 86_400.0, candidate_pool_size=2.0)
+        big = detection_probability(7200.0, 86_400.0, candidate_pool_size=20.0)
+        assert big < small
+
+    def test_closed_form(self):
+        # hazard = 1 / (T c); p = 1 - exp(-x/(T c)).
+        p = detection_probability(100.0, 50.0, 2.0)
+        assert p == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_rejects_negative_exposure(self):
+        with pytest.raises(ValueError):
+            detection_probability(-1.0, 100.0)
+
+
+class TestExposureCap:
+    def test_round_trip_with_probability(self):
+        cap = exposure_cap_for_risk(0.1, 5, 86_400.0, 10.0)
+        per_target = detection_probability(cap, 86_400.0, 10.0)
+        assert per_target * 5 == pytest.approx(0.1, rel=1e-9)
+
+    def test_more_targets_tighter_caps(self):
+        few = exposure_cap_for_risk(0.1, 2, 86_400.0)
+        many = exposure_cap_for_risk(0.1, 20, 86_400.0)
+        assert many < few
+
+    def test_higher_risk_appetite_looser_caps(self):
+        timid = exposure_cap_for_risk(0.05, 5, 86_400.0)
+        bold = exposure_cap_for_risk(0.5, 5, 86_400.0)
+        assert bold > timid
+
+    def test_rare_audits_allow_long_exposure(self):
+        cap = exposure_cap_for_risk(0.2, 10, 7 * 86_400.0, 10.0)
+        assert cap > 3600.0  # at least an hour of slack
+
+    def test_rejects_degenerate_risk(self):
+        with pytest.raises(ValueError):
+            exposure_cap_for_risk(0.0, 5, 86_400.0)
+        with pytest.raises(ValueError):
+            exposure_cap_for_risk(1.0, 5, 86_400.0)
+
+    def test_rejects_zero_targets(self):
+        with pytest.raises(ValueError):
+            exposure_cap_for_risk(0.1, 0, 86_400.0)

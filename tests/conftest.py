@@ -1,0 +1,78 @@
+"""Shared fixtures: canonical small instances reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tide import TideInstance, TideTarget
+from repro.mc.charger import default_charging_hardware
+from repro.network.network import build_network
+from repro.sim.scenario import ScenarioConfig
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture(scope="session")
+def hardware():
+    """The default charging hardware (cached — it is immutable)."""
+    return default_charging_hardware()
+
+
+@pytest.fixture()
+def small_network():
+    """A 40-node network, seed-pinned, with key nodes annotated."""
+    network = build_network(40, seed=7)
+    network.refresh_key_nodes(6)
+    return network
+
+
+@pytest.fixture()
+def tiny_scenario():
+    """A scenario small enough for fast end-to-end runs."""
+    return ScenarioConfig(node_count=40, key_count=5, horizon_days=40)
+
+
+def make_tide_instance(
+    n_targets: int = 6,
+    seed: int = 0,
+    budget_j: float = 400_000.0,
+    window_width_s: tuple[float, float] = (4 * 3600.0, 40 * 3600.0),
+) -> TideInstance:
+    """Random-but-deterministic TIDE instance for solver tests."""
+    rng = make_rng(seed, "tide-instance")
+    targets = []
+    for i in range(n_targets):
+        release = float(rng.uniform(0.0, 86_400.0))
+        width = float(rng.uniform(*window_width_s))
+        duration = float(rng.uniform(600.0, 3_000.0))
+        targets.append(
+            TideTarget(
+                node_id=i,
+                weight=float(rng.uniform(0.2, 1.0)),
+                position=Point(
+                    float(rng.uniform(0.0, 100.0)), float(rng.uniform(0.0, 100.0))
+                ),
+                window_start=release,
+                window_end=release + width,
+                service_duration=duration,
+                service_energy_j=24.0 * duration,
+            )
+        )
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=Point(50.0, 50.0),
+        start_time=0.0,
+        energy_budget_j=budget_j,
+    )
+
+
+@pytest.fixture()
+def tide_instance():
+    """A six-target TIDE instance solvable by every solver."""
+    return make_tide_instance()
+
+
+@pytest.fixture(scope="session")
+def tide_instance_factory():
+    """The instance-builder itself, for tests that sweep sizes/seeds."""
+    return make_tide_instance

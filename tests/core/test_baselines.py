@@ -1,0 +1,118 @@
+"""Tests for the attack-planning baselines."""
+
+import pytest
+
+from repro.core.baselines import (
+    EdfPlanner,
+    GreedyWeightPlanner,
+    NearestFirstPlanner,
+    RandomPlanner,
+    TspPlanner,
+    append_feasible,
+)
+from repro.core.csa import CsaPlanner
+from repro.core.tide import TideInstance, TideTarget, evaluate_route
+from repro.utils.geometry import Point
+
+ALL_PLANNERS = [
+    RandomPlanner(0),
+    GreedyWeightPlanner(),
+    NearestFirstPlanner(),
+    EdfPlanner(),
+    TspPlanner(),
+]
+
+
+def target(node_id, x=0.0, y=0.0, weight=1.0, start=0.0, end=1e7,
+           duration=100.0, energy=1000.0):
+    return TideTarget(
+        node_id=node_id, weight=weight, position=Point(x, y),
+        window_start=start, window_end=end,
+        service_duration=duration, service_energy_j=energy,
+    )
+
+
+def instance(targets, budget=1e6):
+    return TideInstance(
+        targets=tuple(targets), start_position=Point(0, 0), start_time=0.0,
+        energy_budget_j=budget, speed_m_s=5.0, travel_cost_j_per_m=50.0,
+    )
+
+
+class TestAppendFeasible:
+    def test_keeps_feasible_prefix_order(self):
+        inst = instance([target(0, x=10.0), target(1, x=20.0)])
+        route, ev = append_feasible(inst, [1, 0])
+        assert route == [1, 0]
+        assert ev.feasible
+
+    def test_skips_infeasible(self):
+        inst = instance([target(0, x=1e6, end=1.0), target(1, x=10.0)])
+        route, _ev = append_feasible(inst, [0, 1])
+        assert route == [1]
+
+    def test_respects_budget(self):
+        inst = instance([target(i, x=1.0) for i in range(5)], budget=2200.0)
+        route, ev = append_feasible(inst, list(range(5)))
+        assert len(route) == 2
+        assert ev.energy_j <= 2200.0
+
+
+@pytest.mark.parametrize("planner", ALL_PLANNERS, ids=lambda p: p.name)
+class TestAllBaselines:
+    def test_plans_are_feasible(self, planner, tide_instance):
+        plan = planner.plan(tide_instance)
+        assert evaluate_route(tide_instance, plan.route).feasible
+
+    def test_empty_instance(self, planner):
+        plan = planner.plan(instance([]))
+        assert plan.route == ()
+
+    def test_name_recorded(self, planner, tide_instance):
+        assert planner.plan(tide_instance).planner_name == planner.name
+
+    def test_never_beats_csa_on_canonical_instances(
+        self, planner, tide_instance_factory
+    ):
+        # Not a theorem — but on these window-constrained instances the
+        # cost-benefit greedy should never lose; a loss is a regression.
+        csa = CsaPlanner()
+        for seed in range(5):
+            inst = tide_instance_factory(n_targets=10, seed=seed + 40,
+                                         budget_j=500_000.0)
+            assert csa.plan(inst).utility >= planner.plan(inst).utility - 1e-9
+
+
+class TestIndividualBehaviours:
+    def test_random_is_seed_deterministic(self, tide_instance):
+        assert (
+            RandomPlanner(7).plan(tide_instance).route
+            == RandomPlanner(7).plan(tide_instance).route
+        )
+
+    def test_greedy_weight_prefers_heavy(self):
+        light = target(0, x=1.0, weight=0.1, energy=1000.0)
+        heavy = target(1, x=1.0, weight=5.0, energy=1000.0)
+        inst = instance([light, heavy], budget=1100.0)
+        plan = GreedyWeightPlanner().plan(inst)
+        assert plan.served == frozenset({1})
+
+    def test_nearest_first_goes_close(self):
+        near = target(0, x=5.0, energy=1000.0)
+        far = target(1, x=90.0, energy=1000.0)
+        inst = instance([near, far], budget=2000.0)
+        plan = NearestFirstPlanner().plan(inst)
+        assert plan.route[0] == 0
+
+    def test_edf_orders_by_deadline(self):
+        relaxed = target(0, x=5.0, end=1e6)
+        urgent = target(1, x=5.0, end=500.0)
+        plan = EdfPlanner().plan(instance([relaxed, urgent]))
+        assert plan.route[0] == 1
+
+    def test_tsp_travels_economically(self):
+        # Targets on a line; the TSP order should sweep, not zig-zag.
+        targets = [target(i, x=10.0 * (i + 1)) for i in range(5)]
+        plan = TspPlanner().plan(instance(targets))
+        xs = [instance(targets).target(nid).position.x for nid in plan.route]
+        assert xs == sorted(xs)

@@ -1,0 +1,84 @@
+"""Tests for the bounded performance guarantee."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    GREEDY_GUARANTEE,
+    check_guarantee,
+    empirical_ratio,
+)
+from repro.core.csa import CsaPlanner
+from repro.core.optimal import solve_tide_exact
+
+
+class TestConstant:
+    def test_value(self):
+        assert GREEDY_GUARANTEE == pytest.approx(0.5 * (1.0 - 1.0 / math.e))
+        assert 0.31 < GREEDY_GUARANTEE < 0.32
+
+
+class TestEmpiricalRatio:
+    def test_basic(self):
+        assert empirical_ratio(3.0, 4.0) == pytest.approx(0.75)
+
+    def test_zero_optimum_defined_as_one(self):
+        assert empirical_ratio(0.0, 0.0) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            empirical_ratio(-1.0, 2.0)
+
+
+class TestCheckGuarantee:
+    def test_holds_on_random_instances(self, tide_instance_factory):
+        planner = CsaPlanner()
+        ratios = []
+        for seed in range(12):
+            inst = tide_instance_factory(n_targets=8, seed=seed + 200,
+                                         budget_j=350_000.0)
+            csa_plan = planner.plan(inst)
+            opt_plan = solve_tide_exact(inst)
+            cert = check_guarantee(inst, csa_plan, opt_plan)
+            assert cert.holds, (
+                f"seed {seed}: ratio {cert.ratio:.3f} below "
+                f"{GREEDY_GUARANTEE:.3f}"
+            )
+            ratios.append(cert.ratio)
+        # Empirically CSA is near-optimal, far above the worst-case bound.
+        assert sum(ratios) / len(ratios) > 0.9
+
+    def test_holds_under_tight_budgets(self, tide_instance_factory):
+        planner = CsaPlanner()
+        for seed in range(8):
+            inst = tide_instance_factory(n_targets=7, seed=seed + 300,
+                                         budget_j=120_000.0)
+            cert = check_guarantee(
+                inst, planner.plan(inst), solve_tide_exact(inst)
+            )
+            assert cert.holds
+
+    def test_holds_under_tight_windows(self, tide_instance_factory):
+        planner = CsaPlanner()
+        for seed in range(8):
+            inst = tide_instance_factory(
+                n_targets=7, seed=seed + 400, budget_j=300_000.0,
+                window_width_s=(900.0, 5400.0),
+            )
+            cert = check_guarantee(
+                inst, planner.plan(inst), solve_tide_exact(inst)
+            )
+            assert cert.holds
+
+    def test_certificate_fields(self, tide_instance_factory):
+        inst = tide_instance_factory(n_targets=5, seed=1)
+        csa_plan = CsaPlanner().plan(inst)
+        opt_plan = solve_tide_exact(inst)
+        cert = check_guarantee(inst, csa_plan, opt_plan)
+        assert cert.n_targets == 5
+        assert cert.csa_utility == pytest.approx(csa_plan.utility)
+        assert cert.optimal_utility == pytest.approx(opt_plan.utility)
+        assert cert.ratio == pytest.approx(
+            csa_plan.utility / opt_plan.utility
+        )

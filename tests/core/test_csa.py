@@ -1,0 +1,151 @@
+"""Tests for the CSA approximation algorithm."""
+
+import pytest
+
+from repro.core.csa import CsaPlanner
+from repro.core.tide import TideInstance, TideTarget, evaluate_route
+from repro.core.utility import CoverageUtility
+from repro.utils.geometry import Point
+
+
+def target(node_id, x=0.0, weight=1.0, start=0.0, end=1e7, duration=100.0,
+           energy=1000.0):
+    return TideTarget(
+        node_id=node_id, weight=weight, position=Point(x, 0.0),
+        window_start=start, window_end=end,
+        service_duration=duration, service_energy_j=energy,
+    )
+
+
+def instance(targets, budget=1e6):
+    return TideInstance(
+        targets=tuple(targets), start_position=Point(0, 0), start_time=0.0,
+        energy_budget_j=budget, speed_m_s=5.0, travel_cost_j_per_m=50.0,
+    )
+
+
+class TestPlanBasics:
+    def test_plans_are_feasible(self, tide_instance):
+        plan = CsaPlanner().plan(tide_instance)
+        assert plan.evaluation.feasible
+        check = evaluate_route(tide_instance, plan.route)
+        assert check.feasible
+        assert check.utility == pytest.approx(plan.utility)
+
+    def test_empty_instance(self):
+        plan = CsaPlanner().plan(instance([]))
+        assert plan.route == ()
+        assert plan.utility == 0.0
+
+    def test_serves_everything_under_loose_budget(self):
+        inst = instance([target(i, x=10.0 * i) for i in range(5)], budget=1e9)
+        plan = CsaPlanner().plan(inst)
+        assert plan.served == frozenset(range(5))
+
+    def test_deterministic(self, tide_instance):
+        a = CsaPlanner().plan(tide_instance)
+        b = CsaPlanner().plan(tide_instance)
+        assert a.route == b.route
+
+    def test_planner_name(self, tide_instance):
+        assert CsaPlanner().plan(tide_instance).planner_name == "CSA"
+
+    def test_plan_route_convenience(self, tide_instance):
+        planner = CsaPlanner()
+        assert tuple(planner.plan_route(tide_instance)) == planner.plan(
+            tide_instance
+        ).route
+
+
+class TestBudgetAwareness:
+    def test_respects_budget(self):
+        inst = instance([target(i, x=10.0 * i) for i in range(6)], budget=3500.0)
+        plan = CsaPlanner().plan(inst)
+        assert plan.evaluation.energy_j <= 3500.0 + 1e-6
+        assert 0 < len(plan.served) < 6
+
+    def test_zero_budget_plans_nothing(self):
+        inst = instance([target(0, energy=100.0)], budget=0.0)
+        plan = CsaPlanner().plan(inst)
+        assert plan.route == ()
+
+    def test_prefers_cost_effective_targets(self):
+        # Same weight, one is 10x cheaper: under a budget that fits only
+        # one, CSA must take the cheap one.
+        cheap = target(0, x=1.0, energy=100.0)
+        costly = target(1, x=1.0, energy=5000.0)
+        inst = instance([cheap, costly], budget=300.0)
+        plan = CsaPlanner().plan(inst)
+        assert plan.served == frozenset({0})
+
+    def test_best_single_safeguard(self):
+        # One heavy far target vs many light near ones; budget fits either
+        # the heavy one alone or the light ones.  Whatever greedy does,
+        # the result must be at least the heavy target's weight.
+        heavy = target(9, x=100.0, weight=10.0, energy=4000.0)
+        lights = [target(i, x=float(i), weight=0.4, energy=400.0) for i in range(5)]
+        inst = instance(lights + [heavy], budget=9000.0)
+        plan = CsaPlanner().plan(inst)
+        assert plan.utility >= 10.0 - 1e-9
+
+
+class TestWindowAwareness:
+    def test_orders_around_tight_windows(self):
+        # Target 0's window closes immediately; 1's opens late.
+        urgent = target(0, x=10.0, start=0.0, end=30.0)
+        late = target(1, x=10.0, start=5000.0, end=9000.0)
+        inst = instance([urgent, late])
+        plan = CsaPlanner().plan(inst)
+        assert plan.served == frozenset({0, 1})
+        assert plan.route[0] == 0
+
+    def test_skips_unreachable_windows(self):
+        gone = target(0, x=1e5, end=1.0)  # cannot arrive in time
+        fine = target(1, x=10.0)
+        inst = instance([gone, fine])
+        plan = CsaPlanner().plan(inst)
+        assert plan.served == frozenset({1})
+
+    def test_disjoint_windows_both_served(self):
+        a = target(0, x=10.0, start=0.0, end=1000.0)
+        b = target(1, x=10.0, start=50_000.0, end=60_000.0)
+        plan = CsaPlanner().plan(instance([a, b]))
+        assert plan.served == frozenset({0, 1})
+
+
+class TestSubmodularUtility:
+    def test_coverage_utility_diversifies(self):
+        # Two regions; three targets in region A, one in region B, equal
+        # weights and costs; budget fits two services.  A submodular
+        # planner must take one from each region, not two from A.
+        targets = [
+            target(0, x=1.0, energy=1000.0),
+            target(1, x=2.0, energy=1000.0),
+            target(2, x=3.0, energy=1000.0),
+            target(3, x=4.0, energy=1000.0),
+        ]
+        coverage = CoverageUtility(
+            regions={"A": frozenset({0, 1, 2}), "B": frozenset({3})},
+            region_weights={"A": 1.0, "B": 1.0},
+        )
+        inst = instance(targets, budget=2400.0)
+        plan = CsaPlanner(utility=coverage).plan(inst)
+        assert 3 in plan.served
+        assert len(plan.served & {0, 1, 2}) == 1
+
+    def test_zero_marginal_targets_not_inserted(self):
+        coverage = CoverageUtility(
+            regions={"A": frozenset({0})}, region_weights={"A": 1.0}
+        )
+        # Target 1 is in no region: zero marginal gain, never inserted.
+        inst = instance([target(0, x=1.0), target(1, x=1.0)])
+        plan = CsaPlanner(utility=coverage).plan(inst)
+        assert plan.served == frozenset({0})
+
+
+class TestScaling:
+    def test_handles_moderate_instances(self, tide_instance_factory):
+        inst = tide_instance_factory(n_targets=25, seed=5, budget_j=2e6)
+        plan = CsaPlanner().plan(inst)
+        assert plan.evaluation.feasible
+        assert len(plan.served) > 10

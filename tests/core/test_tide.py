@@ -1,0 +1,164 @@
+"""Tests for TIDE instances, routes and feasibility evaluation."""
+
+import pytest
+
+from repro.core.tide import (
+    RouteEvaluation,
+    TideInstance,
+    TidePlan,
+    TideTarget,
+    evaluate_route,
+)
+from repro.utils.geometry import Point
+
+
+def target(node_id, x=0.0, y=0.0, start=0.0, end=1e6, duration=100.0,
+           energy=1000.0, weight=1.0):
+    return TideTarget(
+        node_id=node_id,
+        weight=weight,
+        position=Point(x, y),
+        window_start=start,
+        window_end=end,
+        service_duration=duration,
+        service_energy_j=energy,
+    )
+
+
+def instance(targets, budget=1e6, start=Point(0, 0), start_time=0.0):
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=start,
+        start_time=start_time,
+        energy_budget_j=budget,
+        speed_m_s=5.0,
+        travel_cost_j_per_m=50.0,
+    )
+
+
+class TestTideTarget:
+    def test_window_width(self):
+        assert target(0, start=10.0, end=40.0).window_width == pytest.approx(30.0)
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            target(0, start=10.0, end=5.0)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            target(0, weight=0.0)
+
+
+class TestTideInstance:
+    def test_lookup(self):
+        inst = instance([target(3), target(7)])
+        assert inst.target(7).node_id == 7
+        with pytest.raises(KeyError):
+            inst.target(99)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            instance([target(1), target(1)])
+
+    def test_total_weight(self):
+        inst = instance([target(0, weight=0.5), target(1, weight=0.7)])
+        assert inst.total_weight() == pytest.approx(1.2)
+
+
+class TestEvaluateRoute:
+    def test_empty_route_feasible(self):
+        ev = evaluate_route(instance([target(0)]), [])
+        assert ev.feasible
+        assert ev.utility == 0.0
+        assert ev.energy_j == 0.0
+
+    def test_single_visit_schedule(self):
+        inst = instance([target(0, x=100.0)])
+        ev = evaluate_route(inst, [0])
+        assert ev.feasible
+        visit = ev.visits[0]
+        assert visit.arrival == pytest.approx(20.0)  # 100 m at 5 m/s
+        assert visit.service_start == pytest.approx(20.0)
+        assert visit.departure == pytest.approx(120.0)
+        assert ev.energy_j == pytest.approx(100.0 * 50.0 + 1000.0)
+
+    def test_waiting_for_window(self):
+        inst = instance([target(0, x=10.0, start=500.0)])
+        ev = evaluate_route(inst, [0])
+        visit = ev.visits[0]
+        assert visit.arrival == pytest.approx(2.0)
+        assert visit.service_start == pytest.approx(500.0)
+        assert visit.waiting == pytest.approx(498.0)
+
+    def test_missed_window_infeasible(self):
+        inst = instance([target(0, x=1000.0, end=10.0)])
+        ev = evaluate_route(inst, [0])
+        assert not ev.feasible
+        assert "misses window" in ev.infeasible_reason
+
+    def test_budget_violation_infeasible(self):
+        inst = instance([target(0, x=100.0, energy=500.0)], budget=5400.0)
+        # travel 5000 + service 500 = 5500 > 5400
+        ev = evaluate_route(inst, [0])
+        assert not ev.feasible
+        assert "budget" in ev.infeasible_reason
+
+    def test_budget_exact_is_feasible(self):
+        inst = instance([target(0, x=100.0, energy=500.0)], budget=5500.0)
+        assert evaluate_route(inst, [0]).feasible
+
+    def test_sequence_timing_accumulates(self):
+        inst = instance([target(0, x=10.0), target(1, x=20.0)])
+        ev = evaluate_route(inst, [0, 1])
+        assert ev.visits[1].arrival == pytest.approx(102.0 + 2.0)
+        assert ev.finish_time == pytest.approx(204.0)
+
+    def test_order_matters_for_windows(self):
+        near_deadline = target(0, x=10.0, end=5.0)
+        relaxed = target(1, x=20.0)
+        inst = instance([near_deadline, relaxed])
+        assert evaluate_route(inst, [0, 1]).feasible
+        assert not evaluate_route(inst, [1, 0]).feasible
+
+    def test_duplicate_visit_rejected(self):
+        inst = instance([target(0)])
+        ev = evaluate_route(inst, [0, 0])
+        assert not ev.feasible
+        assert "more than once" in ev.infeasible_reason
+
+    def test_utility_sums_weights(self):
+        inst = instance([target(0, weight=0.3), target(1, x=1.0, weight=0.9)])
+        ev = evaluate_route(inst, [0, 1])
+        assert ev.utility == pytest.approx(1.2)
+
+    def test_served_ids(self):
+        inst = instance([target(0), target(1, x=1.0)])
+        assert evaluate_route(inst, [1]).served_ids() == frozenset({1})
+        bad = evaluate_route(inst, [0, 0])
+        assert bad.served_ids() == frozenset()
+
+    def test_start_time_offsets_schedule(self):
+        inst = instance([target(0, x=10.0)], start_time=1000.0)
+        ev = evaluate_route(inst, [0])
+        assert ev.visits[0].arrival == pytest.approx(1002.0)
+
+
+class TestTidePlan:
+    def test_plan_properties(self):
+        inst = instance([target(0, weight=0.4)])
+        ev = evaluate_route(inst, [0])
+        plan = TidePlan(route=(0,), evaluation=ev, planner_name="test")
+        assert plan.utility == pytest.approx(0.4)
+        assert plan.served == frozenset({0})
+
+    def test_plan_requires_feasible_evaluation(self):
+        inst = instance([target(0, x=1e9, end=1.0)])
+        bad = evaluate_route(inst, [0])
+        with pytest.raises(ValueError):
+            TidePlan(route=(0,), evaluation=bad, planner_name="test")
+
+    def test_empty_plan_allowed(self):
+        inst = instance([target(0)])
+        plan = TidePlan(route=(), evaluation=evaluate_route(inst, []),
+                        planner_name="test")
+        assert plan.utility == 0.0

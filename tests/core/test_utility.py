@@ -1,0 +1,76 @@
+"""Tests for attack utility functions."""
+
+import pytest
+
+from repro.core.utility import CoverageUtility, ModularUtility
+
+
+class TestModularUtility:
+    @pytest.fixture()
+    def utility(self):
+        return ModularUtility({1: 0.5, 2: 0.3, 3: 1.0})
+
+    def test_value_sums(self, utility):
+        assert utility.value(frozenset({1, 2})) == pytest.approx(0.8)
+        assert utility.value(frozenset()) == 0.0
+
+    def test_marginal(self, utility):
+        assert utility.marginal(frozenset({1}), 3) == pytest.approx(1.0)
+        assert utility.marginal(frozenset({1}), 1) == 0.0
+
+    def test_unknown_ids_worth_nothing(self, utility):
+        assert utility.value(frozenset({99})) == 0.0
+
+    def test_monotone(self, utility):
+        assert utility.value(frozenset({1, 2, 3})) >= utility.value(frozenset({1}))
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            ModularUtility({1: 0.0})
+
+    def test_from_targets(self):
+        class FakeTarget:
+            def __init__(self, node_id, weight):
+                self.node_id = node_id
+                self.weight = weight
+
+        utility = ModularUtility.from_targets([FakeTarget(4, 0.7)])
+        assert utility.weight(4) == pytest.approx(0.7)
+
+
+class TestCoverageUtility:
+    @pytest.fixture()
+    def utility(self):
+        return CoverageUtility(
+            regions={"north": frozenset({1, 2}), "south": frozenset({3})},
+            region_weights={"north": 1.0, "south": 2.0},
+            decay=0.5,
+        )
+
+    def test_first_hit_takes_most(self, utility):
+        assert utility.value(frozenset({1})) == pytest.approx(0.5)
+        assert utility.value(frozenset({1, 2})) == pytest.approx(0.75)
+
+    def test_regions_independent(self, utility):
+        assert utility.value(frozenset({1, 3})) == pytest.approx(0.5 + 1.0)
+
+    def test_submodular_diminishing_returns(self, utility):
+        gain_alone = utility.marginal(frozenset(), 2)
+        gain_after = utility.marginal(frozenset({1}), 2)
+        assert gain_after < gain_alone
+
+    def test_monotone(self, utility):
+        sets = [frozenset(), frozenset({1}), frozenset({1, 2}), frozenset({1, 2, 3})]
+        values = [utility.value(s) for s in sets]
+        assert values == sorted(values)
+
+    def test_outsider_worth_nothing(self, utility):
+        assert utility.marginal(frozenset(), 99) == 0.0
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageUtility({"a": frozenset({1})}, {"b": 1.0})
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageUtility({"a": frozenset({1})}, {"a": 1.0}, decay=1.0)

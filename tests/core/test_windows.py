@@ -1,0 +1,116 @@
+"""Tests for stealthy service-window derivation."""
+
+import math
+
+import pytest
+
+from repro.core.windows import StealthPolicy, derive_targets
+from repro.mc.charger import default_charging_hardware
+from repro.network.network import build_network
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return default_charging_hardware()
+
+
+@pytest.fixture()
+def network():
+    net = build_network(60, seed=21)
+    net.refresh_key_nodes(8)
+    return net
+
+
+class TestStealthPolicy:
+    def test_defaults(self):
+        policy = StealthPolicy()
+        # Attacker grace strictly exceeds the defender's default 2 h
+        # death-after-charge window.
+        assert policy.grace_period_s == pytest.approx(10_800.0)
+        assert policy.exposure_cap_s == pytest.approx(21_600.0)
+
+    def test_cap_below_grace_rejected(self):
+        with pytest.raises(ValueError):
+            StealthPolicy(grace_period_s=7200.0, exposure_cap_s=3600.0)
+
+    def test_audit_blind(self):
+        policy = StealthPolicy.audit_blind()
+        assert math.isinf(policy.exposure_cap_s)
+        assert policy.grace_period_s > 0.0
+
+    def test_none_policy(self):
+        policy = StealthPolicy.none()
+        assert policy.grace_period_s == 0.0
+        assert math.isinf(policy.exposure_cap_s)
+
+
+class TestDeriveTargets:
+    def test_targets_cover_key_nodes(self, network, hardware):
+        targets = derive_targets(network, hardware, StealthPolicy(), now=0.0)
+        key_ids = network.key_ids()
+        assert targets
+        assert {t.node_id for t in targets} <= key_ids
+
+    def test_window_inside_request_death_span(self, network, hardware):
+        for t in derive_targets(network, hardware, StealthPolicy(), now=0.0):
+            assert t.window_start >= t.request_time - 1e-6
+            assert t.window_end + t.service_duration <= t.death_time + 1e-6
+
+    def test_window_respects_grace(self, network, hardware):
+        policy = StealthPolicy(grace_period_s=7200.0, exposure_cap_s=21_600.0)
+        for t in derive_targets(network, hardware, policy, now=0.0):
+            latest_end = t.window_end + t.service_duration
+            assert t.death_time - latest_end >= policy.grace_period_s - 1e-6
+
+    def test_window_respects_exposure_cap(self, network, hardware):
+        policy = StealthPolicy(grace_period_s=7200.0, exposure_cap_s=21_600.0)
+        for t in derive_targets(network, hardware, policy, now=0.0):
+            earliest_end = t.window_start + t.service_duration
+            assert t.death_time - earliest_end <= policy.exposure_cap_s + 1e-6
+
+    def test_width_bounded_by_cap_minus_grace(self, network, hardware):
+        policy = StealthPolicy(grace_period_s=7200.0, exposure_cap_s=21_600.0)
+        for t in derive_targets(network, hardware, policy, now=0.0):
+            assert t.window_width <= (
+                policy.exposure_cap_s - policy.grace_period_s
+            ) + 1e-6
+
+    def test_audit_blind_windows_are_wider(self, network, hardware):
+        tight = derive_targets(network, hardware, StealthPolicy(), now=0.0)
+        loose = derive_targets(network, hardware, StealthPolicy.audit_blind(), now=0.0)
+        tight_by_id = {t.node_id: t for t in tight}
+        for t in loose:
+            if t.node_id in tight_by_id:
+                assert t.window_width >= tight_by_id[t.node_id].window_width - 1e-6
+
+    def test_sorted_by_window_end(self, network, hardware):
+        targets = derive_targets(network, hardware, StealthPolicy(), now=0.0)
+        ends = [t.window_end for t in targets]
+        assert ends == sorted(ends)
+
+    def test_service_energy_matches_duration(self, network, hardware):
+        for t in derive_targets(network, hardware, StealthPolicy(), now=0.0):
+            assert t.service_energy_j == pytest.approx(
+                hardware.emission_w * t.service_duration
+            )
+
+    def test_now_clips_window_start(self, network, hardware):
+        late = derive_targets(network, hardware, StealthPolicy.none(), now=1e6)
+        for t in late:
+            assert t.window_start >= 1e6 - 1e-6
+
+    def test_far_future_now_drops_everything(self, network, hardware):
+        assert derive_targets(network, hardware, StealthPolicy(), now=1e10) == []
+
+    def test_dead_key_nodes_skipped(self, network, hardware):
+        victim = network.key_nodes[0].node_id
+        node = network.nodes[victim]
+        node.set_consumption(1e9)
+        node.advance_to(1.0)
+        targets = derive_targets(network, hardware, StealthPolicy(), now=1.0)
+        assert all(t.node_id != victim for t in targets)
+
+    def test_weights_carried_over(self, network, hardware):
+        weights = {i.node_id: i.weight for i in network.key_nodes}
+        for t in derive_targets(network, hardware, StealthPolicy(), now=0.0):
+            assert t.weight == pytest.approx(weights[t.node_id])

@@ -1,0 +1,93 @@
+"""Tests for the in-service charge-verification defence."""
+
+import pytest
+
+from repro.detection.countermeasures import ChargeVerificationDefense
+from repro.mc.charger import ChargeMode
+from repro.sim.events import ServiceCompleted
+from repro.utils.rng import make_rng
+
+
+def service(mode, delivered, claimed=8000.0):
+    return ServiceCompleted(
+        time=100.0, node_id=1, start_time=0.0, mode=mode,
+        delivered_j=delivered, believed_j=claimed, claimed_j=claimed,
+        emission_j=2400.0, is_key=True,
+        believed_energy_after_j=10_000.0, battery_capacity_j=10_800.0,
+    )
+
+
+class TestProbing:
+    def test_spoof_caught_when_probed(self):
+        defense = ChargeVerificationDefense(probe_rate=1.0, seed=1)
+        alarm = defense.observe_service(service(ChargeMode.SPOOF, 0.0), None)
+        assert alarm is not None
+        assert defense.detected
+        assert defense.probes_run == 1
+
+    def test_genuine_passes_probe(self):
+        defense = ChargeVerificationDefense(probe_rate=1.0, seed=1)
+        alarm = defense.observe_service(service(ChargeMode.GENUINE, 8000.0), None)
+        assert alarm is None
+        assert defense.probes_run == 1
+
+    def test_zero_probe_rate_never_catches(self):
+        defense = ChargeVerificationDefense(probe_rate=0.0, seed=1)
+        for _ in range(50):
+            assert defense.observe_service(service(ChargeMode.SPOOF, 0.0), None) is None
+        assert defense.probes_run == 0
+
+    def test_probe_rate_is_statistical(self):
+        defense = ChargeVerificationDefense(probe_rate=0.3, seed=2)
+        for _ in range(400):
+            defense.observe_service(service(ChargeMode.GENUINE, 8000.0), None)
+        assert 80 <= defense.probes_run <= 160  # ~120 expected
+
+    def test_zero_claims_ignored(self):
+        defense = ChargeVerificationDefense(probe_rate=1.0, seed=1)
+        event = service(ChargeMode.PRETEND, 0.0, claimed=0.0)
+        assert defense.observe_service(event, None) is None
+
+    def test_mismatch_ratio_tolerance(self):
+        defense = ChargeVerificationDefense(
+            probe_rate=1.0, mismatch_ratio=0.5, seed=1
+        )
+        # 60% of the claim delivered: passes at ratio 0.5.
+        assert defense.observe_service(service(ChargeMode.GENUINE, 4800.0), None) is None
+        # 40%: fails.
+        assert defense.observe_service(service(ChargeMode.GENUINE, 3200.0), None) is not None
+
+
+class TestEndToEndDefence:
+    def test_probing_defeats_csa(self):
+        from repro.attack.attacker import CsaAttacker
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.wrsn_sim import WrsnSimulation
+
+        cfg = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+        sim = WrsnSimulation(
+            cfg.build_network(seed=3),
+            cfg.build_charger(),
+            CsaAttacker(key_count=cfg.key_count),
+            detectors=[ChargeVerificationDefense(probe_rate=1.0, seed=3)],
+            horizon_s=cfg.horizon_s,
+        )
+        result = sim.run()
+        assert result.detected
+        assert result.detections[0].detector == "charge-verification"
+
+    def test_probing_leaves_benign_charger_alone(self):
+        from repro.sim.benign import BenignController
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.wrsn_sim import WrsnSimulation
+
+        cfg = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+        sim = WrsnSimulation(
+            cfg.build_network(seed=3),
+            cfg.build_charger(),
+            BenignController(),
+            detectors=[ChargeVerificationDefense(probe_rate=1.0, seed=3)],
+            horizon_s=cfg.horizon_s,
+        )
+        result = sim.run()
+        assert not result.detected

@@ -1,0 +1,39 @@
+"""Tests for detection metrics aggregation."""
+
+import pytest
+
+from repro.detection.metrics import detection_rate, summarize_detections
+
+
+class TestDetectionRate:
+    def test_basic(self):
+        assert detection_rate([True, False, True, False]) == pytest.approx(0.5)
+
+    def test_all_clean(self):
+        assert detection_rate([False] * 5) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detection_rate([])
+
+
+class TestSummarize:
+    def test_mixed_outcomes(self):
+        summary = summarize_detections(
+            [("voltage-audit", 100.0), None, ("neglect", 300.0), None]
+        )
+        assert summary.trials == 4
+        assert summary.detected == 2
+        assert summary.rate == pytest.approx(0.5)
+        assert summary.mean_time_to_detection_s == pytest.approx(200.0)
+        assert summary.by_detector == {"voltage-audit": 1, "neglect": 1}
+
+    def test_all_clean(self):
+        summary = summarize_detections([None, None])
+        assert summary.rate == 0.0
+        assert summary.mean_time_to_detection_s is None
+        assert summary.by_detector == {}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_detections([])

@@ -1,0 +1,178 @@
+"""Tests for the multi-antenna charger: beamforming and null steering."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.em.charger_array import (
+    AntennaElement,
+    ChargerArray,
+    minimum_null_residual,
+    solve_null_phases,
+)
+from repro.em.propagation import FriisModel
+from repro.em.rectenna import Rectenna
+from repro.utils.geometry import Point
+
+
+def residual(amps, phases):
+    return abs(sum(a * cmath.exp(1j * p) for a, p in zip(amps, phases)))
+
+
+class TestSolveNullPhases:
+    def test_two_equal_amplitudes(self):
+        phases = solve_null_phases([1.0, 1.0])
+        assert residual([1.0, 1.0], phases) < 1e-9
+
+    def test_two_unequal_amplitudes_hit_lower_bound(self):
+        amps = [2.0, 1.0]
+        phases = solve_null_phases(amps)
+        assert residual(amps, phases) == pytest.approx(1.0, abs=1e-9)
+
+    def test_collinear_trap_escaped(self):
+        # Alternating 0/pi on these amplitudes is a coordinate-descent
+        # saddle point (regression test for the initial implementation).
+        amps = [1.0, 1.01, 0.99, 1.02]
+        phases = solve_null_phases(amps)
+        assert residual(amps, phases) < 1e-6
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 7, 8])
+    def test_feasible_instances_null_out(self, n):
+        amps = [1.0 + 0.05 * i for i in range(n)]
+        phases = solve_null_phases(amps)
+        assert residual(amps, phases) < 1e-6
+
+    def test_dominant_amplitude_infeasible(self):
+        amps = [10.0, 1.0, 1.0]
+        phases = solve_null_phases(amps)
+        assert residual(amps, phases) == pytest.approx(8.0, abs=1e-6)
+
+    def test_single_element(self):
+        assert solve_null_phases([1.0]) == [0.0]
+
+    def test_empty(self):
+        assert solve_null_phases([]) == []
+
+    def test_zero_amplitudes_kept_at_zero_phase(self):
+        phases = solve_null_phases([0.0, 1.0, 1.0])
+        assert phases[0] == 0.0
+        assert residual([0.0, 1.0, 1.0], phases) < 1e-9
+
+    def test_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            solve_null_phases([1.0, -0.5])
+
+
+class TestMinimumNullResidual:
+    def test_feasible_is_zero(self):
+        assert minimum_null_residual([1.0, 1.0, 1.0]) == 0.0
+
+    def test_infeasible_is_gap(self):
+        assert minimum_null_residual([5.0, 1.0, 1.0]) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert minimum_null_residual([]) == 0.0
+
+
+class TestChargerArray:
+    @pytest.fixture()
+    def array(self):
+        return ChargerArray.uniform_linear(4)
+
+    @pytest.fixture()
+    def geometry(self):
+        return Point(0.0, 0.0), Point(1.0, 0.3)
+
+    def test_uniform_linear_centred(self):
+        array = ChargerArray.uniform_linear(4, spacing=0.2)
+        xs = [e.offset.x for e in array.elements]
+        assert sum(xs) == pytest.approx(0.0)
+        assert xs == sorted(xs)
+
+    def test_total_tx_power(self):
+        array = ChargerArray.uniform_linear(4, tx_power_per_element=3.0)
+        assert array.total_tx_power == pytest.approx(12.0)
+
+    def test_beamform_maximises_over_spoof(self, array, geometry):
+        charger, victim = geometry
+        bf = array.rf_power_at(victim, charger, array.beamform_phases(charger, victim))
+        sp = array.rf_power_at(victim, charger, array.spoof_phases(charger, victim))
+        assert bf > 1e3 * sp
+
+    def test_beamform_achieves_coherent_gain(self, geometry):
+        charger, victim = geometry
+        one = ChargerArray.uniform_linear(1)
+        four = ChargerArray.uniform_linear(4)
+        p1 = one.rf_power_at(victim, charger, one.beamform_phases(charger, victim))
+        p4 = four.rf_power_at(victim, charger, four.beamform_phases(charger, victim))
+        # K^2 scaling up to geometry spread: 4 elements -> ~16x.
+        assert p4 / p1 > 8.0
+
+    def test_spoof_nulls_the_rectenna(self, array, geometry):
+        charger, victim = geometry
+        field = array.field_at(victim, charger, array.spoof_phases(charger, victim))
+        assert abs(field) ** 2 < 1e-12
+
+    def test_spoof_requires_two_elements(self):
+        single = ChargerArray.uniform_linear(1)
+        with pytest.raises(ValueError):
+            single.spoof_phases(Point(0, 0), Point(1, 0))
+
+    def test_pilot_sees_power_during_spoof(self, array, geometry):
+        charger, victim = geometry
+        pilot_power = array.pilot_power("spoof", charger, victim)
+        rect = Rectenna()
+        rectenna_power = array.rf_power_at(
+            victim, charger, array.spoof_phases(charger, victim)
+        )
+        assert pilot_power > 1e-6  # presence detector threshold scale
+        assert pilot_power > 1e3 * rectenna_power
+
+    def test_pilot_point_is_offset(self, array, geometry):
+        charger, victim = geometry
+        pilot = array.pilot_point(victim, charger)
+        assert victim.distance_to(pilot) == pytest.approx(array.pilot_offset)
+
+    def test_phases_for_modes(self, array, geometry):
+        charger, victim = geometry
+        assert array.phases_for("beamform", charger, victim) == array.beamform_phases(
+            charger, victim
+        )
+        with pytest.raises(ValueError):
+            array.phases_for("jam", charger, victim)
+
+    def test_delivered_power_modes(self, array, geometry):
+        charger, victim = geometry
+        rect = Rectenna()
+        genuine = array.delivered_power("beamform", charger, victim, rect)
+        spoofed = array.delivered_power("spoof", charger, victim, rect)
+        assert genuine > 0.0
+        assert spoofed == 0.0
+
+    def test_wrong_phase_count_rejected(self, array, geometry):
+        charger, victim = geometry
+        with pytest.raises(ValueError):
+            array.field_at(victim, charger, [0.0, 0.0])
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ValueError):
+            ChargerArray(elements=())
+
+    def test_antenna_element_validates_power(self):
+        with pytest.raises(ValueError):
+            AntennaElement(offset=Point(0, 0), tx_power=0.0)
+
+    def test_custom_propagation_respected(self):
+        array = ChargerArray.uniform_linear(
+            2, propagation=FriisModel(tx_gain=4.0)
+        )
+        base = ChargerArray.uniform_linear(2)
+        charger, victim = Point(0, 0), Point(2, 0)
+        p_gain = array.rf_power_at(
+            victim, charger, array.beamform_phases(charger, victim)
+        )
+        p_base = base.rf_power_at(
+            victim, charger, base.beamform_phases(charger, victim)
+        )
+        assert p_gain == pytest.approx(4.0 * p_base, rel=1e-6)

@@ -1,0 +1,101 @@
+"""Tests for RF propagation models."""
+
+import math
+
+import pytest
+
+from repro.em.propagation import (
+    POWERCAST_FREQUENCY_HZ,
+    EmpiricalChargingModel,
+    FriisModel,
+    wavelength,
+)
+
+
+class TestWavelength:
+    def test_915mhz(self):
+        assert wavelength(POWERCAST_FREQUENCY_HZ) == pytest.approx(0.3276, abs=1e-3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestFriisModel:
+    def test_inverse_square_law(self):
+        model = FriisModel()
+        p1 = model.received_power(1.0, 1.0)
+        p2 = model.received_power(1.0, 2.0)
+        assert p1 / p2 == pytest.approx(4.0)
+
+    def test_power_scales_linearly_with_tx(self):
+        model = FriisModel()
+        assert model.received_power(6.0, 1.0) == pytest.approx(
+            6.0 * model.received_power(1.0, 1.0)
+        )
+
+    def test_received_power_below_transmitted(self):
+        model = FriisModel()
+        assert model.received_power(3.0, 1.0) < 3.0
+
+    def test_field_amplitude_squares_to_power(self):
+        model = FriisModel()
+        amp = model.field_amplitude(2.0, 1.5)
+        assert amp**2 == pytest.approx(model.received_power(2.0, 1.5))
+
+    def test_near_field_clamp(self):
+        model = FriisModel(min_distance=0.1)
+        assert model.received_power(1.0, 0.0) == model.received_power(1.0, 0.1)
+        assert model.received_power(1.0, 0.05) == model.received_power(1.0, 0.1)
+
+    def test_path_phase_is_negative_and_scales(self):
+        model = FriisModel()
+        lam = model.wavelength
+        assert model.path_phase(lam) == pytest.approx(-2.0 * math.pi)
+        assert model.path_phase(lam / 2.0) == pytest.approx(-math.pi)
+
+    def test_path_phase_not_clamped(self):
+        model = FriisModel(min_distance=0.1)
+        assert model.path_phase(0.01) != model.path_phase(0.1)
+
+    def test_gains_multiply(self):
+        base = FriisModel()
+        gained = FriisModel(tx_gain=2.0, rx_gain=3.0)
+        assert gained.received_power(1.0, 1.0) == pytest.approx(
+            6.0 * base.received_power(1.0, 1.0)
+        )
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            FriisModel().received_power(1.0, -1.0)
+
+
+class TestEmpiricalChargingModel:
+    def test_monotone_decreasing_with_distance(self):
+        model = EmpiricalChargingModel()
+        powers = [model.received_power(3.0, d) for d in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_zero_beyond_max_distance(self):
+        model = EmpiricalChargingModel(max_distance=5.0)
+        assert model.received_power(3.0, 5.01) == 0.0
+        assert model.received_power(3.0, 5.0) > 0.0
+
+    def test_efficiency_equals_unit_power(self):
+        model = EmpiricalChargingModel()
+        assert model.efficiency(1.0) == pytest.approx(
+            model.received_power(1.0, 1.0)
+        )
+
+    def test_beta_regularises_contact(self):
+        model = EmpiricalChargingModel(alpha=0.012, beta=0.25)
+        assert model.received_power(3.0, 0.0) == pytest.approx(
+            3.0 * 0.012 / 0.25**2
+        )
+
+    def test_efficiency_below_one(self):
+        model = EmpiricalChargingModel()
+        assert model.efficiency(0.0) < 1.0
+
+    def test_charging_range(self):
+        assert EmpiricalChargingModel(max_distance=7.0).charging_range() == 7.0

@@ -1,0 +1,41 @@
+"""Whole-run determinism: identical seeds yield identical traces."""
+
+from repro.attack.attacker import CsaAttacker
+from repro.detection.auditors import default_detector_suite
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+
+
+def run(seed):
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        CsaAttacker(key_count=CFG.key_count),
+        detectors=default_detector_suite(seed),
+        horizon_s=CFG.horizon_s,
+    )
+    return sim.run()
+
+
+def trace_signature(result):
+    return [
+        (type(e).__name__, round(e.time, 6), getattr(e, "node_id", None))
+        for e in result.trace
+    ]
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        a = run(11)
+        b = run(11)
+        assert trace_signature(a) == trace_signature(b)
+        assert a.exhausted_key_ids() == b.exhausted_key_ids()
+        assert a.detected == b.detected
+        assert a.charger.energy_j == b.charger.energy_j
+
+    def test_different_seeds_differ(self):
+        a = run(11)
+        b = run(12)
+        assert trace_signature(a) != trace_signature(b)

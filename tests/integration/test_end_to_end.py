@@ -1,0 +1,124 @@
+"""End-to-end integration tests: the paper's story on one stage.
+
+These tests run the complete pipeline — deployment, routing, key-node
+identification, window derivation, CSA planning, simulation, detection —
+and assert the *shape* of the paper's headline results rather than any
+single module's behaviour.
+"""
+
+import pytest
+
+from repro.analysis.metrics import attack_metrics, lifetime_metrics
+from repro.attack.attacker import BlatantAttacker, CsaAttacker, PlannedAttacker
+from repro.core.baselines import RandomPlanner
+from repro.core.windows import StealthPolicy
+from repro.detection.auditors import default_detector_suite
+from repro.sim.benign import BenignController
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=80, key_count=8, horizon_days=42)
+SEEDS = (1, 2, 4)
+
+
+def run(controller_factory, seed):
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        controller_factory(),
+        detectors=default_detector_suite(seed),
+        horizon_s=CFG.horizon_s,
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def csa_runs():
+    return [run(lambda: CsaAttacker(key_count=CFG.key_count), s) for s in SEEDS]
+
+
+@pytest.fixture(scope="module")
+def benign_runs():
+    return [run(BenignController, s) for s in SEEDS]
+
+
+class TestHeadlineClaim:
+    """Abstract: "CSA can exhaust at least 80% of key nodes without
+    being detected."""
+
+    def test_exhaustion_at_least_80_percent(self, csa_runs):
+        mean_ratio = sum(r.exhausted_key_ratio() for r in csa_runs) / len(csa_runs)
+        assert mean_ratio >= 0.8
+
+    def test_rarely_detected(self, csa_runs):
+        assert sum(r.detected for r in csa_runs) <= 1
+
+
+class TestBenignContrast:
+    def test_benign_network_stays_healthy(self, benign_runs):
+        for result in benign_runs:
+            assert lifetime_metrics(result).dead_count == 0
+            assert not result.detected
+
+    def test_attack_cripples_connectivity(self, csa_runs, benign_runs):
+        attacked = min(
+            lifetime_metrics(r).alive_connected_ratio for r in csa_runs
+        )
+        benign = min(
+            lifetime_metrics(r).alive_connected_ratio for r in benign_runs
+        )
+        assert attacked < benign
+
+
+class TestAttackerOrdering:
+    """CSA > weaker planners on damage; naive attacks get caught."""
+
+    def test_csa_beats_random_planner(self, csa_runs):
+        random_runs = [
+            run(
+                lambda: PlannedAttacker(
+                    planner=RandomPlanner(0), key_count=CFG.key_count
+                ),
+                s,
+            )
+            for s in SEEDS
+        ]
+        csa_mean = sum(r.exhausted_key_ratio() for r in csa_runs) / len(SEEDS)
+        rnd_mean = sum(r.exhausted_key_ratio() for r in random_runs) / len(SEEDS)
+        assert csa_mean > rnd_mean
+
+    def test_blatant_attacker_always_detected(self):
+        for seed in SEEDS:
+            result = run(lambda: BlatantAttacker(key_count=CFG.key_count), seed)
+            assert result.detected
+
+    def test_stealth_windows_are_load_bearing(self):
+        # Identical planner, stealth constraints removed: detection rate
+        # must jump.
+        hits = sum(
+            run(
+                lambda: PlannedAttacker(
+                    stealth=StealthPolicy.none(), key_count=CFG.key_count
+                ),
+                s,
+            ).detected
+            for s in SEEDS
+        )
+        assert hits >= 2
+
+
+class TestAccountingAcrossTheStack:
+    def test_spoofed_victims_die_with_full_belief(self, csa_runs):
+        for result in csa_runs:
+            for death in result.trace.deaths():
+                if death.was_spoofed:
+                    node = result.network.nodes[death.node_id]
+                    assert node.energy_j == 0.0
+
+    def test_metrics_consistent_with_result(self, csa_runs):
+        for result in csa_runs:
+            metrics = attack_metrics(result)
+            assert metrics.exhausted_key_ratio == pytest.approx(
+                result.exhausted_key_ratio()
+            )
+            assert metrics.detected == result.detected

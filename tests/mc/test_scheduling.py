@@ -1,0 +1,67 @@
+"""Tests for benign request schedulers."""
+
+import pytest
+
+from repro.mc.scheduling import EdfScheduler, FcfsScheduler, NjnpScheduler
+from repro.network.requests import ChargingRequest
+from repro.utils.geometry import Point
+
+
+@pytest.fixture()
+def requests():
+    return [
+        ChargingRequest(time=10.0, node_id=0, deadline=100.0, energy_needed_j=1.0),
+        ChargingRequest(time=5.0, node_id=1, deadline=50.0, energy_needed_j=1.0),
+        ChargingRequest(time=20.0, node_id=2, deadline=30.0, energy_needed_j=1.0),
+    ]
+
+
+@pytest.fixture()
+def positions():
+    return {0: Point(1.0, 0.0), 1: Point(50.0, 0.0), 2: Point(100.0, 0.0)}
+
+
+class TestFcfs:
+    def test_oldest_first(self, requests, positions):
+        pick = FcfsScheduler().select(requests, Point(0, 0), positions, 25.0)
+        assert pick.node_id == 1
+
+    def test_empty(self, positions):
+        assert FcfsScheduler().select([], Point(0, 0), positions, 0.0) is None
+
+    def test_tie_breaks_by_node_id(self, positions):
+        requests = [
+            ChargingRequest(5.0, 7, 50.0, 1.0),
+            ChargingRequest(5.0, 3, 50.0, 1.0),
+        ]
+        positions = {7: Point(0, 0), 3: Point(0, 0)}
+        assert FcfsScheduler().select(requests, Point(0, 0), positions, 9.0).node_id == 3
+
+
+class TestNjnp:
+    def test_nearest_first(self, requests, positions):
+        pick = NjnpScheduler().select(requests, Point(0.0, 0.0), positions, 25.0)
+        assert pick.node_id == 0
+
+    def test_depends_on_charger_position(self, requests, positions):
+        pick = NjnpScheduler().select(requests, Point(99.0, 0.0), positions, 25.0)
+        assert pick.node_id == 2
+
+    def test_empty(self, positions):
+        assert NjnpScheduler().select([], Point(0, 0), positions, 0.0) is None
+
+
+class TestEdf:
+    def test_earliest_deadline(self, requests, positions):
+        pick = EdfScheduler().select(requests, Point(0, 0), positions, 25.0)
+        assert pick.node_id == 2
+
+    def test_empty(self, positions):
+        assert EdfScheduler().select([], Point(0, 0), positions, 0.0) is None
+
+
+class TestNames:
+    def test_scheduler_names(self):
+        assert FcfsScheduler().name == "FcfsScheduler"
+        assert NjnpScheduler().name == "NjnpScheduler"
+        assert EdfScheduler().name == "EdfScheduler"

@@ -1,0 +1,80 @@
+"""Tests for TSP tour construction."""
+
+import pytest
+
+from repro.mc.tour import nearest_neighbour_tour, tour_cost, two_opt
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+
+def random_points(n, seed=0):
+    rng = make_rng(seed, "tour-tests")
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, 100, size=(n, 2))]
+
+
+class TestTourCost:
+    def test_square_closed(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert tour_cost(pts, [0, 1, 2, 3]) == pytest.approx(4.0)
+
+    def test_open_route(self):
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert tour_cost(pts, [0, 1, 2, 3], closed=False) == pytest.approx(3.0)
+
+    def test_trivial_orders(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert tour_cost(pts, [0]) == 0.0
+        assert tour_cost(pts, []) == 0.0
+
+
+class TestNearestNeighbour:
+    def test_visits_everything_once(self):
+        pts = random_points(20)
+        order = nearest_neighbour_tour(pts)
+        assert sorted(order) == list(range(20))
+
+    def test_starts_at_requested_index(self):
+        pts = random_points(10)
+        assert nearest_neighbour_tour(pts, start_index=4)[0] == 4
+
+    def test_greedy_on_line(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 0), Point(20, 0)]
+        assert nearest_neighbour_tour(pts, 0) == [0, 2, 1, 3]
+
+    def test_empty(self):
+        assert nearest_neighbour_tour([]) == []
+
+    def test_bad_start_index(self):
+        with pytest.raises(IndexError):
+            nearest_neighbour_tour(random_points(3), start_index=5)
+
+
+class TestTwoOpt:
+    def test_never_worsens(self):
+        pts = random_points(30, seed=2)
+        order = nearest_neighbour_tour(pts)
+        improved = two_opt(pts, order)
+        assert tour_cost(pts, improved) <= tour_cost(pts, order) + 1e-9
+
+    def test_fixes_obvious_crossing(self):
+        # A square visited in crossing order 0-2-1-3.
+        pts = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        improved = two_opt(pts, [0, 2, 1, 3])
+        assert tour_cost(pts, improved) == pytest.approx(4.0)
+
+    def test_preserves_permutation(self):
+        pts = random_points(25, seed=3)
+        improved = two_opt(pts, nearest_neighbour_tour(pts))
+        assert sorted(improved) == list(range(25))
+
+    def test_open_route_improvement(self):
+        pts = random_points(20, seed=4)
+        order = list(range(20))
+        improved = two_opt(pts, order, closed=False)
+        assert tour_cost(pts, improved, closed=False) <= tour_cost(
+            pts, order, closed=False
+        ) + 1e-9
+
+    def test_short_tours_returned_as_is(self):
+        pts = random_points(3)
+        assert two_opt(pts, [0, 1, 2]) == [0, 1, 2]

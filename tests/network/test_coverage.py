@@ -1,0 +1,81 @@
+"""Tests for sensing-coverage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.network.coverage import coverage_ratio, covered_fraction_of_points
+from repro.network.network import Network, build_network
+from repro.network.topology import Deployment
+from repro.network.traffic import TrafficModel
+from repro.utils.geometry import Point
+
+
+class TestCoveredFraction:
+    def test_single_sensor_partial_cover(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [100.0, 0.0]])
+        sensors = np.array([[0.0, 0.0]])
+        frac = covered_fraction_of_points(points, sensors, sensing_radius_m=15.0)
+        assert frac == pytest.approx(2.0 / 3.0)
+
+    def test_no_sensors_cover_nothing(self):
+        points = np.array([[0.0, 0.0]])
+        assert covered_fraction_of_points(
+            points, np.zeros((0, 2)), sensing_radius_m=10.0
+        ) == 0.0
+
+    def test_radius_boundary_inclusive(self):
+        points = np.array([[12.0, 0.0]])
+        sensors = np.array([[0.0, 0.0]])
+        assert covered_fraction_of_points(points, sensors, 12.0) == 1.0
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            covered_fraction_of_points(np.zeros((0, 2)), np.zeros((1, 2)), 5.0)
+
+    def test_bad_radius_rejected(self):
+        with pytest.raises(ValueError):
+            covered_fraction_of_points(
+                np.zeros((1, 2)), np.zeros((1, 2)), 0.0
+            )
+
+
+class TestCoverageRatio:
+    def test_full_network_covers_most_of_field(self):
+        network = build_network(100, seed=5)
+        assert coverage_ratio(network) > 0.8
+
+    def test_deaths_reduce_coverage(self):
+        network = build_network(100, seed=5)
+        before = coverage_ratio(network)
+        # Kill a third of the nodes.
+        for node_id in list(network.alive_ids())[:33]:
+            node = network.nodes[node_id]
+            node.set_consumption(1e9)
+        network.advance_to(1.0)
+        network.recompute_consumption()
+        after = coverage_ratio(network)
+        assert after < before
+
+    def test_stranded_nodes_do_not_count(self):
+        # BS - 0 - 1: killing 0 strands 1; coverage collapses even
+        # though node 1 is alive.
+        deployment = Deployment(
+            positions=(Point(10.0, 5.0), Point(20.0, 5.0)),
+            base_station=Point(0.0, 5.0),
+            width=30.0,
+            height=10.0,
+            comm_range=11.0,
+        )
+        network = Network(deployment, TrafficModel.homogeneous(2, 100.0))
+        full = coverage_ratio(network, sensing_radius_m=8.0)
+        network.nodes[0].set_consumption(1e9)
+        network.advance_to(1.0)
+        network.recompute_consumption()
+        assert network.stranded_ids() == {1}
+        assert coverage_ratio(network, sensing_radius_m=8.0) == 0.0
+        assert full > 0.0
+
+    def test_grid_resolution_validated(self):
+        network = build_network(60, seed=5)
+        with pytest.raises(ValueError):
+            coverage_ratio(network, grid_resolution=1)

@@ -1,0 +1,67 @@
+"""Tests for the first-order radio energy model."""
+
+import pytest
+
+from repro.network.energy import RadioEnergyModel, node_power_w
+
+
+class TestRadioEnergyModel:
+    def test_tx_energy_grows_with_distance_squared(self):
+        model = RadioEnergyModel()
+        amp = lambda d: model.tx_energy_per_bit(d) - model.e_elec_j_per_bit
+        assert amp(20.0) == pytest.approx(4.0 * amp(10.0))
+
+    def test_tx_includes_electronics(self):
+        model = RadioEnergyModel()
+        assert model.tx_energy_per_bit(0.0) == pytest.approx(model.e_elec_j_per_bit)
+
+    def test_rx_energy_is_electronics_only(self):
+        model = RadioEnergyModel()
+        assert model.rx_energy_per_bit() == model.e_elec_j_per_bit
+
+    def test_powers_scale_with_rate(self):
+        model = RadioEnergyModel()
+        assert model.tx_power(2000.0, 10.0) == pytest.approx(
+            2.0 * model.tx_power(1000.0, 10.0)
+        )
+        assert model.rx_power(2000.0) == pytest.approx(2.0 * model.rx_power(1000.0))
+
+    def test_default_magnitudes(self):
+        # 10 kbps over 20 m should cost about 0.9 mW of radio power.
+        model = RadioEnergyModel()
+        radio_only = model.tx_power(10_000.0, 20.0)
+        assert radio_only == pytest.approx(0.9e-3, rel=1e-6)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            RadioEnergyModel().tx_power(-1.0, 10.0)
+
+
+class TestNodePower:
+    def test_leaf_node(self):
+        model = RadioEnergyModel()
+        power = node_power_w(model, own_rate_bps=1000.0, relay_rate_bps=0.0,
+                             uplink_distance_m=10.0)
+        expected = model.baseline_w + model.tx_power(1000.0, 10.0)
+        assert power == pytest.approx(expected)
+
+    def test_relay_pays_rx_and_tx(self):
+        model = RadioEnergyModel()
+        power = node_power_w(model, own_rate_bps=1000.0, relay_rate_bps=5000.0,
+                             uplink_distance_m=10.0)
+        expected = (
+            model.baseline_w
+            + model.rx_power(5000.0)
+            + model.tx_power(6000.0, 10.0)
+        )
+        assert power == pytest.approx(expected)
+
+    def test_relay_load_strictly_increases_power(self):
+        model = RadioEnergyModel()
+        light = node_power_w(model, 1000.0, 0.0, 10.0)
+        heavy = node_power_w(model, 1000.0, 50_000.0, 10.0)
+        assert heavy > light
+
+    def test_baseline_floor(self):
+        model = RadioEnergyModel()
+        assert node_power_w(model, 0.0, 0.0, 0.0) == pytest.approx(model.baseline_w)

@@ -1,0 +1,84 @@
+"""Tests for key-node identification and weighting."""
+
+import pytest
+
+from repro.network.keynodes import connectivity_impact, identify_key_nodes
+from repro.network.routing import build_routing_tree
+from repro.network.topology import BASE_STATION_ID, communication_graph
+from repro.network.traffic import TrafficModel
+from repro.utils.geometry import Point
+
+
+def bridge_topology():
+    """Two groups joined only through node 1 (the bridge).
+
+    BS - 0 - 1 - 2 - 3: node 1 strands {2, 3}; node 0 strands {1, 2, 3}.
+    """
+    positions = [Point(10, 0), Point(20, 0), Point(30, 0), Point(40, 0)]
+    graph = communication_graph(positions, Point(0, 0), comm_range=11.0)
+    tree = build_routing_tree(graph)
+    traffic = TrafficModel.homogeneous(4, 100.0)
+    return graph, tree, traffic
+
+
+class TestConnectivityImpact:
+    def test_bridge_strands_downstream(self):
+        graph, _tree, _traffic = bridge_topology()
+        assert connectivity_impact(graph, 1) == 2
+        assert connectivity_impact(graph, 0) == 3
+        assert connectivity_impact(graph, 3) == 0
+
+    def test_base_station_not_a_candidate(self):
+        graph, *_ = bridge_topology()
+        with pytest.raises(ValueError):
+            connectivity_impact(graph, BASE_STATION_ID)
+
+    def test_unknown_node(self):
+        graph, *_ = bridge_topology()
+        with pytest.raises(KeyError):
+            connectivity_impact(graph, 99)
+
+
+class TestIdentifyKeyNodes:
+    def test_most_critical_first(self):
+        graph, tree, traffic = bridge_topology()
+        infos = identify_key_nodes(graph, tree, traffic, count=4)
+        assert infos[0].node_id == 0  # strands most, relays most
+        assert infos[0].weight == pytest.approx(1.0)
+        assert [i.node_id for i in infos[:3]] == [0, 1, 2]
+
+    def test_weights_normalised_and_positive(self):
+        graph, tree, traffic = bridge_topology()
+        infos = identify_key_nodes(graph, tree, traffic, count=4)
+        weights = [i.weight for i in infos]
+        assert max(weights) == pytest.approx(1.0)
+        assert all(w > 0.0 for w in weights)
+        assert weights == sorted(weights, reverse=True)
+
+    def test_articulation_flag(self):
+        graph, tree, traffic = bridge_topology()
+        infos = {i.node_id: i for i in identify_key_nodes(graph, tree, traffic, 4)}
+        assert infos[0].is_articulation
+        assert infos[1].is_articulation
+        assert not infos[3].is_articulation
+
+    def test_count_truncates(self):
+        graph, tree, traffic = bridge_topology()
+        assert len(identify_key_nodes(graph, tree, traffic, count=2)) == 2
+
+    def test_exclusion(self):
+        graph, tree, traffic = bridge_topology()
+        infos = identify_key_nodes(
+            graph, tree, traffic, count=4, exclude=frozenset({0})
+        )
+        assert all(i.node_id != 0 for i in infos)
+
+    def test_stranded_count_recorded(self):
+        graph, tree, traffic = bridge_topology()
+        infos = {i.node_id: i for i in identify_key_nodes(graph, tree, traffic, 4)}
+        assert infos[1].stranded_count == 2
+
+    def test_rejects_zero_count(self):
+        graph, tree, traffic = bridge_topology()
+        with pytest.raises(ValueError):
+            identify_key_nodes(graph, tree, traffic, count=0)

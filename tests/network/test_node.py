@@ -1,0 +1,189 @@
+"""Tests for the sensor node's energy dynamics and spoofable belief."""
+
+import math
+
+import pytest
+
+from repro.network.node import NodeState, SensorNode
+from repro.utils.geometry import Point
+
+
+def make_node(**kwargs) -> SensorNode:
+    defaults = dict(
+        node_id=0,
+        position=Point(0.0, 0.0),
+        battery_capacity_j=1000.0,
+        request_threshold_frac=0.2,
+    )
+    defaults.update(kwargs)
+    return SensorNode(**defaults)
+
+
+class TestConstruction:
+    def test_starts_full_by_default(self):
+        node = make_node()
+        assert node.energy_j == 1000.0
+        assert node.believed_energy_j == 1000.0
+        assert node.alive
+
+    def test_initial_fraction(self):
+        node = make_node(initial_energy_frac=0.5)
+        assert node.energy_j == 500.0
+
+    def test_request_threshold_j(self):
+        assert make_node().request_threshold_j == pytest.approx(200.0)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            make_node(node_id=-1)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            make_node(battery_capacity_j=0.0)
+
+
+class TestDrain:
+    def test_linear_drain(self):
+        node = make_node()
+        node.set_consumption(1.0)
+        node.advance_to(100.0)
+        assert node.energy_j == pytest.approx(900.0)
+        assert node.believed_energy_j == pytest.approx(900.0)
+
+    def test_zero_consumption_holds_energy(self):
+        node = make_node()
+        node.advance_to(1e6)
+        assert node.energy_j == 1000.0
+
+    def test_death_at_depletion(self):
+        node = make_node()
+        node.set_consumption(10.0)
+        node.advance_to(100.0)
+        assert not node.alive
+        assert node.state == NodeState.DEAD
+        assert node.death_time == pytest.approx(100.0)
+        assert node.energy_j == 0.0
+
+    def test_death_mid_interval_records_exact_time(self):
+        node = make_node()
+        node.set_consumption(10.0)
+        node.advance_to(250.0)
+        assert node.death_time == pytest.approx(100.0)
+
+    def test_time_cannot_flow_backwards(self):
+        node = make_node()
+        node.advance_to(10.0)
+        with pytest.raises(ValueError):
+            node.advance_to(5.0)
+
+    def test_advance_to_same_time_is_noop(self):
+        node = make_node()
+        node.set_consumption(1.0)
+        node.advance_to(10.0)
+        node.advance_to(10.0)
+        assert node.energy_j == pytest.approx(990.0)
+
+    def test_dead_node_clock_still_advances(self):
+        node = make_node()
+        node.set_consumption(100.0)
+        node.advance_to(20.0)
+        assert not node.alive
+        node.advance_to(30.0)
+        assert node.clock == 30.0
+
+
+class TestPredictions:
+    def test_predicted_death_time(self):
+        node = make_node()
+        node.set_consumption(2.0)
+        assert node.predicted_death_time() == pytest.approx(500.0)
+
+    def test_predicted_death_infinite_without_draw(self):
+        assert make_node().predicted_death_time() == math.inf
+
+    def test_predicted_request_time(self):
+        node = make_node()
+        node.set_consumption(2.0)
+        # Believed energy reaches 200 J after draining 800 J.
+        assert node.predicted_request_time() == pytest.approx(400.0)
+
+    def test_request_immediate_when_below_threshold(self):
+        node = make_node(initial_energy_frac=0.1)
+        node.set_consumption(1.0)
+        node.advance_to(5.0)
+        assert node.predicted_request_time() == pytest.approx(5.0)
+
+    def test_predictions_track_after_advance(self):
+        node = make_node()
+        node.set_consumption(2.0)
+        node.advance_to(100.0)
+        assert node.predicted_death_time() == pytest.approx(500.0)
+
+
+class TestCharging:
+    def test_genuine_charge_raises_both(self):
+        node = make_node(initial_energy_frac=0.5)
+        node.receive_charge(delivered_j=300.0, believed_j=300.0)
+        assert node.energy_j == pytest.approx(800.0)
+        assert node.believed_energy_j == pytest.approx(800.0)
+
+    def test_spoofed_charge_raises_only_belief(self):
+        node = make_node(initial_energy_frac=0.2)
+        node.receive_charge(delivered_j=0.0, believed_j=800.0)
+        assert node.energy_j == pytest.approx(200.0)
+        assert node.believed_energy_j == pytest.approx(1000.0)
+        assert node.belief_gap_j() == pytest.approx(800.0)
+
+    def test_charge_clamped_at_capacity(self):
+        node = make_node()
+        node.receive_charge(delivered_j=5000.0, believed_j=5000.0)
+        assert node.energy_j == 1000.0
+        assert node.believed_energy_j == 1000.0
+
+    def test_dead_node_cannot_be_revived(self):
+        node = make_node()
+        node.set_consumption(100.0)
+        node.advance_to(20.0)
+        node.receive_charge(500.0, 500.0)
+        assert not node.alive
+        assert node.energy_j == 0.0
+
+    def test_spoofed_node_dies_believing_itself_charged(self):
+        """The attack's core mechanic, in miniature."""
+        node = make_node(initial_energy_frac=0.25)
+        node.set_consumption(1.0)
+        node.advance_to(50.0)  # true 200 J, believed 200 J
+        node.receive_charge(delivered_j=0.0, believed_j=800.0)
+        assert node.believed_energy_j == pytest.approx(1000.0)
+        # Belief says ~1000 J -> no further request before true death.
+        assert node.predicted_request_time() > node.predicted_death_time()
+        node.advance_to(500.0)
+        assert not node.alive
+
+    def test_belief_floor_at_zero(self):
+        node = make_node(initial_energy_frac=1.0)
+        node.receive_charge(0.0, 0.0)
+        node.set_consumption(1.0)
+        node.advance_to(999.0)
+        assert node.believed_energy_j >= 0.0
+
+
+class TestSetInitialEnergy:
+    def test_resets_both(self):
+        node = make_node()
+        node.set_initial_energy(0.7)
+        assert node.energy_j == pytest.approx(700.0)
+        assert node.believed_energy_j == pytest.approx(700.0)
+
+    def test_rejected_after_evolution(self):
+        node = make_node()
+        node.advance_to(1.0)
+        with pytest.raises(RuntimeError):
+            node.set_initial_energy(0.5)
+
+
+class TestRepr:
+    def test_repr_mentions_id_and_state(self):
+        text = repr(make_node(node_id=7))
+        assert "id=7" in text
+        assert "alive" in text

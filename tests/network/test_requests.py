@@ -1,0 +1,82 @@
+"""Tests for charging-request prediction."""
+
+import pytest
+
+from repro.network.node import SensorNode
+from repro.network.requests import ChargingRequest, predict_request
+from repro.utils.geometry import Point
+
+
+def make_node(**kwargs) -> SensorNode:
+    defaults = dict(
+        node_id=3,
+        position=Point(0.0, 0.0),
+        battery_capacity_j=1000.0,
+        request_threshold_frac=0.2,
+    )
+    defaults.update(kwargs)
+    return SensorNode(**defaults)
+
+
+class TestChargingRequest:
+    def test_window_width(self):
+        req = ChargingRequest(time=10.0, node_id=1, deadline=110.0, energy_needed_j=5.0)
+        assert req.window_width == pytest.approx(100.0)
+
+    def test_rejects_deadline_before_time(self):
+        with pytest.raises(ValueError):
+            ChargingRequest(time=10.0, node_id=1, deadline=5.0, energy_needed_j=5.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            ChargingRequest(time=0.0, node_id=1, deadline=1.0, energy_needed_j=-1.0)
+
+    def test_ordering_by_time(self):
+        early = ChargingRequest(1.0, 5, 10.0, 1.0)
+        late = ChargingRequest(2.0, 1, 10.0, 1.0)
+        assert early < late
+
+
+class TestPredictRequest:
+    def test_basic_prediction(self):
+        node = make_node()
+        node.set_consumption(2.0)
+        req = predict_request(node)
+        assert req is not None
+        assert req.time == pytest.approx(400.0)  # believed hits 200 J
+        assert req.deadline == pytest.approx(500.0)  # true hits 0
+        assert req.energy_needed_j == pytest.approx(800.0)
+
+    def test_none_for_dead_node(self):
+        node = make_node()
+        node.set_consumption(100.0)
+        node.advance_to(50.0)
+        assert predict_request(node) is None
+
+    def test_none_for_zero_draw(self):
+        assert predict_request(make_node()) is None
+
+    def test_immediate_when_already_below_threshold(self):
+        node = make_node(initial_energy_frac=0.15)
+        node.set_consumption(1.0)
+        req = predict_request(node)
+        assert req is not None
+        assert req.time == pytest.approx(node.clock)
+
+    def test_spoofed_node_never_requests_again(self):
+        # Belief pinned at full while truth drains: the belief crosses the
+        # threshold only after the node is already dead, so no request.
+        node = make_node(initial_energy_frac=0.3)
+        node.set_consumption(1.0)
+        node.receive_charge(delivered_j=0.0, believed_j=700.0)  # belief -> 1000
+        req = predict_request(node)
+        assert req is None
+
+    def test_deficit_measured_at_request_time(self):
+        node = make_node()
+        node.set_consumption(2.0)
+        req = predict_request(node)
+        # At request, believed energy is exactly the threshold.
+        assert req.energy_needed_j == pytest.approx(
+            node.battery_capacity_j - node.request_threshold_j
+        )

@@ -1,0 +1,118 @@
+"""Tests for the data-gathering routing tree."""
+
+import networkx as nx
+import pytest
+
+from repro.network.routing import (
+    build_routing_tree,
+    descendants_by_node,
+    subtree_sizes,
+)
+from repro.network.topology import BASE_STATION_ID, communication_graph, deploy_uniform
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+
+def chain_graph():
+    """BS - 0 - 1 - 2 in a line."""
+    positions = [Point(10, 0), Point(20, 0), Point(30, 0)]
+    return communication_graph(positions, Point(0, 0), comm_range=11.0)
+
+
+def diamond_graph():
+    """BS at origin; 0 and 1 one hop away; 2 reachable via both."""
+    positions = [Point(10, 0), Point(0, 10), Point(10, 10)]
+    return communication_graph(positions, Point(0, 0), comm_range=12.0)
+
+
+class TestBuildRoutingTree:
+    def test_chain_parents(self):
+        tree = build_routing_tree(chain_graph())
+        assert tree.parent[0] == BASE_STATION_ID
+        assert tree.parent[1] == 0
+        assert tree.parent[2] == 1
+
+    def test_uplink_distances(self):
+        tree = build_routing_tree(chain_graph())
+        assert tree.uplink_distance[0] == pytest.approx(10.0)
+        assert tree.uplink_distance[2] == pytest.approx(10.0)
+
+    def test_hop_count_dominates_distance(self):
+        # Node 2 can go through 0 or 1 (equal hops); ties break by length,
+        # both equal here, so either parent is fine — but hop count must
+        # be 2, never a longer path.
+        tree = build_routing_tree(diamond_graph())
+        assert tree.depth(2) == 2
+
+    def test_path_to_base(self):
+        tree = build_routing_tree(chain_graph())
+        assert tree.path_to_base(2) == [2, 1, 0, BASE_STATION_ID]
+
+    def test_children_sorted(self):
+        tree = build_routing_tree(diamond_graph())
+        assert tree.children(BASE_STATION_ID) == [0, 1]
+
+    def test_dead_node_reroutes_or_strands(self):
+        tree = build_routing_tree(chain_graph(), alive={1, 2})
+        # Node 0 dead: 1 and 2 are out of range of the BS -> stranded.
+        assert not tree.is_connected(1)
+        assert 1 in tree.disconnected
+        assert 2 in tree.disconnected
+
+    def test_alternative_route_used_after_death(self):
+        tree = build_routing_tree(diamond_graph(), alive={1, 2})
+        assert tree.parent[2] == 1
+
+    def test_missing_base_station_rejected(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        with pytest.raises(ValueError):
+            build_routing_tree(graph)
+
+    def test_connected_nodes_sorted(self):
+        tree = build_routing_tree(chain_graph())
+        assert tree.connected_nodes() == [0, 1, 2]
+
+    def test_path_for_stranded_raises(self):
+        tree = build_routing_tree(chain_graph(), alive={2})
+        with pytest.raises(KeyError):
+            tree.path_to_base(2)
+
+
+class TestSubtreeAggregates:
+    def test_chain_subtree_sizes(self):
+        tree = build_routing_tree(chain_graph())
+        sizes = subtree_sizes(tree)
+        assert sizes[2] == 1
+        assert sizes[1] == 2
+        assert sizes[0] == 3
+        assert sizes[BASE_STATION_ID] == 3
+
+    def test_descendants(self):
+        tree = build_routing_tree(chain_graph())
+        desc = descendants_by_node(tree)
+        assert desc[0] == frozenset({1, 2})
+        assert desc[2] == frozenset()
+        assert desc[BASE_STATION_ID] == frozenset({0, 1, 2})
+
+
+class TestOnRandomTopology:
+    def test_tree_spans_connected_component(self):
+        rng = make_rng(3, "routing")
+        dep = deploy_uniform(60, rng)
+        tree = build_routing_tree(dep.graph())
+        assert len(tree.connected_nodes()) == 60
+
+    def test_every_path_terminates_at_base(self):
+        rng = make_rng(4, "routing")
+        dep = deploy_uniform(40, rng)
+        tree = build_routing_tree(dep.graph())
+        for node_id in tree.connected_nodes():
+            assert tree.path_to_base(node_id)[-1] == BASE_STATION_ID
+
+    def test_deterministic(self):
+        rng = make_rng(5, "routing")
+        dep = deploy_uniform(40, rng)
+        t1 = build_routing_tree(dep.graph())
+        t2 = build_routing_tree(dep.graph())
+        assert t1.parent == t2.parent

@@ -1,0 +1,118 @@
+"""Tests for deployments and the communication graph."""
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (
+    BASE_STATION_ID,
+    Deployment,
+    communication_graph,
+    deploy_clustered,
+    deploy_grid,
+    deploy_uniform,
+)
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+
+@pytest.fixture()
+def rng():
+    return make_rng(13, "topo-tests")
+
+
+class TestCommunicationGraph:
+    def test_edges_within_range_only(self):
+        positions = [Point(0, 0), Point(5, 0), Point(20, 0)]
+        graph = communication_graph(positions, Point(0, 5), comm_range=10.0)
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(0, 2)
+        assert graph.has_edge(0, BASE_STATION_ID)
+
+    def test_edge_distance_attribute(self):
+        positions = [Point(0, 0), Point(3, 4)]
+        graph = communication_graph(positions, Point(100, 100), comm_range=10.0)
+        assert graph.edges[0, 1]["distance"] == pytest.approx(5.0)
+
+    def test_base_station_always_present(self):
+        graph = communication_graph([Point(0, 0)], Point(50, 50), comm_range=1.0)
+        assert BASE_STATION_ID in graph
+        assert graph.degree(BASE_STATION_ID) == 0
+
+
+class TestDeployUniform:
+    def test_count_and_bounds(self, rng):
+        dep = deploy_uniform(50, rng, width=80.0, height=60.0, comm_range=25.0)
+        assert dep.node_count == 50
+        for p in dep.positions:
+            assert 0.0 <= p.x <= 80.0
+            assert 0.0 <= p.y <= 60.0
+
+    def test_connected(self, rng):
+        dep = deploy_uniform(50, rng)
+        assert nx.is_connected(dep.graph())
+
+    def test_default_base_station_centre(self, rng):
+        dep = deploy_uniform(60, rng, width=100.0, height=100.0)
+        assert dep.base_station == Point(50.0, 50.0)
+
+    def test_reproducible(self):
+        a = deploy_uniform(20, make_rng(5, "t"), comm_range=30.0)
+        b = deploy_uniform(20, make_rng(5, "t"), comm_range=30.0)
+        assert a.positions == b.positions
+
+    def test_impossible_density_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            deploy_uniform(
+                3, rng, width=1000.0, height=1000.0, comm_range=5.0, max_attempts=5
+            )
+
+    def test_rejects_zero_nodes(self, rng):
+        with pytest.raises(ValueError):
+            deploy_uniform(0, rng)
+
+
+class TestDeployGrid:
+    def test_positions_on_lattice(self):
+        dep = deploy_grid(2, 3, spacing=10.0)
+        assert dep.node_count == 6
+        assert Point(0.0, 0.0) in dep.positions
+        assert Point(20.0, 10.0) in dep.positions
+
+    def test_connected_by_default_range(self):
+        dep = deploy_grid(3, 3, spacing=10.0)
+        assert nx.is_connected(dep.graph())
+
+    def test_too_small_range_raises(self):
+        with pytest.raises(RuntimeError):
+            deploy_grid(1, 3, spacing=10.0, comm_range=5.0)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            deploy_grid(0, 3)
+
+
+class TestDeployClustered:
+    def test_connected_and_counted(self, rng):
+        dep = deploy_clustered(60, 4, rng, comm_range=25.0)
+        assert dep.node_count == 60
+        assert nx.is_connected(dep.graph())
+
+    def test_positions_clipped_to_field(self, rng):
+        dep = deploy_clustered(60, 3, rng, width=50.0, height=50.0, comm_range=30.0)
+        for p in dep.positions:
+            assert 0.0 <= p.x <= 50.0
+            assert 0.0 <= p.y <= 50.0
+
+    def test_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError):
+            deploy_clustered(10, 0, rng)
+
+
+class TestDeploymentValidation:
+    def test_rejects_empty_positions(self):
+        with pytest.raises(ValueError):
+            Deployment((), Point(0, 0), 10.0, 10.0, 5.0)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Deployment((Point(0, 0),), Point(0, 0), 0.0, 10.0, 5.0)

@@ -1,0 +1,97 @@
+"""Property-based tests of the electromagnetic substrate."""
+
+import cmath
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.charger_array import minimum_null_residual, solve_null_phases
+from repro.em.rectenna import Rectenna
+from repro.em.superposition import two_wave_rf_power
+from repro.em.waves import coherent_power, incoherent_power, phasor
+
+amplitudes = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+positive_amplitudes = st.floats(min_value=1e-3, max_value=10.0, allow_nan=False)
+phases = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+powers = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class TestWaveIdentities:
+    @given(st.lists(st.tuples(amplitudes, phases), min_size=1, max_size=8))
+    def test_coherent_power_bounded_by_amplitude_sum(self, waves):
+        """|sum E_i|^2 <= (sum |E_i|)^2 — the triangle inequality."""
+        ps = [phasor(a, p) for a, p in waves]
+        bound = sum(a for a, _ in waves) ** 2
+        assert coherent_power(ps) <= bound * (1.0 + 1e-9) + 1e-12
+
+    @given(st.lists(st.tuples(amplitudes, phases), min_size=1, max_size=8))
+    def test_incoherent_power_invariant_to_phases(self, waves):
+        ps = [phasor(a, p) for a, p in waves]
+        rotated = [phasor(a, p + 1.234) for a, p in waves]
+        assert math.isclose(
+            incoherent_power(ps), incoherent_power(rotated),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+    @given(amplitudes, phases, phases)
+    def test_global_phase_invariance(self, a, p, shift):
+        """Rotating every wave together never changes the power."""
+        ps = [phasor(a, p), phasor(a / 2 + 0.1, p + 1.0)]
+        rotated = [w * cmath.exp(1j * shift) for w in ps]
+        assert math.isclose(
+            coherent_power(ps), coherent_power(rotated),
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+    @given(powers, powers)
+    def test_two_wave_extremes(self, p1, p2):
+        """Interference swings between (sqrt(P1)±sqrt(P2))^2."""
+        lo = (math.sqrt(p1) - math.sqrt(p2)) ** 2
+        hi = (math.sqrt(p1) + math.sqrt(p2)) ** 2
+        for dphi in (0.0, 0.7, math.pi / 2, 2.0, math.pi):
+            p = two_wave_rf_power(p1, p2, dphi)
+            assert lo - 1e-9 <= p <= hi + 1e-9
+
+
+class TestRectennaProperties:
+    @given(powers)
+    def test_harvest_never_exceeds_input(self, p):
+        assert Rectenna().harvest(p) <= p + 1e-15
+
+    @given(powers, powers)
+    def test_harvest_monotone(self, p1, p2):
+        rect = Rectenna()
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert rect.harvest(lo) <= rect.harvest(hi) + 1e-12
+
+    @given(st.lists(st.tuples(positive_amplitudes, phases), min_size=2, max_size=6))
+    def test_superposition_gap_bounded_by_independent_harvest(self, waves):
+        """The attacker can steal at most everything that was harvestable."""
+        rect = Rectenna()
+        ps = [phasor(a, p) for a, p in waves]
+        independent = sum(rect.harvest(abs(w) ** 2) for w in ps)
+        gap = rect.superposition_gap(ps)
+        assert gap <= independent + 1e-12
+
+
+class TestNullSolverProperties:
+    @given(st.lists(positive_amplitudes, min_size=2, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_residual_reaches_geometric_minimum(self, amps):
+        phases_out = solve_null_phases(amps)
+        residual = abs(
+            sum(a * cmath.exp(1j * p) for a, p in zip(amps, phases_out))
+        )
+        target = minimum_null_residual(amps)
+        scale = max(amps)
+        assert residual <= target + 1e-5 * scale
+
+    @given(st.lists(amplitudes, min_size=1, max_size=8))
+    def test_returns_one_phase_per_amplitude(self, amps):
+        assert len(solve_null_phases(amps)) == len(amps)
+
+    @given(st.lists(positive_amplitudes, min_size=2, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic(self, amps):
+        assert solve_null_phases(amps) == solve_null_phases(amps)

@@ -1,0 +1,112 @@
+"""Property-based tests of the network substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.node import SensorNode
+from repro.network.routing import build_routing_tree, subtree_sizes
+from repro.network.topology import BASE_STATION_ID, deploy_uniform
+from repro.network.traffic import TrafficModel, relay_loads
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+seeds = st.integers(min_value=0, max_value=30)
+
+
+class TestNodeEnergyProperties:
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.lists(st.floats(min_value=0.1, max_value=1000.0), min_size=1, max_size=8),
+    )
+    def test_piecewise_advance_equals_single_advance(self, draw_w, steps):
+        """Advancing in pieces or in one jump must agree exactly."""
+        total = sum(steps)
+        stepped = SensorNode(0, Point(0, 0), battery_capacity_j=5000.0)
+        stepped.set_consumption(draw_w)
+        t = 0.0
+        for dt in steps:
+            t += dt
+            stepped.advance_to(t)
+        jumped = SensorNode(0, Point(0, 0), battery_capacity_j=5000.0)
+        jumped.set_consumption(draw_w)
+        jumped.advance_to(total)
+        assert math.isclose(
+            stepped.energy_j, jumped.energy_j, rel_tol=1e-9, abs_tol=1e-6
+        )
+        assert stepped.alive == jumped.alive
+
+    @given(
+        st.floats(min_value=0.001, max_value=10.0),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_energy_never_negative_never_above_capacity(self, draw_w, t):
+        node = SensorNode(0, Point(0, 0), battery_capacity_j=5000.0)
+        node.set_consumption(draw_w)
+        node.advance_to(t)
+        assert 0.0 <= node.energy_j <= 5000.0
+        assert 0.0 <= node.believed_energy_j <= 5000.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=6000.0),
+        st.floats(min_value=0.0, max_value=6000.0),
+    )
+    def test_belief_gap_non_negative_under_spoofing(self, delivered, believed):
+        """Spoofing can only inflate belief, never deflate it below truth."""
+        node = SensorNode(0, Point(0, 0), battery_capacity_j=5000.0,
+                          initial_energy_frac=0.5)
+        node.receive_charge(delivered_j=0.0, believed_j=believed)
+        assert node.believed_energy_j >= node.energy_j - 1e-9
+
+
+class TestRoutingProperties:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_tree_is_acyclic_and_rooted(self, seed):
+        rng = make_rng(seed, "prop-routing")
+        dep = deploy_uniform(40, rng, comm_range=25.0)
+        tree = build_routing_tree(dep.graph())
+        for node_id in tree.connected_nodes():
+            path = tree.path_to_base(node_id)
+            assert len(path) == len(set(path)), "cycle in routing path"
+            assert path[-1] == BASE_STATION_ID
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_subtree_sizes_sum_to_network(self, seed):
+        rng = make_rng(seed, "prop-routing")
+        dep = deploy_uniform(40, rng, comm_range=25.0)
+        tree = build_routing_tree(dep.graph())
+        sizes = subtree_sizes(tree)
+        assert sizes[BASE_STATION_ID] == len(tree.connected_nodes())
+        # A parent's subtree strictly contains each child's.
+        for node_id in tree.connected_nodes():
+            for child in tree.children(node_id):
+                assert sizes[node_id] > sizes[child] - 1
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_relay_conservation(self, seed):
+        """Traffic entering the BS equals total generated traffic."""
+        rng = make_rng(seed, "prop-traffic")
+        dep = deploy_uniform(40, rng, comm_range=25.0)
+        tree = build_routing_tree(dep.graph())
+        traffic = TrafficModel.heterogeneous(40, rng)
+        loads = relay_loads(tree, traffic)
+        bs_children = tree.children(BASE_STATION_ID)
+        into_bs = sum(loads[c] + traffic.rate(c) for c in bs_children)
+        generated = sum(traffic.rate(i) for i in range(40))
+        assert math.isclose(into_bs, generated, rel_tol=1e-9)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_killing_a_node_never_increases_others_connectivity(self, seed):
+        rng = make_rng(seed, "prop-deaths")
+        dep = deploy_uniform(40, rng, comm_range=25.0)
+        graph = dep.graph()
+        full = set(build_routing_tree(graph).connected_nodes())
+        victim = sorted(full)[0]
+        alive = full - {victim}
+        reduced = set(build_routing_tree(graph, alive).connected_nodes())
+        assert reduced <= full - {victim}

@@ -1,0 +1,108 @@
+"""Property-based tests of the simulation orchestrator.
+
+Random scripted controllers drive the charger through arbitrary (but
+syntactically valid) action sequences; the simulator's global invariants
+must hold regardless of what the controller orders.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mc.charger import ChargeMode
+from repro.sim.actions import IdleAction, MissionController, ServeAction
+from repro.sim.events import DepotRecharged, ServiceCompleted
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=30, key_count=3, horizon_days=3)
+
+
+class ScriptedController(MissionController):
+    name = "scripted"
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+
+    def next_action(self, sim):
+        return self._actions.pop(0) if self._actions else None
+
+
+@st.composite
+def action_scripts(draw):
+    n = draw(st.integers(min_value=0, max_value=6))
+    actions = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["serve", "idle"]))
+        if kind == "serve":
+            actions.append(
+                ServeAction(
+                    node_id=draw(st.integers(min_value=0, max_value=29)),
+                    mode=draw(
+                        st.sampled_from(
+                            [ChargeMode.GENUINE, ChargeMode.SPOOF,
+                             ChargeMode.PRETEND]
+                        )
+                    ),
+                    not_before=draw(
+                        st.floats(min_value=0.0, max_value=86_400.0)
+                    ),
+                    duration_s=draw(
+                        st.one_of(
+                            st.none(),
+                            st.floats(min_value=1.0, max_value=3_600.0),
+                        )
+                    ),
+                )
+            )
+        else:
+            actions.append(
+                IdleAction(
+                    until=draw(st.floats(min_value=0.0, max_value=86_400.0))
+                )
+            )
+    return actions
+
+
+@given(action_scripts(), st.integers(min_value=0, max_value=5))
+@settings(max_examples=25, deadline=None)
+def test_simulator_invariants_under_arbitrary_scripts(script, seed):
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        ScriptedController(script),
+        horizon_s=CFG.horizon_s,
+    )
+    result = sim.run()
+
+    # 1. The trace is time-ordered and inside the horizon.
+    times = [e.time for e in result.trace]
+    assert times == sorted(times)
+    assert all(0.0 <= t <= result.horizon_s + 1e-6 for t in times)
+
+    # 2. Node energy stays within [0, capacity]; belief too.
+    for node in result.network.nodes.values():
+        assert -1e-6 <= node.energy_j <= node.battery_capacity_j + 1e-6
+        assert -1e-6 <= node.believed_energy_j <= node.battery_capacity_j + 1e-6
+
+    # 3. Charger energy accounting balances exactly.
+    charger = result.charger
+    refills = len(result.trace.of_type(DepotRecharged))
+    emission = sum(s.emission_j for s in charger.services)
+    travel = charger.distance_travelled_m * charger.travel_cost_j_per_m
+    budget = charger.battery_capacity_j * (1 + refills)
+    assert math.isclose(
+        emission + travel, budget - charger.energy_j, rel_tol=1e-6, abs_tol=1e-3
+    )
+
+    # 4. Every completed service was delivered to a node that was alive
+    #    at service start (the simulator aborts otherwise).
+    for service in result.trace.of_type(ServiceCompleted):
+        node = result.network.nodes[service.node_id]
+        if node.death_time is not None:
+            assert node.death_time >= service.start_time - 1e-6
+
+    # 5. Deaths are mutually consistent with the final network state.
+    dead_in_trace = {d.node_id for d in result.trace.deaths()}
+    assert dead_in_trace == result.network.dead_ids()

@@ -1,0 +1,163 @@
+"""Property-based tests of the TIDE problem and its solvers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import RandomPlanner
+from repro.core.csa import CsaPlanner
+from repro.core.optimal import solve_tide_bruteforce, solve_tide_exact
+from repro.core.tide import (
+    TideInstance,
+    TideTarget,
+    evaluate_route,
+    latest_start_schedule,
+)
+from repro.core.utility import CoverageUtility
+from repro.utils.geometry import Point
+
+
+@st.composite
+def tide_instances(draw, max_targets=6):
+    n = draw(st.integers(min_value=1, max_value=max_targets))
+    targets = []
+    for i in range(n):
+        start = draw(st.floats(min_value=0.0, max_value=50_000.0))
+        width = draw(st.floats(min_value=100.0, max_value=100_000.0))
+        duration = draw(st.floats(min_value=10.0, max_value=3_000.0))
+        targets.append(
+            TideTarget(
+                node_id=i,
+                weight=draw(st.floats(min_value=0.1, max_value=2.0)),
+                position=Point(
+                    draw(st.floats(min_value=0.0, max_value=100.0)),
+                    draw(st.floats(min_value=0.0, max_value=100.0)),
+                ),
+                window_start=start,
+                window_end=start + width,
+                service_duration=duration,
+                service_energy_j=duration * 24.0,
+            )
+        )
+    budget = draw(st.floats(min_value=0.0, max_value=500_000.0))
+    return TideInstance(
+        targets=tuple(targets),
+        start_position=Point(50.0, 50.0),
+        start_time=0.0,
+        energy_budget_j=budget,
+    )
+
+
+class TestEvaluationInvariants:
+    @given(tide_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_csa_plan_always_verifies(self, instance):
+        plan = CsaPlanner().plan(instance)
+        check = evaluate_route(instance, plan.route)
+        assert check.feasible
+        assert check.energy_j <= instance.energy_budget_j + 1e-6
+
+    @given(tide_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_feasible_schedules_respect_windows(self, instance):
+        plan = CsaPlanner().plan(instance)
+        for visit in plan.evaluation.visits:
+            target = instance.target(visit.node_id)
+            assert visit.service_start >= target.window_start - 1e-6
+            assert visit.service_start <= target.window_end + 1e-6
+            assert visit.departure >= visit.service_start
+
+    @given(tide_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_utility_bounded_by_total_weight(self, instance):
+        plan = CsaPlanner().plan(instance)
+        assert 0.0 <= plan.utility <= instance.total_weight() + 1e-9
+
+
+class TestSolverRelations:
+    @given(tide_instances(max_targets=5))
+    @settings(max_examples=25, deadline=None)
+    def test_exact_dp_matches_bruteforce(self, instance):
+        dp = solve_tide_exact(instance)
+        bf = solve_tide_bruteforce(instance)
+        assert abs(dp.utility - bf.utility) < 1e-6
+
+    @given(tide_instances(max_targets=6))
+    @settings(max_examples=25, deadline=None)
+    def test_csa_within_guarantee_of_optimal(self, instance):
+        from repro.core.bounds import GREEDY_GUARANTEE
+
+        csa = CsaPlanner().plan(instance)
+        opt = solve_tide_exact(instance)
+        if opt.utility > 0.0:
+            assert csa.utility / opt.utility >= GREEDY_GUARANTEE - 1e-9
+
+    @given(tide_instances(max_targets=6), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_csa_within_guarantee_of_any_feasible_plan(self, instance, seed):
+        # CSA does not dominate every plan pointwise (it is a greedy
+        # approximation, and hypothesis finds instances where a lucky
+        # random order wins) — but the guarantee chains through OPT:
+        # U(CSA) >= rho * U(OPT) >= rho * U(any feasible plan).
+        from repro.core.bounds import GREEDY_GUARANTEE
+
+        csa = CsaPlanner().plan(instance)
+        rnd = RandomPlanner(seed).plan(instance)
+        assert csa.utility >= GREEDY_GUARANTEE * rnd.utility - 1e-9
+
+
+class TestLatestStartSchedule:
+    @given(tide_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_latest_starts_feasible_and_no_earlier(self, instance):
+        plan = CsaPlanner().plan(instance)
+        if not plan.route:
+            return
+        latest = latest_start_schedule(instance, plan.route)
+        eager = [v.service_start for v in plan.evaluation.visits]
+        # Pointwise no earlier than eager...
+        for l, e in zip(latest, eager):
+            assert l >= e - 1e-9
+        # ...within windows...
+        for l, node_id in zip(latest, plan.route):
+            target = instance.target(node_id)
+            assert target.window_start - 1e-6 <= l <= target.window_end + 1e-6
+        # ...and chainable: each service still reaches the next in time.
+        for k in range(len(plan.route) - 1):
+            a = instance.target(plan.route[k])
+            b = instance.target(plan.route[k + 1])
+            travel = a.position.distance_to(b.position) / instance.speed_m_s
+            assert latest[k] + a.service_duration + travel <= latest[k + 1] + 1e-6
+
+
+class TestSubmodularity:
+    @given(
+        st.sets(st.integers(min_value=0, max_value=9), max_size=6),
+        st.sets(st.integers(min_value=0, max_value=9), max_size=6),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_coverage_utility_is_submodular(self, small, extra, candidate):
+        """f(A + x) - f(A) >= f(B + x) - f(B) whenever A ⊆ B."""
+        utility = CoverageUtility(
+            regions={
+                "r1": frozenset({0, 1, 2, 3}),
+                "r2": frozenset({4, 5, 6}),
+                "r3": frozenset({7, 8, 9}),
+            },
+            region_weights={"r1": 1.0, "r2": 2.0, "r3": 0.5},
+        )
+        a = frozenset(small)
+        b = frozenset(small | extra)
+        gain_a = utility.marginal(a, candidate)
+        gain_b = utility.marginal(b, candidate)
+        assert gain_a >= gain_b - 1e-12
+
+    @given(
+        st.sets(st.integers(min_value=0, max_value=9), max_size=8),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_coverage_utility_is_monotone(self, base, extra):
+        utility = CoverageUtility(
+            regions={"r": frozenset(range(10))}, region_weights={"r": 3.0}
+        )
+        a = frozenset(base)
+        assert utility.value(a | {extra}) >= utility.value(a) - 1e-12

@@ -1,0 +1,149 @@
+"""Tests for mission-controller actions and simulator action handling."""
+
+import pytest
+
+from repro.mc.charger import ChargeMode
+from repro.sim.actions import (
+    IdleAction,
+    MissionController,
+    RechargeAction,
+    ServeAction,
+)
+from repro.sim.events import DepotRecharged, ServiceAborted, ServiceCompleted
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=40, key_count=4, horizon_days=2)
+
+
+class ScriptedController(MissionController):
+    """Plays back a fixed list of actions, then idles."""
+
+    name = "scripted"
+
+    def __init__(self, actions):
+        self._actions = list(actions)
+
+    def next_action(self, sim):
+        if self._actions:
+            return self._actions.pop(0)
+        return None
+
+
+def run_script(actions, seed=6, horizon_s=CFG.horizon_s):
+    sim = WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        ScriptedController(actions),
+        horizon_s=horizon_s,
+    )
+    return sim.run()
+
+
+class TestServeAction:
+    def test_explicit_duration_service(self):
+        result = run_script(
+            [ServeAction(node_id=3, mode=ChargeMode.GENUINE, duration_s=600.0)]
+        )
+        services = result.trace.services()
+        assert len(services) == 1
+        assert services[0].node_id == 3
+        assert services[0].time - services[0].start_time == pytest.approx(600.0)
+
+    def test_auto_sized_duration_fills_battery(self):
+        result = run_script([ServeAction(node_id=3, mode=ChargeMode.GENUINE)])
+        node = result.network.nodes[3]
+        service = result.trace.services()[0]
+        # Delivered the deficit measured at service start (up to capacity).
+        assert service.delivered_j > 0.0
+        assert node.energy_j <= node.battery_capacity_j
+
+    def test_not_before_delays_service(self):
+        result = run_script(
+            [ServeAction(node_id=3, not_before=3_600.0, duration_s=60.0)]
+        )
+        service = result.trace.services()[0]
+        assert service.start_time == pytest.approx(3_600.0)
+
+    def test_spoof_inflates_belief_only(self):
+        result = run_script(
+            [ServeAction(node_id=3, mode=ChargeMode.SPOOF, duration_s=600.0)]
+        )
+        service = result.trace.services()[0]
+        assert service.delivered_j == 0.0
+        assert service.believed_j > 0.0
+        node = result.network.nodes[3]
+        assert node.belief_gap_j() > 0.0
+
+    def test_pretend_changes_nothing_on_node(self):
+        result = run_script(
+            [ServeAction(node_id=3, mode=ChargeMode.PRETEND, duration_s=600.0)]
+        )
+        service = result.trace.services()[0]
+        assert service.delivered_j == 0.0
+        assert service.believed_j == 0.0
+        assert service.emission_j == 0.0
+        assert service.claimed_j > 0.0
+
+    def test_serving_dead_node_aborts(self):
+        # Node 3 is rigged to die in ~18 minutes; the service may not
+        # start before t = 1 h, so the charger arrives at a corpse.
+        actions = [
+            ServeAction(node_id=3, duration_s=60.0, not_before=3_600.0),
+        ]
+        sim = WrsnSimulation(
+            CFG.build_network(seed=6),
+            CFG.build_charger(),
+            ScriptedController(actions),
+            horizon_s=CFG.horizon_s,
+        )
+        sim.network.nodes[3].set_consumption(10.0)  # dies in ~18 min
+        result = sim.run()
+        aborts = result.trace.of_type(ServiceAborted)
+        assert any(a.node_id == 3 for a in aborts)
+        assert not result.trace.services()
+
+
+class TestRechargeAction:
+    def test_recharge_refills_battery(self):
+        actions = [
+            ServeAction(node_id=3, duration_s=3_600.0),
+            RechargeAction(),
+        ]
+        result = run_script(actions)
+        refills = result.trace.of_type(DepotRecharged)
+        assert len(refills) == 1
+        assert result.charger.energy_j == result.charger.battery_capacity_j
+        assert refills[0].energy_before_j < result.charger.battery_capacity_j
+
+
+class TestIdleAction:
+    def test_idle_until_then_serve(self):
+        actions = [
+            IdleAction(until=7_200.0),
+            ServeAction(node_id=1, duration_s=60.0),
+        ]
+        result = run_script(actions)
+        service = result.trace.services()[0]
+        assert service.start_time >= 7_200.0
+
+
+class TestStrandedCharger:
+    def test_charger_that_overspends_strands_gracefully(self):
+        # A 100 kJ charger ordered to radiate for hours runs dry; the
+        # simulation records the failure and carries on.
+        cfg = CFG.with_(mc_battery_j=100_000.0)
+        actions = [
+            ServeAction(node_id=3, duration_s=3_600.0),  # 86.4 kJ: ok
+            ServeAction(node_id=5, duration_s=3_600.0),  # would exceed
+        ]
+        sim = WrsnSimulation(
+            cfg.build_network(seed=6),
+            cfg.build_charger(),
+            ScriptedController(actions),
+            horizon_s=cfg.horizon_s,
+        )
+        result = sim.run()
+        assert result.charger_stranded
+        assert len(result.trace.services()) == 1
+        assert result.ended_at == pytest.approx(result.horizon_s)

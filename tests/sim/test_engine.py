@@ -1,0 +1,95 @@
+"""Tests for the versioned event queue."""
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.schedule(5.0, "b")
+        q.schedule(1.0, "a")
+        q.schedule(3.0, "c")
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == ["a", "c", "b"]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        q.schedule(1.0, "first")
+        q.schedule(1.0, "second")
+        assert q.pop().kind == "first"
+        assert q.pop().kind == "second"
+
+    def test_empty_pop_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_len(self):
+        q = EventQueue()
+        q.schedule(1.0, "x")
+        q.schedule(2.0, "y")
+        assert len(q) == 2
+
+
+class TestVersioning:
+    def test_stale_events_skipped(self):
+        q = EventQueue()
+        q.schedule(1.0, "old", version_key="node1")
+        q.invalidate("node1")
+        q.schedule(2.0, "new", version_key="node1")
+        event = q.pop()
+        assert event.kind == "new"
+        assert q.pop() is None
+
+    def test_unkeyed_events_never_stale(self):
+        q = EventQueue()
+        q.schedule(1.0, "free")
+        q.invalidate("whatever")
+        assert q.pop().kind == "free"
+
+    def test_independent_keys(self):
+        q = EventQueue()
+        q.schedule(1.0, "a", version_key="ka")
+        q.schedule(2.0, "b", version_key="kb")
+        q.invalidate("ka")
+        assert q.pop().kind == "b"
+
+    def test_current_version_tracks(self):
+        q = EventQueue()
+        assert q.current_version("k") == 0
+        q.invalidate("k")
+        q.invalidate("k")
+        assert q.current_version("k") == 2
+
+
+class TestPeek:
+    def test_peek_skips_stale(self):
+        q = EventQueue()
+        q.schedule(1.0, "old", version_key="k")
+        q.invalidate("k")
+        q.schedule(5.0, "live")
+        assert q.peek_time() == 5.0
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.schedule(3.0, "x")
+        assert q.peek_time() == 3.0
+        assert q.pop().kind == "x"
+
+
+class TestValidation:
+    def test_rejects_infinite_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(float("inf"), "never")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(float("nan"), "confused")
+
+    def test_payload_carried(self):
+        q = EventQueue()
+        q.schedule(1.0, "x", payload={"data": 42})
+        assert q.pop().payload == {"data": 42}

@@ -1,0 +1,156 @@
+"""Tests for multi-charger fleets."""
+
+import pytest
+
+from repro.attack.attacker import CsaAttacker
+from repro.detection.auditors import default_detector_suite
+from repro.mc.charger import ChargeMode
+from repro.sim.benign import BenignController
+from repro.sim.events import DepotRecharged
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=60, key_count=6, horizon_days=40)
+
+
+def fleet_sim(extra_count=1, seed=2, attacker=False, mc_battery=None):
+    cfg = CFG if mc_battery is None else CFG.with_(mc_battery_j=mc_battery)
+    lead_controller = (
+        CsaAttacker(key_count=cfg.key_count) if attacker else BenignController()
+    )
+    extra = [
+        (cfg.build_charger(), BenignController()) for _ in range(extra_count)
+    ]
+    return WrsnSimulation(
+        cfg.build_network(seed=seed),
+        cfg.build_charger(),
+        lead_controller,
+        detectors=default_detector_suite(seed),
+        horizon_s=cfg.horizon_s,
+        extra_units=extra,
+    )
+
+
+class TestBenignFleet:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small charger batteries + slow depot refills create the
+        # contention that actually engages the second charger (with the
+        # default 2 MJ battery, one charger handles 60 nodes alone and
+        # the fleet member idles — correctly).
+        cfg = CFG.with_(mc_battery_j=400_000.0, mc_depot_recharge_s=6 * 3600.0)
+        extra = [(cfg.build_charger(), BenignController())]
+        sim = WrsnSimulation(
+            cfg.build_network(seed=2),
+            cfg.build_charger(),
+            BenignController(),
+            detectors=default_detector_suite(2),
+            horizon_s=cfg.horizon_s,
+            extra_units=extra,
+        )
+        return sim.run()
+
+    def test_network_stays_alive(self, result):
+        assert len(result.trace.deaths()) == 0
+        assert not result.detected
+
+    def test_both_chargers_work(self, result):
+        units = {s.charger_index for s in result.trace.services()}
+        assert units == {0, 1}
+
+    def test_single_charger_handles_small_network_alone(self):
+        result = fleet_sim(extra_count=1).run()
+        counts = {}
+        for s in result.trace.services():
+            counts[s.charger_index] = counts.get(s.charger_index, 0) + 1
+        # At default capacity the lead charger never saturates, so the
+        # fleet member is pure redundancy.
+        assert counts.get(0, 0) > 0
+        assert len(result.trace.deaths()) == 0
+
+    def test_no_node_double_served_concurrently(self, result):
+        # Two chargers must never be radiating at one node at once:
+        # service intervals per node are disjoint.
+        by_node = {}
+        for s in result.trace.services():
+            by_node.setdefault(s.node_id, []).append((s.start_time, s.time))
+        for intervals in by_node.values():
+            intervals.sort()
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-6
+
+    def test_chargers_listed_in_result(self, result):
+        assert len(result.chargers) == 2
+        assert result.charger is result.chargers[0]
+
+    def test_fleet_shares_load_under_contention(self, result):
+        counts = {}
+        for s in result.trace.services():
+            counts[s.charger_index] = counts.get(s.charger_index, 0) + 1
+        # Neither charger does everything when the lead keeps running dry.
+        assert len(counts) == 2
+        assert min(counts.values()) >= 1
+
+
+class TestFleetMechanics:
+    def test_unit_count(self):
+        sim = fleet_sim(extra_count=2)
+        assert sim.unit_count == 3
+
+    def test_shared_charger_object_rejected(self):
+        mc = CFG.build_charger()
+        with pytest.raises(ValueError):
+            WrsnSimulation(
+                CFG.build_network(seed=2),
+                mc,
+                BenignController(),
+                extra_units=[(mc, BenignController())],
+                horizon_s=CFG.horizon_s,
+            )
+
+    def test_controllers_receive_their_charger(self):
+        sim = fleet_sim(extra_count=1)
+        chargers = sim.chargers
+        assert sim._units[0][1].charger is chargers[0]
+        assert sim._units[1][1].charger is chargers[1]
+
+    def test_refills_attributed_per_charger(self):
+        result = fleet_sim(extra_count=1, mc_battery=500_000.0).run()
+        refills = result.trace.of_type(DepotRecharged)
+        assert refills, "small batteries must force refills"
+        assert all(r.charger_index in (0, 1) for r in refills)
+
+
+class TestAttackInFleet:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fleet_sim(extra_count=1, attacker=True).run()
+
+    def test_attacker_still_kills_some(self, result):
+        assert result.exhausted_key_ratio() >= 0.3
+
+    def test_honest_redundancy_blunts_the_attack(self, result):
+        solo = fleet_sim(extra_count=0, attacker=True).run()
+        assert result.exhausted_key_ratio() <= solo.exhausted_key_ratio()
+
+    def test_spoofs_come_only_from_the_compromised_charger(self, result):
+        for s in result.trace.services():
+            if s.mode in (ChargeMode.SPOOF, ChargeMode.PRETEND):
+                assert s.charger_index == 0
+
+    def test_honest_charger_never_blamed_for_spoofed_victims(self, result):
+        # The honest charger never serviced a node that later died
+        # spoofed (the attacker claims them first).
+        honest_served = {
+            s.node_id
+            for s in result.trace.services()
+            if s.charger_index == 1
+        }
+        spoof_deaths = {
+            d.node_id for d in result.trace.deaths() if d.was_spoofed
+        }
+        last_service = {}
+        for s in result.trace.services():
+            last_service[s.node_id] = s.charger_index
+        for node_id in spoof_deaths:
+            assert last_service[node_id] == 0

@@ -1,0 +1,82 @@
+"""Tests for the simulation trace."""
+
+import pytest
+
+from repro.mc.charger import ChargeMode
+from repro.sim.events import (
+    DetectionRaised,
+    NodeDied,
+    RequestIssued,
+    ServiceCompleted,
+)
+from repro.sim.trace import SimulationTrace
+
+
+def service(time, node_id, mode=ChargeMode.GENUINE, is_key=False):
+    return ServiceCompleted(
+        time=time, node_id=node_id, start_time=time - 10.0, mode=mode,
+        delivered_j=1.0, believed_j=1.0, claimed_j=1.0, emission_j=1.0,
+        is_key=is_key, believed_energy_after_j=1.0, battery_capacity_j=10.0,
+    )
+
+
+def death(time, node_id, is_key=False):
+    return NodeDied(time=time, node_id=node_id, is_key=is_key,
+                    was_spoofed=False, stranded_count=0)
+
+
+class TestRecording:
+    def test_order_enforced(self):
+        trace = SimulationTrace()
+        trace.record(service(10.0, 1))
+        with pytest.raises(ValueError):
+            trace.record(service(5.0, 2))
+
+    def test_equal_times_allowed(self):
+        trace = SimulationTrace()
+        trace.record(service(10.0, 1))
+        trace.record(service(10.0, 2))
+        assert len(trace) == 2
+
+    def test_iteration(self):
+        trace = SimulationTrace()
+        events = [service(1.0, 1), death(2.0, 1)]
+        for e in events:
+            trace.record(e)
+        assert list(trace) == events
+
+
+class TestQueries:
+    @pytest.fixture()
+    def trace(self):
+        t = SimulationTrace()
+        t.record(RequestIssued(time=1.0, node_id=1, deadline=10.0,
+                               energy_needed_j=5.0, is_key=True))
+        t.record(service(2.0, 1, mode=ChargeMode.SPOOF, is_key=True))
+        t.record(service(3.0, 2))
+        t.record(death(4.0, 1, is_key=True))
+        t.record(DetectionRaised(time=5.0, detector="neglect", reason="x"))
+        return t
+
+    def test_of_type(self, trace):
+        assert len(trace.of_type(ServiceCompleted)) == 2
+        assert len(trace.of_type(NodeDied)) == 1
+
+    def test_services_and_deaths(self, trace):
+        assert [s.node_id for s in trace.services()] == [1, 2]
+        assert [d.node_id for d in trace.deaths()] == [1]
+
+    def test_requests(self, trace):
+        assert len(trace.requests()) == 1
+
+    def test_detections(self, trace):
+        assert trace.first_detection_time() == 5.0
+
+    def test_no_detection_returns_none(self):
+        assert SimulationTrace().first_detection_time() is None
+
+    def test_served_node_ids(self, trace):
+        assert trace.served_node_ids() == {1, 2}
+
+    def test_dead_key_node_ids(self, trace):
+        assert trace.dead_key_node_ids() == {1}

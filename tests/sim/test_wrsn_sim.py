@@ -1,0 +1,143 @@
+"""Tests for the WRSN simulation orchestrator."""
+
+import pytest
+
+from repro.detection.auditors import default_detector_suite
+from repro.mc.charger import ChargeMode
+from repro.sim.benign import BenignController
+from repro.sim.events import DepotRecharged, RequestIssued, ServiceCompleted
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=50, key_count=5, horizon_days=40)
+
+
+def build_sim(seed=2, controller=None, detectors=(), cfg=CFG, **kwargs):
+    return WrsnSimulation(
+        cfg.build_network(seed=seed),
+        cfg.build_charger(),
+        controller or BenignController(),
+        detectors=detectors,
+        horizon_s=cfg.horizon_s,
+        **kwargs,
+    )
+
+
+class TestBenignRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return build_sim(detectors=default_detector_suite(2)).run()
+
+    def test_network_survives(self, result):
+        assert len(result.trace.deaths()) == 0
+        assert len(result.network.alive_ids()) == 50
+
+    def test_requests_get_served(self, result):
+        requests = {r.node_id for r in result.trace.requests()}
+        served = result.trace.served_node_ids()
+        assert requests
+        # Every requester is eventually served (no deaths occurred).
+        assert requests <= served
+
+    def test_all_services_genuine(self, result):
+        assert all(
+            s.mode == ChargeMode.GENUINE for s in result.trace.services()
+        )
+
+    def test_benign_run_is_clean(self, result):
+        assert not result.detected
+
+    def test_nodes_recharged_to_capacity(self, result):
+        for service in result.trace.services():
+            node = result.network.nodes[service.node_id]
+            assert service.believed_energy_after_j <= node.battery_capacity_j
+
+    def test_charger_uses_depot_when_battery_small(self):
+        cfg = CFG.with_(mc_battery_j=600_000.0)
+        result = build_sim(cfg=cfg).run()
+        assert len(result.trace.of_type(DepotRecharged)) >= 1
+        assert len(result.trace.deaths()) == 0
+
+    def test_ends_at_horizon(self, result):
+        assert result.ended_at == pytest.approx(result.horizon_s)
+
+
+class TestLifecycleRules:
+    def test_single_use(self):
+        sim = build_sim()
+        sim.run()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_requests_issued_at_threshold(self):
+        sim = build_sim(detectors=())
+        result = sim.run()
+        for request in result.trace.of_type(RequestIssued):
+            node = result.network.nodes[request.node_id]
+            assert request.energy_needed_j >= 0.75 * node.battery_capacity_j
+
+    def test_pending_requests_sorted(self):
+        sim = build_sim()
+        # Before running there are no pending requests.
+        assert sim.pending_requests() == []
+
+    def test_trace_time_ordered(self):
+        result = build_sim().run()
+        times = [e.time for e in result.trace]
+        assert times == sorted(times)
+
+
+class TestEnergyConservation:
+    def test_node_energy_balances(self):
+        """True node energy = initial - integral of draw + delivered."""
+        result = build_sim(detectors=()).run()
+        delivered = {}
+        for service in result.trace.of_type(ServiceCompleted):
+            delivered[service.node_id] = (
+                delivered.get(service.node_id, 0.0) + service.delivered_j
+            )
+        for node_id, node in result.network.nodes.items():
+            assert node.energy_j <= node.battery_capacity_j + 1e-6
+            # Nodes with no service can only have drained.
+            if node_id not in delivered:
+                assert node.energy_j <= node.battery_capacity_j
+
+    def test_charger_energy_accounting(self):
+        result = build_sim(detectors=()).run()
+        refills = len(result.trace.of_type(DepotRecharged))
+        charger = result.charger
+        emission = sum(s.emission_j for s in charger.services)
+        travel = charger.distance_travelled_m * charger.travel_cost_j_per_m
+        total_budget = charger.battery_capacity_j * (1 + refills)
+        assert emission + travel == pytest.approx(
+            total_budget - charger.energy_j, rel=1e-6
+        )
+
+
+class TestStopOnDetection:
+    def test_halts_at_first_alarm(self):
+        from repro.attack.attacker import BlatantAttacker
+
+        sim = build_sim(
+            controller=BlatantAttacker(key_count=5),
+            detectors=default_detector_suite(2),
+            stop_on_detection=True,
+        )
+        result = sim.run()
+        assert result.detected
+        assert result.ended_at < result.horizon_s
+
+
+class TestChargeModesInSim:
+    def test_spoofed_flag_tracked(self):
+        from repro.attack.attacker import CsaAttacker
+
+        sim = build_sim(controller=CsaAttacker(key_count=5))
+        result = sim.run()
+        spoofed = sim.spoofed_ids()
+        recorded = {
+            s.node_id
+            for s in result.trace.services()
+            if s.mode == ChargeMode.SPOOF
+        }
+        assert spoofed == recorded

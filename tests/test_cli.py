@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.nodes == 100
+        assert args.key_nodes == 10
+
+    def test_quickstart_overrides(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--nodes", "50", "--seed", "9"]
+        )
+        assert args.nodes == 50
+        assert args.seed == 9
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_params_prints_table(self, capsys):
+        assert main(["params"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of nodes" in out
+        assert "MC battery capacity" in out
+
+    def test_superposition_prints_sweep(self, capsys):
+        assert main(["superposition", "--points", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "phase/pi" in out
+        assert "r^2" in out
+
+    def test_quickstart_small_run(self, capsys):
+        code = main(
+            ["quickstart", "--nodes", "50", "--key-nodes", "5",
+             "--days", "35", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exhausted" in out
+        assert "detected" in out
+
+    def test_testbed_small_run(self, capsys):
+        code = main(["testbed", "--trials", "4"])
+        out = capsys.readouterr().out
+        assert "mean exhausted ratio" in out
+        assert code in (0, 1)

@@ -1,0 +1,67 @@
+"""Tests for planar geometry primitives."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.geometry import Point, distance, pairwise_distances, tour_length
+
+
+class TestPoint:
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 6)) == Point(1, 3)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(-1, 2) == Point(0, 3)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert {Point(1, 2), Point(1, 2)} == {Point(1, 2)}
+
+
+class TestDistanceFunctions:
+    def test_distance_free_function(self):
+        assert distance(Point(0, 0), Point(0, 5)) == pytest.approx(5.0)
+
+    def test_pairwise_distances_matrix(self):
+        pts = [Point(0, 0), Point(3, 4), Point(0, 8)]
+        mat = pairwise_distances(pts)
+        assert mat.shape == (3, 3)
+        assert np.allclose(np.diag(mat), 0.0)
+        assert mat[0, 1] == pytest.approx(5.0)
+        assert mat[1, 0] == pytest.approx(5.0)
+        assert mat[0, 2] == pytest.approx(8.0)
+
+    def test_pairwise_distances_empty(self):
+        assert pairwise_distances([]).shape == (0, 0)
+
+
+class TestTourLength:
+    def test_closed_square(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert tour_length(square) == pytest.approx(4.0)
+
+    def test_open_route_drops_return_leg(self):
+        square = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        assert tour_length(square, closed=False) == pytest.approx(3.0)
+
+    def test_single_point_is_zero(self):
+        assert tour_length([Point(5, 5)]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert tour_length([]) == 0.0
+
+    def test_collinear(self):
+        pts = [Point(0, 0), Point(2, 0), Point(5, 0)]
+        assert tour_length(pts, closed=False) == pytest.approx(5.0)
+        assert tour_length(pts, closed=True) == pytest.approx(10.0)

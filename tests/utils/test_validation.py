@@ -1,0 +1,78 @@
+"""Tests for argument validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_numbers(self):
+        assert check_finite("x", 3) == 3.0
+        assert check_finite("x", -2.5) == -2.5
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", math.nan)
+        with pytest.raises(ValueError, match="x"):
+            check_finite("x", math.inf)
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError, match="x"):
+            check_finite("x", "hello")
+
+    def test_error_names_the_argument(self):
+        with pytest.raises(ValueError, match="battery_capacity"):
+            check_finite("battery_capacity", math.inf)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 0.001) == 0.001
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.0001])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 2])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 5, 5, 10) == 5.0
+        assert check_in_range("x", 10, 5, 10) == 10.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 5, 5, 10, inclusive=False)
+        assert check_in_range("x", 7, 5, 10, inclusive=False) == 7.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 5, 10)
