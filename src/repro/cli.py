@@ -6,7 +6,8 @@ can see the system work before writing any code:
 * ``quickstart`` — one attack campaign with the full detector suite;
 * ``testbed`` — the bench campaign and the headline-claim verdict;
 * ``superposition`` — the Section II phase sweep as a table;
-* ``params`` — the default simulation parameter table.
+* ``params`` — the default simulation parameter table;
+* ``lint`` — the reprolint static-analysis gate (see ``docs/reprolint.md``).
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ import argparse
 import math
 import sys
 from typing import Sequence
+
+from repro.lint.cli import configure_parser as configure_lint_parser
 
 __all__ = ["build_parser", "main"]
 
@@ -93,6 +96,12 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -122,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     params = sub.add_parser("params", help="print the parameter table")
     params.set_defaults(func=_cmd_params)
+
+    lint = sub.add_parser(
+        "lint", help="run the reprolint static-analysis rules"
+    )
+    configure_lint_parser(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -29,7 +29,7 @@ from repro.core.tide import (
     evaluate_route,
 )
 from repro.mc.tour import nearest_neighbour_tour, two_opt
-from repro.utils.rng import make_rng
+from repro.utils.rng import coerce_rng
 
 __all__ = [
     "EdfPlanner",
@@ -80,10 +80,7 @@ class RandomPlanner(Planner):
     name = "Random"
 
     def __init__(self, seed: int | np.random.Generator = 0) -> None:
-        if isinstance(seed, np.random.Generator):
-            self._rng = seed
-        else:
-            self._rng = make_rng(int(seed), "random-planner")
+        self._rng = coerce_rng(seed, "random-planner")
 
     def plan(self, instance: TideInstance) -> TidePlan:
         ids = list(instance.target_ids())

@@ -38,7 +38,7 @@ def empirical_ratio(algorithm_utility: float, optimal_utility: float) -> float:
     """
     if optimal_utility < 0.0 or algorithm_utility < 0.0:
         raise ValueError("utilities must be non-negative")
-    if optimal_utility == 0.0:
+    if optimal_utility == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
         return 1.0
     return algorithm_utility / optimal_utility
 
@@ -79,6 +79,7 @@ def check_guarantee(
     genuine violation.
     """
     ratio = empirical_ratio(csa_plan.utility, optimal_plan.utility)
+    # reprolint: disable-next=RL-P001 (exact-zero sentinel)
     holds = ratio + slack >= GREEDY_GUARANTEE or optimal_plan.utility == 0.0
     return GuaranteeCertificate(
         ratio=ratio,

@@ -27,7 +27,7 @@ from repro.sim.events import (
     RequestIssued,
     ServiceCompleted,
 )
-from repro.utils.rng import make_rng
+from repro.utils.rng import coerce_rng
 from repro.utils.validation import (
     check_positive,
     check_probability,
@@ -136,10 +136,7 @@ class RandomVoltageAuditor(Detector):
         self.mean_interval_s = check_positive("mean_interval_s", mean_interval_s)
         self.lookback_s = check_positive("lookback_s", lookback_s)
         self.mismatch_ratio = check_probability("mismatch_ratio", mismatch_ratio)
-        if isinstance(seed, np.random.Generator):
-            self._rng = seed
-        else:
-            self._rng = make_rng(int(seed), "voltage-auditor")
+        self._rng = coerce_rng(seed, "voltage-auditor")
         self._recent_services: dict[int, float] = {}
         self.audits_performed = 0
 

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.detection.monitors import Detector
 from repro.sim.events import DetectionRaised, ServiceCompleted
-from repro.utils.rng import make_rng
+from repro.utils.rng import coerce_rng
 from repro.utils.validation import check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -68,10 +68,7 @@ class ChargeVerificationDefense(Detector):
         super().__init__()
         self.probe_rate = check_probability("probe_rate", probe_rate)
         self.mismatch_ratio = check_probability("mismatch_ratio", mismatch_ratio)
-        if isinstance(seed, np.random.Generator):
-            self._rng = seed
-        else:
-            self._rng = make_rng(int(seed), "charge-verification")
+        self._rng = coerce_rng(seed, "charge-verification")
         self.probes_run = 0
 
     def observe_service(

@@ -67,10 +67,10 @@ def _descend(
             break
         before = abs(total)
         for i, amp in enumerate(amps):
-            if amp == 0.0:
+            if amp == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
                 continue
             others = total - phasors[i]
-            if abs(others) == 0.0:
+            if abs(others) == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
                 # Any phase is equivalent; leave as is.
                 continue
             new_phase = cmath.phase(-others)
@@ -146,6 +146,7 @@ def solve_null_phases(
     # collinear split is the right degenerate answer there too.
     denom_b = 2.0 * a_mag * b_mag
     denom_c = 2.0 * a_mag * c_mag
+    # reprolint: disable-next=RL-P001 (exact-zero guards against division by zero)
     if b_mag <= 0.0 or c_mag <= 0.0 or denom_b == 0.0 or denom_c == 0.0:
         beta = gamma = math.pi
     else:
@@ -158,7 +159,7 @@ def solve_null_phases(
     for i in range(n):
         if i == dominant:
             phases[i] = 0.0
-        elif amps[i] == 0.0:
+        elif amps[i] == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
             phases[i] = 0.0
         else:
             phases[i] = beta if group_of[i] == 0 else gamma
@@ -356,7 +357,7 @@ class ChargerArray:
         dx = target.x - charger_position.x
         dy = target.y - charger_position.y
         norm = math.hypot(dx, dy)
-        if norm == 0.0:
+        if norm == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
             return target.translated(self.pilot_offset, 0.0)
         # Unit vector perpendicular to the line of sight.
         ux, uy = -dy / norm, dx / norm

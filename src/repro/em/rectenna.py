@@ -60,7 +60,7 @@ class Rectenna:
     def __post_init__(self) -> None:
         check_non_negative("sensitivity_w", self.sensitivity_w)
         check_probability("peak_efficiency", self.peak_efficiency)
-        if self.peak_efficiency == 0.0:
+        if self.peak_efficiency == 0.0:  # reprolint: disable=RL-P001
             raise ValueError("peak_efficiency must be > 0")
         check_positive("knee_power_w", self.knee_power_w)
         check_positive("saturation_w", self.saturation_w)

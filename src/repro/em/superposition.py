@@ -138,7 +138,7 @@ class SuperpositionFit:
     @property
     def modulation_index(self) -> float:
         """``p_cross / p_sum`` — 1.0 for equal-amplitude waves."""
-        if self.p_sum == 0.0:
+        if self.p_sum == 0.0:  # reprolint: disable=RL-P001 (exact-zero sentinel)
             return 0.0
         return self.p_cross / self.p_sum
 
@@ -161,6 +161,7 @@ def fit_two_wave_model(
     predicted = design @ coeffs
     residual = float(((y - predicted) ** 2).sum())
     total = float(((y - y.mean()) ** 2).sum())
+    # reprolint: disable-next=RL-P001 (exact-zero sentinel)
     r_squared = 1.0 if total == 0.0 else 1.0 - residual / total
     return SuperpositionFit(
         p_sum=float(coeffs[0]), p_cross=float(coeffs[1]), r_squared=r_squared

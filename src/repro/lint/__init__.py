@@ -1,0 +1,35 @@
+"""reprolint — domain-aware static analysis for the reproduction.
+
+An AST-based lint engine with rule packs tailored to this codebase:
+
+* **determinism** (``RL-D...``): no legacy global-state RNG, no unseeded
+  generators, no wall-clock seeding, seed plumbing through
+  :func:`repro.utils.rng.coerce_rng`;
+* **physics / unit-safety** (``RL-P...``): no float equality in the
+  physical layers, no dBm/watt arithmetic mixing, validated numeric
+  constructor parameters;
+* **API hygiene** (``RL-H...``): no mutable defaults, no bare ``except``,
+  ``__all__`` in public modules, no builtin shadowing in signatures.
+
+Run it as ``python -m repro lint [paths]`` or programmatically via
+:func:`lint_paths` / :func:`lint_source`.  Findings on a line carrying a
+``# reprolint: disable=RL-XXXX`` comment are suppressed.
+"""
+
+from repro.lint.engine import LintEngine, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, all_rules, get_rule, register
+from repro.lint.reporting import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,62 @@
+"""CLI wiring for ``python -m repro lint``.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI only pays the
+import cost of the lint engine when the subcommand actually runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["configure_parser", "run_lint"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint subcommand; returns the process exit code.
+
+    Exit codes: 0 clean, 1 findings, 2 usage error (bad path).
+    """
+    from repro.lint.engine import lint_paths
+    from repro.lint.registry import all_rules
+    from repro.lint.reporting import render_json, render_text
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}")
+        return 2
+
+    renderer = render_json if args.output_format == "json" else render_text
+    try:
+        print(renderer(findings))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the exit code still stands.
+        pass
+    return 1 if findings else 0

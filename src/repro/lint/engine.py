@@ -1,0 +1,275 @@
+"""The reprolint engine: one AST walk per module, rules ride along.
+
+The engine parses a module, tokenizes it once to collect
+``# reprolint: disable=...`` suppression comments, then performs a single
+:class:`ast.NodeVisitor` pass.  At each node it first updates the shared
+:class:`ModuleContext` bookkeeping (import aliases, lexical scope stack) and
+then dispatches the node to every registered rule subscribed to that node
+type.  Findings landing on a suppressed line are dropped at collection
+time, so reporters never see them.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.registry import Rule, all_rules
+
+__all__ = [
+    "LintEngine",
+    "ModuleContext",
+    "PARSE_ERROR_ID",
+    "collect_suppressions",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Pseudo rule id used for files that fail to parse.
+PARSE_ERROR_ID = "RL-E001"
+
+_SUPPRESS_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable(?P<next>-next)?=(?P<ids>[A-Za-z0-9_,\- ]+)"
+)
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    ``# reprolint: disable=RL-XXXX[,RL-YYYY]`` suppresses on the comment's
+    own line; ``disable-next=`` suppresses on the following line (for
+    statements too long to carry a trailing comment).  The special token
+    ``all`` suppresses every rule.  Comments are found with
+    :mod:`tokenize`, so a ``#`` inside a string literal is never mistaken
+    for a suppression.
+    """
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_PATTERN.search(tok.string)
+            if match is None:
+                continue
+            ids = {
+                part.strip()
+                for part in match.group("ids").split(",")
+                if part.strip()
+            }
+            if ids:
+                line = tok.start[0] + (1 if match.group("next") else 0)
+                suppressions.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:
+        # Unterminated constructs: the ast parse will report the real error.
+        pass
+    return suppressions
+
+
+class ModuleContext:
+    """Everything rules may want to know about the module being linted."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = str(PurePosixPath(Path(path).as_posix()))
+        self.source = source
+        self._parts = PurePosixPath(self.path).parts
+        self._stem = PurePosixPath(self.path).stem
+        #: ``import numpy as np`` -> {"np": "numpy"}
+        self.module_aliases: dict[str, str] = {}
+        #: ``from numpy.random import default_rng as mk`` ->
+        #: {"mk": ("numpy.random", "default_rng")}
+        self.imported_names: dict[str, tuple[str, str]] = {}
+        #: Enclosing FunctionDef/AsyncFunctionDef/ClassDef/Lambda nodes.
+        self.scope_stack: list[ast.AST] = []
+
+    # ------------------------------------------------------------------
+    # Path classification
+    # ------------------------------------------------------------------
+    @property
+    def is_test_code(self) -> bool:
+        """Test/benchmark modules are exempt from simulation-only rules."""
+        in_test_tree = any(p in ("tests", "benchmarks") for p in self._parts)
+        test_file = (
+            self._stem.startswith(("test_", "bench_")) or self._stem == "conftest"
+        )
+        return in_test_tree or test_file
+
+    def has_dir(self, *names: str) -> bool:
+        """Whether any path component equals one of ``names``."""
+        return any(p in names for p in self._parts[:-1])
+
+    def path_endswith(self, suffix: str) -> bool:
+        """Posix-style suffix match on the module path."""
+        return self.path.endswith(suffix)
+
+    @property
+    def module_stem(self) -> str:
+        """Filename without extension (``engine`` for ``lint/engine.py``)."""
+        return self._stem
+
+    # ------------------------------------------------------------------
+    # Name resolution across imports
+    # ------------------------------------------------------------------
+    def record_imports(self, node: ast.AST) -> None:
+        """Track ``import``/``from ... import`` bindings as they are met."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".", 1)[0]
+                target = alias.name if alias.asname else alias.name.split(".", 1)[0]
+                self.module_aliases[bound] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self.imported_names[bound] = (node.module, alias.name)
+
+    def resolve_call_name(self, func: ast.AST) -> str | None:
+        """Fully-qualified dotted name of a call target, if resolvable.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``"numpy.random.rand"``; a bare name imported via
+        ``from numpy.random import rand`` resolves the same way.  Returns
+        ``None`` for dynamic targets (subscripts, call results, ...).
+        """
+        parts: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root in self.module_aliases:
+            parts[0] = self.module_aliases[root]
+        elif root in self.imported_names:
+            module, original = self.imported_names[root]
+            parts[0:1] = [module, original]
+        return ".".join(parts)
+
+    # ------------------------------------------------------------------
+    # Scope helpers
+    # ------------------------------------------------------------------
+    @property
+    def enclosing_function(self) -> ast.AST | None:
+        """Innermost enclosing function/lambda node, if any."""
+        for frame in reversed(self.scope_stack):
+            if isinstance(frame, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                return frame
+        return None
+
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+class _Dispatcher(ast.NodeVisitor):
+    """Single-pass visitor feeding each node to the subscribed rules."""
+
+    def __init__(self, ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+        self.ctx = ctx
+        self.findings: list[tuple[ast.AST, str, str]] = []
+        self._by_type: dict[type, list[Rule]] = {}
+        for rule in rules:
+            for node_type in rule.node_types:
+                self._by_type.setdefault(node_type, []).append(rule)
+
+    def visit(self, node: ast.AST) -> None:
+        self.ctx.record_imports(node)
+        for rule in self._by_type.get(type(node), ()):
+            for offending, message in rule.check(node, self.ctx):
+                self.findings.append((offending, rule.rule_id, message))
+        if isinstance(node, _SCOPE_NODES):
+            self.ctx.scope_stack.append(node)
+            try:
+                self.generic_visit(node)
+            finally:
+                self.ctx.scope_stack.pop()
+        else:
+            self.generic_visit(node)
+
+
+class LintEngine:
+    """Runs the registered rules over sources, files, and trees."""
+
+    def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
+        self._rule_classes = tuple(rules) if rules is not None else all_rules()
+
+    @property
+    def rule_classes(self) -> tuple[type[Rule], ...]:
+        """The rule classes this engine runs."""
+        return self._rule_classes
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one module given as a source string."""
+        ctx = ModuleContext(path, source)
+        try:
+            tree = ast.parse(source, filename=ctx.path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=ctx.path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ]
+        suppressions = collect_suppressions(source)
+        active = [cls() for cls in self._rule_classes]
+        active = [rule for rule in active if rule.applies_to(ctx)]
+        dispatcher = _Dispatcher(ctx, active)
+        dispatcher.visit(tree)
+
+        findings: list[Finding] = []
+        for node, rule_id, message in dispatcher.findings:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+            suppressed = suppressions.get(line, ())
+            if rule_id in suppressed or "all" in suppressed:
+                continue
+            findings.append(
+                Finding(
+                    path=ctx.path, line=line, col=col,
+                    rule_id=rule_id, message=message,
+                )
+            )
+        return sort_findings(findings)
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        """Lint one file on disk."""
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and directory trees; directories are walked for .py."""
+        findings: list[Finding] = []
+        for target in paths:
+            target = Path(target)
+            if target.is_dir():
+                for file in sorted(target.rglob("*.py")):
+                    if any(part in _SKIP_DIR_NAMES or part.endswith(".egg-info")
+                           for part in file.parts):
+                        continue
+                    findings.extend(self.lint_file(file))
+            elif target.is_file():
+                findings.extend(self.lint_file(target))
+            else:
+                raise FileNotFoundError(f"no such file or directory: {target}")
+        return sort_findings(findings)
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint a source string with all registered rules."""
+    return LintEngine().lint_source(source, path)
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
+    """Lint files/trees with all registered rules."""
+    return LintEngine().lint_paths(paths)

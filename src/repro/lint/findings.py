@@ -1,0 +1,40 @@
+"""The finding record produced by every reprolint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "sort_findings"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Path of the offending file, as given to the engine (posix-style
+        separators so reports are stable across platforms).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        The rule that fired, e.g. ``"RL-D001"``.
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a compiler-style one-liner."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Findings in stable report order: path, then line, col, rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule_id))

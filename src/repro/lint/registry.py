@@ -1,0 +1,87 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a unique ``rule_id`` (``RL-<pack letter><3 digits>``),
+a one-line ``title``, the AST ``node_types`` it wants to inspect, and a
+:meth:`Rule.check` generator yielding ``(node, message)`` pairs.  Decorating
+the class with :func:`register` makes the engine run it.
+
+The engine walks each module's AST exactly once; at every node it
+dispatches to the registered rules subscribed to that node type, so adding
+a rule never adds a traversal.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, ClassVar, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.lint.engine import ModuleContext
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]
+
+_RULE_ID_PATTERN = re.compile(r"^RL-[A-Z]\d{3}$")
+
+_REGISTRY: dict[str, Type["Rule"]] = {}
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    One instance is created per linted module, so instances may keep
+    per-module state across calls.
+    """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+    #: AST node classes this rule wants to see.
+    node_types: ClassVar[tuple[type, ...]] = ()
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        """Whether this rule runs at all for the module in ``ctx``."""
+        return True
+
+    def check(self, node: ast.AST, ctx: "ModuleContext") -> Iterator[tuple[ast.AST, str]]:
+        """Yield ``(offending_node, message)`` for each violation at ``node``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for subclass typing
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry.
+
+    Enforces the ``RL-Xnnn`` id convention and id uniqueness, so a
+    copy-pasted rule pack cannot silently mask an existing rule.
+    """
+    if not _RULE_ID_PATTERN.match(cls.rule_id):
+        raise ValueError(
+            f"rule id {cls.rule_id!r} does not match the RL-Xnnn convention"
+        )
+    if not cls.title:
+        raise ValueError(f"rule {cls.rule_id} must set a title")
+    if not cls.node_types:
+        raise ValueError(f"rule {cls.rule_id} must subscribe to node types")
+    existing = _REGISTRY.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    # Importing the pack modules triggers their @register decorators.
+    from repro.lint import rules  # noqa: F401
+
+
+def all_rules() -> tuple[Type[Rule], ...]:
+    """All registered rule classes, sorted by rule id."""
+    _load_builtin_rules()
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up one rule class by id; raises ``KeyError`` if unknown."""
+    _load_builtin_rules()
+    return _REGISTRY[rule_id]

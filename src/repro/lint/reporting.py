@@ -1,0 +1,38 @@
+"""Finding reporters: compiler-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding, plus a tally."""
+    lines = [finding.format() for finding in findings]
+    count = len(findings)
+    noun = "finding" if count == 1 else "findings"
+    lines.append(f"reprolint: {count} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """A stable JSON document for tooling (CI annotations, dashboards)."""
+    payload = {
+        "tool": "reprolint",
+        "count": len(findings),
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

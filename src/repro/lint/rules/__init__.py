@@ -1,0 +1,9 @@
+"""Built-in reprolint rule packs.
+
+Importing this package registers every shipped rule with the global
+registry (see :mod:`repro.lint.registry`).
+"""
+
+from repro.lint.rules import determinism, hygiene, physics
+
+__all__ = ["determinism", "hygiene", "physics"]

@@ -1,0 +1,183 @@
+"""Determinism rule pack (RL-D001..RL-D004).
+
+The headline claim of this reproduction is only auditable if every
+experiment is bit-reproducible from a seed.  These rules keep all
+randomness flowing through :mod:`repro.utils.rng`: no hidden global RNG
+state, no unseeded generators, no wall clocks, and a single shared seed
+coercion helper instead of hand-copied ``isinstance`` ladders.
+
+All rules in this pack skip test/benchmark modules: tests may exercise
+forbidden constructs on purpose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext
+from repro.lint.registry import Rule, register
+
+__all__ = [
+    "NoHandRolledSeedCoercion",
+    "NoLegacyGlobalRng",
+    "NoUnseededDefaultRng",
+    "NoWallClockSeeding",
+]
+
+#: numpy.random attributes that are *not* legacy global-state calls.
+_NUMPY_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Sanctioned randomness plumbing: calling any of these satisfies RL-D004.
+_COERCION_HELPERS = {"coerce_rng", "make_rng", "RngFactory"}
+
+
+class _DeterminismRule(Rule):
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_test_code
+
+
+@register
+class NoLegacyGlobalRng(_DeterminismRule):
+    """RL-D001: the ``random`` module and ``np.random.<func>`` draw from
+    hidden global state, which breaks seed isolation between components."""
+
+    rule_id = "RL-D001"
+    title = "no legacy global-state RNG calls"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        name = ctx.resolve_call_name(node.func)
+        if name is None:
+            return
+        if name.startswith("random."):
+            yield node, (
+                f"call to global-state stdlib RNG `{name}`; draw from a "
+                "seeded numpy Generator (repro.utils.rng) instead"
+            )
+            return
+        if name.startswith("numpy.random."):
+            tail = name.removeprefix("numpy.random.")
+            if "." not in tail and tail not in _NUMPY_RANDOM_ALLOWED:
+                yield node, (
+                    f"call to legacy numpy global RNG `{name}`; use a "
+                    "Generator from repro.utils.rng instead"
+                )
+
+
+@register
+class NoUnseededDefaultRng(_DeterminismRule):
+    """RL-D002: ``np.random.default_rng()`` with no seed gives every run a
+    different stream, so results cannot be reproduced or compared."""
+
+    rule_id = "RL-D002"
+    title = "default_rng must receive an explicit seed"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        name = ctx.resolve_call_name(node.func)
+        if name != "numpy.random.default_rng":
+            return
+        if not node.args and not node.keywords:
+            yield node, (
+                "np.random.default_rng() without an explicit seed is "
+                "irreproducible; pass a seed expression or use "
+                "repro.utils.rng.make_rng"
+            )
+
+
+@register
+class NoWallClockSeeding(_DeterminismRule):
+    """RL-D003: wall-clock reads in simulation code smuggle real time into
+    what must be a purely virtual-time, seed-determined world."""
+
+    rule_id = "RL-D003"
+    title = "no wall-clock time in simulation code"
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        name = ctx.resolve_call_name(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            yield node, (
+                f"wall-clock call `{name}` in simulation code; simulation "
+                "time must come from the engine clock and seeds from "
+                "configuration"
+            )
+
+
+@register
+class NoHandRolledSeedCoercion(_DeterminismRule):
+    """RL-D004: `int | Generator` seed parameters must route through the
+    shared helper ``repro.utils.rng.coerce_rng`` so all modules agree on
+    coercion semantics (stream naming, type errors, pass-through)."""
+
+    rule_id = "RL-D004"
+    title = "seed parameters route through coerce_rng"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # utils/rng.py *defines* the sanctioned coercion helper.
+        return super().applies_to(ctx) and not ctx.path_endswith("utils/rng.py")
+
+    def check(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: ModuleContext
+    ) -> Iterator[tuple[ast.AST, str]]:
+        params = {
+            arg.arg: arg
+            for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+        }
+
+        # (a) hand-rolled `isinstance(seed, np.random.Generator)` ladders.
+        for inner in ast.walk(node):
+            if not (isinstance(inner, ast.Call) and len(inner.args) == 2):
+                continue
+            if ctx.resolve_call_name(inner.func) != "isinstance":
+                continue
+            target, klass = inner.args
+            if not (isinstance(target, ast.Name) and target.id in params):
+                continue
+            if ctx.resolve_call_name(klass) == "numpy.random.Generator":
+                yield inner, (
+                    f"hand-rolled seed coercion for `{target.id}`; use "
+                    "repro.utils.rng.coerce_rng instead"
+                )
+
+        # (b) a `seed: int | Generator` parameter that is neither coerced
+        # nor forwarded anywhere.
+        seed_arg = params.get("seed")
+        if seed_arg is None or seed_arg.annotation is None:
+            return
+        if "Generator" not in ast.unparse(seed_arg.annotation):
+            return
+        for inner in ast.walk(node):
+            if not isinstance(inner, ast.Call):
+                continue
+            name = ctx.resolve_call_name(inner.func)
+            if name is not None and name.split(".")[-1] in _COERCION_HELPERS:
+                return
+            values = list(inner.args) + [kw.value for kw in inner.keywords]
+            if any(isinstance(v, ast.Name) and v.id == "seed" for v in values):
+                return  # forwarded to a callee that owns the coercion
+        yield seed_arg, (
+            "parameter `seed` accepts int | Generator but the body never "
+            "coerces it (repro.utils.rng.coerce_rng) nor forwards it"
+        )

@@ -1,0 +1,194 @@
+"""Physics / unit-safety rule pack (RL-P001..RL-P003).
+
+The EM and energy layers of this reproduction juggle watts, dBm, joules
+and metres; a silent unit slip produces plausible-looking nonsense rather
+than a crash.  These rules catch the classic failure modes statically:
+float equality in physical code, dB/watt arithmetic mixing, and physical
+models constructed from unvalidated numbers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.engine import ModuleContext
+from repro.lint.registry import Rule, register
+
+__all__ = [
+    "NoFloatEquality",
+    "NoMixedDbWattArithmetic",
+    "ValidatedPhysicalConstructors",
+]
+
+_DB_NAME = re.compile(r"(_db|_dbm|_dbi)$")
+_WATT_NAME = re.compile(r"(_w|_mw|_uw|_kw|_watt|_watts)$")
+
+#: Directories whose classes count as physical models for RL-P003.
+_MODEL_DIRS = ("em", "mc", "network")
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+def _unit_classes(node: ast.AST) -> set[str]:
+    """Unit classes ("db"/"watt") of identifiers in an arithmetic subtree.
+
+    Descends through arithmetic and unary operators only: a ``Call``
+    boundary is assumed to convert units (e.g. ``dbm_to_w(p_dbm)``), so
+    its arguments are not inspected.
+    """
+    units: set[str] = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        name: str | None = None
+        if isinstance(current, ast.Name):
+            name = current.id
+        elif isinstance(current, ast.Attribute):
+            name = current.attr
+        elif isinstance(current, ast.BinOp):
+            stack.extend((current.left, current.right))
+        elif isinstance(current, ast.UnaryOp):
+            stack.append(current.operand)
+        if name is not None:
+            if _DB_NAME.search(name):
+                units.add("db")
+            elif _WATT_NAME.search(name):
+                units.add("watt")
+    return units
+
+
+class _PhysicsScopedRule(Rule):
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_test_code
+
+
+@register
+class NoFloatEquality(_PhysicsScopedRule):
+    """RL-P001: exact float equality in physical code is almost always a
+    rounding bug; use ``math.isclose`` or an explicit tolerance, or mark
+    deliberate exact-zero sentinels with a suppression comment."""
+
+    rule_id = "RL-P001"
+    title = "no float equality in physical layers"
+    node_types = (ast.Compare,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and (
+            ctx.has_dir("em", "core") or ctx.path_endswith("network/energy.py")
+        )
+
+    def check(self, node: ast.Compare, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield node, (
+                    f"float `{symbol}` comparison in physical code; use "
+                    "math.isclose / an explicit tolerance, or suppress if "
+                    "the exact sentinel is intended"
+                )
+                return
+
+
+@register
+class NoMixedDbWattArithmetic(_PhysicsScopedRule):
+    """RL-P002: adding or subtracting a dB(-m/-i) quantity and a linear
+    watt quantity mixes logarithmic and linear units — always a bug."""
+
+    rule_id = "RL-P002"
+    title = "no dB/watt mixed arithmetic"
+    node_types = (ast.BinOp,)
+
+    def check(self, node: ast.BinOp, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if not isinstance(node.op, (ast.Add, ast.Sub)):
+            return
+        left_units = _unit_classes(node.left)
+        right_units = _unit_classes(node.right)
+        if ("db" in left_units and "watt" in right_units) or (
+            "watt" in left_units and "db" in right_units
+        ):
+            yield node, (
+                "arithmetic mixes a dB-scaled identifier with a watt-scaled "
+                "identifier; convert to one unit system first "
+                "(e.g. dbm_to_w / w_to_dbm)"
+            )
+
+
+@register
+class ValidatedPhysicalConstructors(_PhysicsScopedRule):
+    """RL-P003: a physical model that defines a constructor must validate
+    every float parameter through a ``utils.validation.check_*`` helper, so
+    NaN/negative physics dies at the boundary with a clear message."""
+
+    rule_id = "RL-P003"
+    title = "physical constructors validate numeric parameters"
+    node_types = (ast.ClassDef,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and ctx.has_dir(*_MODEL_DIRS)
+
+    def check(self, node: ast.ClassDef, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        init = post_init = None
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if stmt.name == "__init__":
+                    init = stmt
+                elif stmt.name == "__post_init__":
+                    post_init = stmt
+        if init is not None:
+            required = {
+                arg.arg
+                for arg in (*init.args.posonlyargs, *init.args.args,
+                            *init.args.kwonlyargs)
+                if arg.annotation is not None
+                and ast.unparse(arg.annotation) == "float"
+            }
+            yield from self._report(init, required, node.name)
+        elif post_init is not None:
+            fields = {
+                stmt.target.id
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and ast.unparse(stmt.annotation) == "float"
+            }
+            yield from self._report(post_init, fields, node.name)
+
+    @staticmethod
+    def _report(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        required: set[str],
+        class_name: str,
+    ) -> Iterator[tuple[ast.AST, str]]:
+        if not required:
+            return
+        checked: set[str] = set()
+        for inner in ast.walk(func):
+            if not isinstance(inner, ast.Call):
+                continue
+            target = inner.func
+            callee = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else ""
+            )
+            if not callee.startswith("check_"):
+                continue
+            for value in (*inner.args, *(kw.value for kw in inner.keywords)):
+                for leaf in ast.walk(value):
+                    if isinstance(leaf, ast.Name):
+                        checked.add(leaf.id)
+                    elif isinstance(leaf, ast.Attribute):
+                        checked.add(leaf.attr)
+        for missing in sorted(required - checked):
+            yield func, (
+                f"float parameter `{missing}` of physical model "
+                f"`{class_name}` is never validated with a "
+                "utils.validation.check_* helper"
+            )

@@ -17,6 +17,8 @@ from repro.network.requests import ChargingRequest, predict_request
 from repro.network.routing import RoutingTree, build_routing_tree
 from repro.network.topology import BASE_STATION_ID, Deployment, deploy_uniform
 from repro.network.traffic import TrafficModel, relay_loads
+from repro.utils.rng import coerce_rng
+from repro.utils.validation import check_positive, check_probability
 
 __all__ = ["Network", "build_network"]
 
@@ -54,6 +56,13 @@ class Network:
                 f"traffic covers {traffic.node_count} nodes but the "
                 f"deployment has {deployment.node_count}"
             )
+        battery_capacity_j = check_positive("battery_capacity_j", battery_capacity_j)
+        request_threshold_frac = check_probability(
+            "request_threshold_frac", request_threshold_frac
+        )
+        initial_energy_frac = check_probability(
+            "initial_energy_frac", initial_energy_frac
+        )
         self.deployment = deployment
         self.traffic = traffic
         self.radio = radio or RadioEnergyModel()
@@ -227,12 +236,7 @@ def build_network(
     ``seed`` may be an integer (a fresh generator is derived) or an
     existing :class:`numpy.random.Generator`.
     """
-    if isinstance(seed, np.random.Generator):
-        rng = seed
-    else:
-        from repro.utils.rng import make_rng
-
-        rng = make_rng(int(seed), "network")
+    rng = coerce_rng(seed, "network")
     deployment = deploy_uniform(
         node_count, rng, width=width, height=height, comm_range=comm_range
     )

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.node import SensorNode
+from repro.utils.validation import check_finite, check_non_negative
 
 __all__ = ["ChargingRequest", "predict_request"]
 
@@ -40,13 +41,12 @@ class ChargingRequest:
     energy_needed_j: float
 
     def __post_init__(self) -> None:
+        check_finite("time", self.time)
+        check_finite("deadline", self.deadline)
+        check_non_negative("energy_needed_j", self.energy_needed_j)
         if self.deadline < self.time:
             raise ValueError(
                 f"request deadline {self.deadline} precedes issue time {self.time}"
-            )
-        if self.energy_needed_j < 0.0:
-            raise ValueError(
-                f"energy_needed_j must be >= 0, got {self.energy_needed_j}"
             )
 
     @property

@@ -12,7 +12,7 @@ from repro.utils.geometry import (
     pairwise_distances,
     tour_length,
 )
-from repro.utils.rng import RngFactory, make_rng
+from repro.utils.rng import RngFactory, coerce_rng, make_rng
 from repro.utils.validation import (
     check_finite,
     check_in_range,
@@ -29,6 +29,7 @@ __all__ = [
     "check_non_negative",
     "check_positive",
     "check_probability",
+    "coerce_rng",
     "distance",
     "make_rng",
     "pairwise_distances",

@@ -15,7 +15,7 @@ import hashlib
 
 import numpy as np
 
-__all__ = ["RngFactory", "make_rng"]
+__all__ = ["RngFactory", "coerce_rng", "make_rng"]
 
 
 def _stream_seed(root_seed: int, name: str) -> int:
@@ -31,6 +31,30 @@ def _stream_seed(root_seed: int, name: str) -> int:
 def make_rng(seed: int, name: str = "default") -> np.random.Generator:
     """Return a generator for the named stream under ``seed``."""
     return np.random.default_rng(_stream_seed(seed, name))
+
+
+def coerce_rng(
+    seed: int | np.random.Generator, stream: str = "default"
+) -> np.random.Generator:
+    """Coerce an ``int | Generator`` seed argument to a Generator.
+
+    This is the single sanctioned implementation of the ubiquitous
+    "seed may be an integer or an existing generator" convention (enforced
+    by reprolint rule RL-D004):
+
+    * an existing :class:`numpy.random.Generator` passes through untouched,
+      so callers can share one stream across components on purpose;
+    * an integer seed derives the independent named ``stream`` via
+      :func:`make_rng`, so two components coercing the same root seed under
+      different stream names stay decorrelated.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"seed must be an int or numpy Generator, got {type(seed).__name__}"
+        )
+    return make_rng(int(seed), stream)
 
 
 class RngFactory:

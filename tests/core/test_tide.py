@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.tide import (
-    RouteEvaluation,
     TideInstance,
     TidePlan,
     TideTarget,

@@ -4,8 +4,6 @@ Detectors only need the event objects and a ``sim``-shaped accessor for
 nodes, so a minimal stub keeps these tests fast and surgical.
 """
 
-import pytest
-
 from repro.detection.auditors import (
     DeathAfterChargeAuditor,
     NeglectMonitor,

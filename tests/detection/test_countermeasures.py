@@ -1,11 +1,8 @@
 """Tests for the in-service charge-verification defence."""
 
-import pytest
-
 from repro.detection.countermeasures import ChargeVerificationDefense
 from repro.mc.charger import ChargeMode
 from repro.sim.events import ServiceCompleted
-from repro.utils.rng import make_rng
 
 
 def service(mode, delivered, claimed=8000.0):

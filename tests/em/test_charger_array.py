@@ -1,7 +1,6 @@
 """Tests for the multi-antenna charger: beamforming and null steering."""
 
 import cmath
-import math
 
 import pytest
 

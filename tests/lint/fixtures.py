@@ -1,0 +1,420 @@
+"""Shared per-rule fixtures for the reprolint tests.
+
+Each shipped rule gets one :class:`RuleFixture` with three minimal
+sources: ``bad`` (the rule fires, and *only* that rule), ``good`` (the
+idiomatic fix, fully clean), and ``suppressed`` (the bad snippet with an
+inline ``# reprolint: disable=...`` comment).  The static-analysis gate
+asserts the table covers every registered rule, so adding a rule without
+a fixture fails the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from textwrap import dedent
+
+
+@dataclass(frozen=True)
+class RuleFixture:
+    rule_id: str
+    #: Virtual path used for linting; chosen to satisfy the rule's scope.
+    path: str
+    bad: str
+    good: str
+    suppressed: str
+
+
+def _src(text: str) -> str:
+    return dedent(text).lstrip("\n")
+
+
+RULE_FIXTURES: tuple[RuleFixture, ...] = (
+    RuleFixture(
+        rule_id="RL-D001",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import random
+
+            __all__ = ["draw"]
+
+
+            def draw() -> float:
+                return random.random()
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["draw"]
+
+
+            def draw(rng: np.random.Generator) -> float:
+                return float(rng.random())
+            """
+        ),
+        suppressed=_src(
+            """
+            import random
+
+            __all__ = ["draw"]
+
+
+            def draw() -> float:
+                return random.random()  # reprolint: disable=RL-D001
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-D002",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["fresh"]
+
+
+            def fresh() -> np.random.Generator:
+                return np.random.default_rng()
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["fresh"]
+
+
+            def fresh(seed: int) -> np.random.Generator:
+                return np.random.default_rng(seed)
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["fresh"]
+
+
+            def fresh() -> np.random.Generator:
+                return np.random.default_rng()  # reprolint: disable=RL-D002
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-D003",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import time
+
+            __all__ = ["seed_now"]
+
+
+            def seed_now() -> int:
+                return int(time.time())
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["seed_now"]
+
+
+            def seed_now(configured_seed: int) -> int:
+                return configured_seed
+            """
+        ),
+        suppressed=_src(
+            """
+            import time
+
+            __all__ = ["seed_now"]
+
+
+            def seed_now() -> int:
+                return int(time.time())  # reprolint: disable=RL-D003
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-D004",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["Planner"]
+
+
+            class Planner:
+                def __init__(self, seed: int | np.random.Generator = 0) -> None:
+                    if isinstance(seed, np.random.Generator):
+                        self._rng = seed
+                    else:
+                        self._rng = np.random.default_rng(seed)
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            from repro.utils.rng import coerce_rng
+
+            __all__ = ["Planner"]
+
+
+            class Planner:
+                def __init__(self, seed: int | np.random.Generator = 0) -> None:
+                    self._rng = coerce_rng(seed, "planner")
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["Planner"]
+
+
+            class Planner:
+                def __init__(self, seed: int | np.random.Generator = 0) -> None:
+                    if isinstance(seed, np.random.Generator):  # reprolint: disable=RL-D004
+                        self._rng = seed
+                    else:
+                        self._rng = np.random.default_rng(seed)
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-P001",
+        path="src/repro/em/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["is_dead"]
+
+
+            def is_dead(energy_j: float) -> bool:
+                return energy_j == 0.0
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["is_dead"]
+
+
+            def is_dead(energy_j: float) -> bool:
+                return energy_j <= 1e-12
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["is_dead"]
+
+
+            def is_dead(energy_j: float) -> bool:
+                return energy_j == 0.0  # reprolint: disable=RL-P001
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-P002",
+        path="src/repro/em/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["total_power"]
+
+
+            def total_power(tx_power_dbm: float, rx_power_w: float) -> float:
+                return tx_power_dbm + rx_power_w
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["total_power"]
+
+
+            def total_power(tx_power_dbm: float, rx_power_w: float) -> float:
+                tx_power_w = 10.0 ** ((tx_power_dbm - 30.0) / 10.0)
+                return tx_power_w + rx_power_w
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["total_power"]
+
+
+            def total_power(tx_power_dbm: float, rx_power_w: float) -> float:
+                return tx_power_dbm + rx_power_w  # reprolint: disable=RL-P002
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-P003",
+        path="src/repro/em/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["Antenna"]
+
+
+            class Antenna:
+                def __init__(self, gain: float) -> None:
+                    self.gain = gain
+            """
+        ),
+        good=_src(
+            """
+            from repro.utils.validation import check_positive
+
+            __all__ = ["Antenna"]
+
+
+            class Antenna:
+                def __init__(self, gain: float) -> None:
+                    self.gain = check_positive("gain", gain)
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["Antenna"]
+
+
+            class Antenna:
+                def __init__(self, gain: float) -> None:  # reprolint: disable=RL-P003
+                    self.gain = gain
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H001",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["extend"]
+
+
+            def extend(item: int, acc: list = []) -> list:
+                acc.append(item)
+                return acc
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["extend"]
+
+
+            def extend(item: int, acc: list | None = None) -> list:
+                acc = [] if acc is None else acc
+                acc.append(item)
+                return acc
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["extend"]
+
+
+            def extend(item: int, acc: list = []) -> list:  # reprolint: disable=RL-H001
+                acc.append(item)
+                return acc
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H002",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["swallow"]
+
+
+            def swallow(fn) -> object:
+                try:
+                    return fn()
+                except:
+                    return None
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["swallow"]
+
+
+            def swallow(fn) -> object:
+                try:
+                    return fn()
+                except Exception:
+                    return None
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["swallow"]
+
+
+            def swallow(fn) -> object:
+                try:
+                    return fn()
+                except:  # reprolint: disable=RL-H002
+                    return None
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H003",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            def helper() -> int:
+                return 1
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["helper"]
+
+
+            def helper() -> int:
+                return 1
+            """
+        ),
+        suppressed=_src(
+            """
+            # reprolint: disable=RL-H003
+            def helper() -> int:
+                return 1
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H004",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["lookup"]
+
+
+            def lookup(id: int) -> int:
+                return id + 1
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["lookup"]
+
+
+            def lookup(node_id: int) -> int:
+                return node_id + 1
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["lookup"]
+
+
+            def lookup(id: int) -> int:  # reprolint: disable=RL-H004
+                return id + 1
+            """
+        ),
+    ),
+)

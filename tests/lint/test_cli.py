@@ -1,0 +1,50 @@
+"""CLI tests for ``python -m repro lint``."""
+
+import json
+
+from repro.cli import main
+
+
+def _write_pkg(tmp_path, name, source):
+    target = tmp_path / name
+    target.write_text(source)
+    return str(target)
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "clean.py", "__all__ = []\n")
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_findings_exit_one_with_report_lines(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "RL-H001" in out
+        assert "dirty.py" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(["lint", "--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "reprolint"
+        assert payload["count"] == len(payload["findings"]) > 0
+        first = payload["findings"][0]
+        assert {"path", "line", "col", "rule", "message"} <= set(first)
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.py")
+        assert main(["lint", missing]) == 2
+        assert "reprolint" in capsys.readouterr().out
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL-D001", "RL-P003", "RL-H004"):
+            assert rule_id in out

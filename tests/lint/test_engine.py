@@ -1,0 +1,155 @@
+"""Engine-level tests: suppression parsing, dispatch, scoping, registry."""
+
+import ast
+
+import pytest
+
+from repro.lint import LintEngine, Rule, lint_source, register
+from repro.lint.engine import (
+    PARSE_ERROR_ID,
+    ModuleContext,
+    collect_suppressions,
+    lint_paths,
+)
+from repro.lint.registry import all_rules
+
+
+class TestSuppressionParsing:
+    def test_single_rule_on_own_line(self):
+        sup = collect_suppressions("x = 1  # reprolint: disable=RL-D001\n")
+        assert sup == {1: {"RL-D001"}}
+
+    def test_comma_separated_rules(self):
+        sup = collect_suppressions("x = 1  # reprolint: disable=RL-D001,RL-H002\n")
+        assert sup == {1: {"RL-D001", "RL-H002"}}
+
+    def test_disable_next_targets_following_line(self):
+        sup = collect_suppressions("# reprolint: disable-next=RL-P001\nx = 1\n")
+        assert sup == {2: {"RL-P001"}}
+
+    def test_disable_all_token(self):
+        sup = collect_suppressions("x = 1  # reprolint: disable=all\n")
+        assert sup == {1: {"all"}}
+
+    def test_hash_inside_string_is_not_a_suppression(self):
+        sup = collect_suppressions('x = "# reprolint: disable=RL-D001"\n')
+        assert sup == {}
+
+    def test_trailing_prose_after_rule_id_is_ignored(self):
+        sup = collect_suppressions(
+            "x = 1  # reprolint: disable=RL-P001 (exact-zero sentinel)\n"
+        )
+        assert sup == {1: {"RL-P001"}}
+
+    def test_disable_all_suppresses_any_finding(self):
+        source = (
+            "def f(acc: list = []):  # reprolint: disable=all\n"
+            "    return acc\n"
+        )
+        findings = lint_source(source, "src/repro/analysis/_mod.py")
+        assert findings == []
+
+
+class TestEngineBasics:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings = lint_source("def broken(:\n", "src/repro/sim/bad.py")
+        assert len(findings) == 1
+        assert findings[0].rule_id == PARSE_ERROR_ID
+        assert "does not parse" in findings[0].message
+
+    def test_engine_exposes_its_rule_classes(self):
+        engine = LintEngine()
+        ids = [rule.rule_id for rule in engine.rule_classes]
+        assert ids == sorted(ids)
+        assert "RL-D001" in ids
+
+    def test_restricted_engine_runs_only_given_rules(self):
+        from repro.lint.rules.hygiene import NoBareExcept
+
+        engine = LintEngine(rules=[NoBareExcept])
+        source = "def f(acc=[]):\n    try:\n        pass\n    except:\n        pass\n"
+        findings = engine.lint_source(source, "src/repro/x.py")
+        assert {f.rule_id for f in findings} == {"RL-H002"}
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        clean = tmp_path / "pkg" / "good.py"
+        clean.parent.mkdir()
+        clean.write_text("__all__ = []\n")
+        dirty = tmp_path / "pkg" / "bad.py"
+        dirty.write_text("def f(acc=[]):\n    return acc\n")
+        findings = lint_paths([tmp_path])
+        assert {f.rule_id for f in findings} >= {"RL-H001", "RL-H003"}
+        assert all("good.py" not in f.path for f in findings)
+
+    def test_lint_paths_missing_target_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["definitely/not/a/path.py"])
+
+    def test_pycache_directories_are_skipped(self, tmp_path):
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "junk.py").write_text("def f(acc=[]):\n    return acc\n")
+        assert lint_paths([tmp_path]) == []
+
+
+class TestModuleContext:
+    def test_import_alias_resolution(self):
+        ctx = ModuleContext("src/repro/x.py", "")
+        ctx.record_imports(ast.parse("import numpy as np").body[0])
+        call = ast.parse("np.random.rand(3)").body[0].value
+        assert ctx.resolve_call_name(call.func) == "numpy.random.rand"
+
+    def test_from_import_resolution(self):
+        ctx = ModuleContext("src/repro/x.py", "")
+        ctx.record_imports(
+            ast.parse("from numpy.random import default_rng as mk").body[0]
+        )
+        call = ast.parse("mk()").body[0].value
+        assert ctx.resolve_call_name(call.func) == "numpy.random.default_rng"
+
+    def test_dynamic_targets_resolve_to_none(self):
+        ctx = ModuleContext("src/repro/x.py", "")
+        call = ast.parse("funcs[0]()").body[0].value
+        assert ctx.resolve_call_name(call.func) is None
+
+    def test_test_code_classification(self):
+        assert ModuleContext("tests/em/test_waves.py", "").is_test_code
+        assert ModuleContext("benchmarks/bench_sim.py", "").is_test_code
+        assert ModuleContext("tests/conftest.py", "").is_test_code
+        assert not ModuleContext("src/repro/em/waves.py", "").is_test_code
+
+
+class TestRegistry:
+    def test_all_rules_are_sorted_and_unique(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert len(ids) == 11
+
+    def test_register_rejects_malformed_rule_id(self):
+        with pytest.raises(ValueError, match="convention"):
+
+            @register
+            class BadId(Rule):
+                rule_id = "X-1"
+                title = "nope"
+                node_types = (ast.Call,)
+
+    def test_register_rejects_duplicate_rule_id(self):
+        all_rules()  # ensure the built-in packs are registered first
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @register
+            class Clone(Rule):
+                rule_id = "RL-D001"
+                title = "imposter"
+                node_types = (ast.Call,)
+
+    def test_register_requires_node_types(self):
+        with pytest.raises(ValueError, match="node types"):
+
+            @register
+            class NoNodes(Rule):
+                rule_id = "RL-Z999"
+                title = "subscribes to nothing"
+                node_types = ()

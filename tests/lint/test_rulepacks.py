@@ -1,0 +1,159 @@
+"""Per-rule fixture tests: each rule fires on a minimal offending snippet,
+stays silent on the idiomatic fix, and honours suppression comments."""
+
+import pytest
+
+from repro.lint import lint_source
+
+from tests.lint.fixtures import RULE_FIXTURES
+
+_BY_ID = {fixture.rule_id: fixture for fixture in RULE_FIXTURES}
+
+
+@pytest.mark.parametrize("fixture", RULE_FIXTURES, ids=lambda f: f.rule_id)
+class TestRuleFixtures:
+    def test_bad_snippet_fires_exactly_this_rule(self, fixture):
+        findings = lint_source(fixture.bad, fixture.path)
+        assert findings, f"{fixture.rule_id} did not fire on its bad snippet"
+        assert {f.rule_id for f in findings} == {fixture.rule_id}
+
+    def test_good_snippet_is_fully_clean(self, fixture):
+        assert lint_source(fixture.good, fixture.path) == []
+
+    def test_suppression_comment_silences_the_rule(self, fixture):
+        assert lint_source(fixture.suppressed, fixture.path) == []
+
+    def test_findings_carry_location_and_message(self, fixture):
+        finding = lint_source(fixture.bad, fixture.path)[0]
+        assert finding.path == fixture.path
+        assert finding.line >= 1
+        assert finding.message
+        assert finding.rule_id in finding.format()
+
+
+class TestDeterminismVariants:
+    def test_numpy_legacy_global_call_fires(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = ['draw']\n"
+            "def draw():\n"
+            "    return np.random.rand(3)\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D001"]
+
+    def test_from_import_of_stdlib_random_fires(self):
+        source = (
+            "from random import randint\n"
+            "__all__ = ['draw']\n"
+            "def draw():\n"
+            "    return randint(0, 10)\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D001"]
+
+    def test_seed_union_param_never_coerced_nor_forwarded_fires(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = ['run']\n"
+            "def run(seed: int | np.random.Generator = 0) -> int:\n"
+            "    return 1\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D004"]
+
+    def test_seed_forwarded_to_callee_is_accepted(self):
+        source = (
+            "import numpy as np\n"
+            "__all__ = ['run']\n"
+            "def run(seed: int | np.random.Generator = 0):\n"
+            "    return build(seed)\n"
+        )
+        assert lint_source(source, "src/repro/sim/mod.py") == []
+
+    def test_determinism_rules_skip_test_modules(self):
+        source = "import random\nrandom.seed(0)\n"
+        assert lint_source(source, "tests/test_whatever.py") == []
+
+
+class TestPhysicsVariants:
+    def test_float_equality_outside_physical_dirs_is_allowed(self):
+        source = (
+            "__all__ = ['same']\n"
+            "def same(x: float) -> bool:\n"
+            "    return x == 0.0\n"
+        )
+        assert lint_source(source, "src/repro/analysis/mod.py") == []
+
+    def test_db_minus_db_is_allowed(self):
+        source = (
+            "__all__ = ['margin']\n"
+            "def margin(rx_dbm: float, floor_dbm: float) -> float:\n"
+            "    return rx_dbm - floor_dbm\n"
+        )
+        assert lint_source(source, "src/repro/em/mod.py") == []
+
+    def test_call_boundary_stops_unit_propagation(self):
+        source = (
+            "__all__ = ['total']\n"
+            "def total(p_dbm: float, q_w: float) -> float:\n"
+            "    return dbm_to_w(p_dbm) + q_w\n"
+        )
+        assert lint_source(source, "src/repro/em/mod.py") == []
+
+    def test_record_dataclass_without_constructor_is_exempt(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "__all__ = ['Sample']\n"
+            "@dataclass\n"
+            "class Sample:\n"
+            "    power_w: float\n"
+        )
+        assert lint_source(source, "src/repro/em/mod.py") == []
+
+    def test_post_init_field_validation_is_recognised(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "from repro.utils.validation import check_positive\n"
+            "__all__ = ['Model']\n"
+            "@dataclass\n"
+            "class Model:\n"
+            "    width: float\n"
+            "    def __post_init__(self) -> None:\n"
+            "        check_positive('width', self.width)\n"
+        )
+        assert lint_source(source, "src/repro/network/mod.py") == []
+
+    def test_post_init_missing_field_validation_fires(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "__all__ = ['Model']\n"
+            "@dataclass\n"
+            "class Model:\n"
+            "    width: float\n"
+            "    def __post_init__(self) -> None:\n"
+            "        pass\n"
+        )
+        findings = lint_source(source, "src/repro/network/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-P003"]
+        assert "width" in findings[0].message
+
+
+class TestHygieneVariants:
+    def test_private_module_may_omit_all(self):
+        source = "X = 1\n"
+        assert lint_source(source, "src/repro/_internal.py") == []
+
+    def test_multiple_findings_are_sorted_by_line(self):
+        source = (
+            "def f(id: int, acc: list = []) -> list:\n"
+            "    try:\n"
+            "        acc.append(id)\n"
+            "    except:\n"
+            "        pass\n"
+            "    return acc\n"
+        )
+        findings = lint_source(source, "src/repro/analysis/mod.py")
+        ids = [f.rule_id for f in findings]
+        assert sorted(ids) == ["RL-H001", "RL-H002", "RL-H003", "RL-H004"]
+        assert [f.line for f in findings] == sorted(f.line for f in findings)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.mc.charger import (
     ChargeMode,
-    ChargingHardware,
     MobileCharger,
     default_charging_hardware,
 )

@@ -9,7 +9,7 @@ from repro.sim.actions import (
     RechargeAction,
     ServeAction,
 )
-from repro.sim.events import DepotRecharged, ServiceAborted, ServiceCompleted
+from repro.sim.events import DepotRecharged, ServiceAborted
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.wrsn_sim import WrsnSimulation
 

@@ -1,7 +1,5 @@
 """Tests for planar geometry primitives."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import RngFactory, make_rng
+from repro.utils.rng import RngFactory, coerce_rng, make_rng
 
 
 class TestMakeRng:
@@ -66,3 +66,37 @@ class TestRngFactory:
         # The derivation must not depend on salted hash(); pin a value.
         value = make_rng(123, "pinned").integers(0, 10**9)
         assert value == make_rng(123, "pinned").integers(0, 10**9)
+
+
+class TestCoerceRng:
+    def test_generator_passes_through_identically(self):
+        rng = make_rng(3, "shared")
+        assert coerce_rng(rng) is rng
+
+    def test_int_seed_derives_the_named_stream(self):
+        a = coerce_rng(42, "network").random(4)
+        b = make_rng(42, "network").random(4)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_seed_is_accepted(self):
+        a = coerce_rng(np.int64(7), "s").random(2)
+        b = coerce_rng(7, "s").random(2)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_from_same_seed_are_independent(self):
+        a = coerce_rng(5, "auditor").random(4)
+        b = coerce_rng(5, "planner").random(4)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("bad", [1.5, "seed", None, True])
+    def test_rejects_non_int_non_generator(self, bad):
+        with pytest.raises(TypeError, match="seed must be"):
+            coerce_rng(bad)  # type: ignore[arg-type]
+
+    def test_matches_the_legacy_hand_rolled_coercion(self):
+        # The four call sites this helper replaced derived streams via
+        # make_rng(int(seed), name); pin that equivalence.
+        for name in ("network", "random-planner", "voltage-auditor"):
+            assert np.array_equal(
+                coerce_rng(11, name).random(3), make_rng(11, name).random(3)
+            )

@@ -1,7 +1,9 @@
 """Tests for argument validation helpers."""
 
 import math
+import re
 
+import numpy as np
 import pytest
 
 from repro.utils.validation import (
@@ -61,6 +63,111 @@ class TestCheckProbability:
     def test_rejects_outside(self, bad):
         with pytest.raises(ValueError):
             check_probability("p", bad)
+
+
+class TestNonFiniteRejection:
+    """Every helper routes through the finiteness check first."""
+
+    HELPERS = [
+        check_finite,
+        check_positive,
+        check_non_negative,
+        check_probability,
+    ]
+
+    @pytest.mark.parametrize("helper", HELPERS, ids=lambda h: h.__name__)
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, helper, bad):
+        with pytest.raises(ValueError, match="must be finite"):
+            helper("x", bad)
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_check_in_range_rejects_non_finite(self, bad):
+        with pytest.raises(ValueError, match="must be finite"):
+            check_in_range("x", bad, 0.0, 1.0)
+
+    @pytest.mark.parametrize(
+        "bad", [np.nan, np.float64("inf"), np.float32("nan")]
+    )
+    def test_rejects_numpy_non_finite(self, bad):
+        with pytest.raises(ValueError, match="must be finite"):
+            check_finite("x", bad)
+
+
+class TestCoercion:
+    """Inputs are coerced to builtin float, not merely inspected."""
+
+    def test_bool_coerces_to_float(self):
+        result = check_finite("flag", True)
+        assert result == 1.0
+        assert type(result) is float
+        assert check_non_negative("flag", False) == 0.0
+
+    @pytest.mark.parametrize(
+        "value", [np.float64(3.5), np.float32(0.25), np.int64(7)]
+    )
+    def test_numpy_scalars_coerce_to_builtin_float(self, value):
+        result = check_finite("x", value)
+        assert type(result) is float
+        assert result == float(value)
+
+    def test_numpy_scalar_bounds_still_enforced(self):
+        assert check_probability("p", np.float64(0.5)) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", np.float64(1.5))
+        with pytest.raises(ValueError):
+            check_positive("x", np.int64(0))
+
+    def test_integer_strings_are_rejected_not_parsed(self):
+        # float("3") would succeed, so this documents the deliberate
+        # decision: strings are accepted iff float() accepts them.
+        assert check_finite("x", "3") == 3.0
+        with pytest.raises(TypeError):
+            check_finite("x", "not-a-number")
+
+
+class TestExactErrorMessages:
+    """Pin the full message text: tooling and users grep for these."""
+
+    def test_check_finite_value_error(self):
+        with pytest.raises(
+            ValueError, match=re.escape("x must be finite, got inf")
+        ):
+            check_finite("x", math.inf)
+
+    def test_check_finite_type_error(self):
+        with pytest.raises(
+            TypeError, match=re.escape("x must be a real number, got 'hello'")
+        ):
+            check_finite("x", "hello")
+
+    def test_check_positive_message(self):
+        with pytest.raises(ValueError, match=re.escape("x must be > 0, got 0.0")):
+            check_positive("x", 0)
+
+    def test_check_non_negative_message(self):
+        with pytest.raises(
+            ValueError, match=re.escape("x must be >= 0, got -1.0")
+        ):
+            check_non_negative("x", -1)
+
+    def test_check_probability_message(self):
+        with pytest.raises(
+            ValueError, match=re.escape("p must be in [0, 1], got 1.5")
+        ):
+            check_probability("p", 1.5)
+
+    def test_check_in_range_inclusive_message(self):
+        with pytest.raises(
+            ValueError, match=re.escape("x must be in [5, 10], got 11.0")
+        ):
+            check_in_range("x", 11, 5, 10)
+
+    def test_check_in_range_exclusive_message(self):
+        with pytest.raises(
+            ValueError, match=re.escape("x must be in (5, 10), got 5.0")
+        ):
+            check_in_range("x", 5, 5, 10, inclusive=False)
 
 
 class TestCheckInRange:
