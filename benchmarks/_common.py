@@ -6,23 +6,43 @@ relevant pipeline across seeds, prints the same rows/series the paper
 reports, and persists them under ``benchmarks/results/``.  Timing runs
 through pytest-benchmark so ``pytest benchmarks/ --benchmark-only``
 exercises everything.
+
+The shared trial kernel (:func:`repro.sim.runner.run_attack`) and the
+benchmark scenario (:data:`repro.campaign.experiments.BENCH_CONFIG`)
+live in the library so campaign worker processes can import them; this
+module re-exports them for the benchmark scripts.  Campaign-migrated
+experiments (exp03/exp04/exp07/ext04) run through
+:func:`repro.campaign.run_campaign` — ``bench_executor`` picks the
+process-pool executor unless ``REPRO_BENCH_SERIAL=1``.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 from repro.analysis.aggregate import mean_ci
 from repro.attack.attacker import CsaAttacker, PlannedAttacker
+from repro.campaign.executor import ParallelExecutor, SerialExecutor
+from repro.campaign.experiments import BENCH_CONFIG
 from repro.core.windows import StealthPolicy
-from repro.detection.auditors import default_detector_suite
-from repro.sim.scenario import ScenarioConfig
-from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+from repro.sim.runner import run_attack
+
+__all__ = [
+    "BENCH_CONFIG",
+    "RESULTS_DIR",
+    "bench_executor",
+    "csa_attacker_factory",
+    "emit",
+    "emit_json",
+    "mean_ratio",
+    "planner_attacker_factory",
+    "run_attack",
+    "series_sidecar",
+]
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
-
-BENCH_CONFIG = ScenarioConfig(node_count=100, key_count=10, horizon_days=42)
-"""The benchmark suite's default scenario (overridden per experiment)."""
 
 
 def emit(name: str, text: str) -> None:
@@ -33,27 +53,31 @@ def emit(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
-def run_attack(
-    cfg: ScenarioConfig,
-    seed: int,
-    controller=None,
-    detectors: bool = True,
-    audit_interval_s: float | None = None,
-) -> SimulationResult:
-    """One attack (or benign) simulation with the standard wiring."""
-    network = cfg.build_network(seed=seed)
-    charger = cfg.build_charger()
-    if controller is None:
-        controller = CsaAttacker(key_count=cfg.key_count)
-    suite = default_detector_suite(seed) if detectors else []
-    if audit_interval_s is not None and suite:
-        for detector in suite:
-            if detector.name == "voltage-audit":
-                detector.mean_interval_s = audit_interval_s
-    sim = WrsnSimulation(
-        network, charger, controller, detectors=suite, horizon_s=cfg.horizon_s
-    )
-    return sim.run()
+def emit_json(name: str, payload: dict) -> None:
+    """Persist machine-readable series data as ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def series_sidecar(x_name, x_values, cells_by_series) -> dict:
+    """JSON sidecar payload: raw per-seed cells plus mean±CI per point."""
+    series = {}
+    for series_name, cells in cells_by_series.items():
+        stats = [mean_ci(list(cell)) for cell in cells]
+        series[series_name] = {
+            "cells": [[float(v) for v in cell] for cell in cells],
+            "mean": [s.mean for s in stats],
+            "ci_half_width": [s.ci_half_width for s in stats],
+        }
+    return {"x": {"name": x_name, "values": list(x_values)}, "series": series}
+
+
+def bench_executor():
+    """The campaign executor benchmarks use (parallel unless overridden)."""
+    if os.environ.get("REPRO_BENCH_SERIAL"):
+        return SerialExecutor()
+    return ParallelExecutor()
 
 
 def csa_attacker_factory(key_count: int, stealth: StealthPolicy | None = None):

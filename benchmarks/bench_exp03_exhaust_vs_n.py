@@ -4,53 +4,38 @@ Paper anchor: the abstract's claim that CSA "can exhaust at least 80% of
 key nodes", across network sizes, against the planning baselines.  All
 attackers share the same stealth envelope and cover-traffic behaviour;
 only the TIDE planner differs, so the gap is pure planning quality.
+
+Runs as a campaign (``repro.campaign.experiments:exp03_spec``): the grid
+executes through the crash-isolated executor and the printed table is
+reassembled from per-trial metrics in the original sweep order.
 """
 
-from _common import (
-    BENCH_CONFIG,
-    csa_attacker_factory,
-    emit,
-    mean_ratio,
-    planner_attacker_factory,
-    run_attack,
-)
+from _common import bench_executor, emit, emit_json, mean_ratio, series_sidecar
 
 from repro.analysis.tables import series_table
-from repro.core.baselines import (
-    GreedyWeightPlanner,
-    NearestFirstPlanner,
-    RandomPlanner,
+from repro.campaign import run_campaign
+from repro.campaign.experiments import (
+    BENCH_CONFIG,
+    EXP03_ATTACKERS,
+    EXP03_NODE_COUNTS,
+    EXP03_SEEDS,
+    exp03_spec,
 )
 
-NODE_COUNTS = (50, 100, 150, 200, 250)
-SEEDS = (1, 2, 3)
-
-ATTACKERS = {
-    "CSA": lambda cfg: csa_attacker_factory(cfg.key_count),
-    "Greedy-Weight": lambda cfg: planner_attacker_factory(
-        GreedyWeightPlanner, cfg.key_count
-    ),
-    "Nearest-First": lambda cfg: planner_attacker_factory(
-        NearestFirstPlanner, cfg.key_count
-    ),
-    "Random": lambda cfg: planner_attacker_factory(
-        lambda: RandomPlanner(0), cfg.key_count
-    ),
-}
+NODE_COUNTS = EXP03_NODE_COUNTS
+SEEDS = EXP03_SEEDS
+ATTACKERS = EXP03_ATTACKERS
 
 
 def run_experiment():
-    series = {name: [] for name in ATTACKERS}
-    for n in NODE_COUNTS:
-        cfg = BENCH_CONFIG.with_(node_count=n)
-        for name, factory_maker in ATTACKERS.items():
-            make = factory_maker(cfg)
-            ratios = [
-                run_attack(cfg, seed, controller=make()).exhausted_key_ratio()
-                for seed in SEEDS
-            ]
-            series[name].append(ratios)
-    return series
+    result = run_campaign(exp03_spec(), executor=bench_executor())
+    return {
+        name: [
+            result.values("exhausted_key_ratio", node_count=n, attacker=name)
+            for n in NODE_COUNTS
+        ]
+        for name in ATTACKERS
+    }
 
 
 def bench_exp03_exhaust_vs_n(benchmark):
@@ -69,6 +54,10 @@ def bench_exp03_exhaust_vs_n(benchmark):
         ),
     )
     emit("exp03_exhaust_vs_n", table)
+    emit_json(
+        "exp03_exhaust_vs_n",
+        series_sidecar("nodes", NODE_COUNTS, series),
+    )
 
     # Shape assertions: CSA >= 0.8 everywhere and dominates every
     # baseline on average.

@@ -4,44 +4,42 @@ Paper anchor: the evaluation sweep over attack ambition.  More targets
 spread the same charger budget and crowd the stealth windows, so the
 exhausted *ratio* degrades gracefully while the absolute kill count
 rises; CSA stays ahead of the window-blind greedy throughout.
+
+Runs as a campaign (``repro.campaign.experiments:exp04_spec``); the
+printed table is reassembled from per-trial metrics in the original
+sweep order.
 """
 
-from _common import (
-    BENCH_CONFIG,
-    csa_attacker_factory,
-    emit,
-    mean_ratio,
-    planner_attacker_factory,
-    run_attack,
-)
+from _common import bench_executor, emit, emit_json, mean_ratio, series_sidecar
 
 from repro.analysis.tables import series_table
-from repro.core.baselines import GreedyWeightPlanner
+from repro.campaign import run_campaign
+from repro.campaign.experiments import (
+    EXP04_KEY_COUNTS,
+    EXP04_SEEDS,
+    exp04_spec,
+)
 
-KEY_COUNTS = (5, 10, 15, 20, 25)
-SEEDS = (1, 2, 3)
-CFG = BENCH_CONFIG.with_(node_count=150)
+KEY_COUNTS = EXP04_KEY_COUNTS
+SEEDS = EXP04_SEEDS
 
 
 def run_experiment():
-    csa_cells, greedy_cells, kill_cells = [], [], []
-    for k in KEY_COUNTS:
-        cfg = CFG.with_(key_count=k)
-        csa_ratios, greedy_ratios, kills = [], [], []
-        for seed in SEEDS:
-            csa_run = run_attack(
-                cfg, seed, controller=csa_attacker_factory(k)()
-            )
-            csa_ratios.append(csa_run.exhausted_key_ratio())
-            kills.append(len(csa_run.exhausted_key_ids()))
-            greedy_run = run_attack(
-                cfg, seed,
-                controller=planner_attacker_factory(GreedyWeightPlanner, k)(),
-            )
-            greedy_ratios.append(greedy_run.exhausted_key_ratio())
-        csa_cells.append(csa_ratios)
-        greedy_cells.append(greedy_ratios)
-        kill_cells.append(kills)
+    result = run_campaign(exp04_spec(), executor=bench_executor())
+    csa_cells = [
+        result.values("exhausted_key_ratio", key_count=k, attacker="CSA")
+        for k in KEY_COUNTS
+    ]
+    greedy_cells = [
+        result.values(
+            "exhausted_key_ratio", key_count=k, attacker="Greedy-Weight"
+        )
+        for k in KEY_COUNTS
+    ]
+    kill_cells = [
+        result.values("exhausted_key_count", key_count=k, attacker="CSA")
+        for k in KEY_COUNTS
+    ]
     return csa_cells, greedy_cells, kill_cells
 
 
@@ -60,6 +58,18 @@ def bench_exp04_exhaust_vs_keys(benchmark):
         title="EXP-04: exhaustion vs number of key nodes targeted (N=150)",
     )
     emit("exp04_exhaust_vs_keys", table)
+    emit_json(
+        "exp04_exhaust_vs_keys",
+        series_sidecar(
+            "key_nodes",
+            KEY_COUNTS,
+            {
+                "CSA_ratio": csa_cells,
+                "Greedy_ratio": greedy_cells,
+                "CSA_kills": kill_cells,
+            },
+        ),
+    )
 
     csa_means = [sum(c) / len(c) for c in csa_cells]
     greedy_means = [sum(c) / len(c) for c in greedy_cells]

@@ -6,50 +6,58 @@ runs caught for three attackers: CSA (full stealth), the same planner
 with the stealth windows stripped, and the blatant pretender.  The
 paper-shaped result: CSA's curve hugs zero while both ablations are
 caught at every realistic audit intensity.
+
+Runs as a campaign (``repro.campaign.experiments:exp07_spec``); the
+printed table is reassembled from per-trial metrics in the original
+sweep order.
 """
 
-from _common import BENCH_CONFIG, emit, run_attack
+from _common import bench_executor, emit, emit_json, series_sidecar
 
 from repro.analysis.tables import series_table
-from repro.attack.attacker import BlatantAttacker, CsaAttacker, PlannedAttacker
-from repro.core.windows import StealthPolicy
+from repro.campaign import run_campaign
+from repro.campaign.experiments import (
+    EXP07_ATTACKERS,
+    EXP07_AUDIT_INTERVALS_H,
+    EXP07_SEEDS,
+    exp07_spec,
+)
 
-AUDIT_INTERVALS_H = (12.0, 24.0, 48.0, 96.0)
-SEEDS = (1, 2, 3, 4)
-CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
-
-ATTACKERS = {
-    "CSA": lambda: CsaAttacker(key_count=CFG.key_count),
-    "CSA-no-windows": lambda: PlannedAttacker(
-        stealth=StealthPolicy.none(), key_count=CFG.key_count
-    ),
-    "Blatant": lambda: BlatantAttacker(key_count=CFG.key_count),
-}
+AUDIT_INTERVALS_H = EXP07_AUDIT_INTERVALS_H
+SEEDS = EXP07_SEEDS
+ATTACKERS = EXP07_ATTACKERS
 
 
 def run_experiment():
-    rates = {name: [] for name in ATTACKERS}
-    exhaustion = {name: [] for name in ATTACKERS}
-    for interval_h in AUDIT_INTERVALS_H:
-        for name, factory in ATTACKERS.items():
-            results = [
-                run_attack(
-                    CFG, seed, controller=factory(),
-                    audit_interval_s=interval_h * 3600.0,
-                )
-                for seed in SEEDS
-            ]
-            rates[name].append(
-                sum(r.detected for r in results) / len(results)
+    result = run_campaign(exp07_spec(), executor=bench_executor())
+    detect_cells = {
+        name: [
+            result.values("detected", audit_interval_h=h, attacker=name)
+            for h in AUDIT_INTERVALS_H
+        ]
+        for name in ATTACKERS
+    }
+    exhaust_cells = {
+        name: [
+            result.values(
+                "exhausted_key_ratio", audit_interval_h=h, attacker=name
             )
-            exhaustion[name].append(
-                sum(r.exhausted_key_ratio() for r in results) / len(results)
-            )
-    return rates, exhaustion
+            for h in AUDIT_INTERVALS_H
+        ]
+        for name in ATTACKERS
+    }
+    return detect_cells, exhaust_cells
 
 
 def bench_exp07_detection(benchmark):
-    rates, exhaustion = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    detect_cells, exhaust_cells = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    avg = lambda c: sum(c) / len(c)
+    rates = {name: [avg(c) for c in cells] for name, cells in detect_cells.items()}
+    exhaustion = {
+        name: [avg(c) for c in cells] for name, cells in exhaust_cells.items()
+    }
     table = series_table(
         "audit_interval_h",
         list(AUDIT_INTERVALS_H),
@@ -63,6 +71,17 @@ def bench_exp07_detection(benchmark):
         ),
     )
     emit("exp07_detection", table)
+    emit_json(
+        "exp07_detection",
+        series_sidecar(
+            "audit_interval_h",
+            AUDIT_INTERVALS_H,
+            {
+                **{f"det[{k}]": cells for k, cells in detect_cells.items()},
+                "exh[CSA]": exhaust_cells["CSA"],
+            },
+        ),
+    )
 
     # Shape: the blatant attacker is always caught (by telemetry, audit-
     # rate independent); stripping the windows is caught at every audit

@@ -8,55 +8,39 @@ must *claim* its victims the moment they request and camp at them until
 the stealth window opens.  Even so, while it camps at one victim the
 honest fleet rescues others: fleet redundancy passively blunts the
 attack with no detector involved.
+
+Runs as a campaign (``repro.campaign.experiments:ext04_spec``); the
+printed table is reassembled from per-trial metrics in the original
+sweep order.
 """
 
-from _common import BENCH_CONFIG, emit
+from _common import bench_executor, emit, emit_json, series_sidecar
 
 from repro.analysis.tables import series_table
-from repro.attack.attacker import CsaAttacker
-from repro.detection.auditors import default_detector_suite
-from repro.mc.charger import ChargeMode
-from repro.sim.benign import BenignController
-from repro.sim.wrsn_sim import WrsnSimulation
+from repro.campaign import run_campaign
+from repro.campaign.experiments import (
+    EXT04_HONEST_COUNTS,
+    EXT04_SEEDS,
+    ext04_spec,
+)
 
-HONEST_COUNTS = (0, 1, 2, 3)
-SEEDS = (1, 2, 3)
-CFG = BENCH_CONFIG.with_(node_count=100, key_count=10)
-
-
-def run_once(seed: int, honest_count: int):
-    extra = [
-        (CFG.build_charger(), BenignController()) for _ in range(honest_count)
-    ]
-    sim = WrsnSimulation(
-        CFG.build_network(seed=seed),
-        CFG.build_charger(),
-        CsaAttacker(key_count=CFG.key_count),
-        detectors=default_detector_suite(seed),
-        horizon_s=CFG.horizon_s,
-        extra_units=extra,
-    )
-    return sim.run()
+HONEST_COUNTS = EXT04_HONEST_COUNTS
+SEEDS = EXT04_SEEDS
 
 
 def run_experiment():
-    exhaust_cells, detect_cells, spoof_cells = [], [], []
-    for honest in HONEST_COUNTS:
-        ratios, detections, spoofs = [], [], []
-        for seed in SEEDS:
-            result = run_once(seed, honest)
-            ratios.append(result.exhausted_key_ratio())
-            detections.append(float(result.detected))
-            spoofs.append(
-                sum(
-                    1
-                    for s in result.trace.services()
-                    if s.mode == ChargeMode.SPOOF
-                )
-            )
-        exhaust_cells.append(ratios)
-        detect_cells.append(detections)
-        spoof_cells.append(spoofs)
+    result = run_campaign(ext04_spec(), executor=bench_executor())
+    exhaust_cells = [
+        result.values("exhausted_key_ratio", honest_count=h)
+        for h in HONEST_COUNTS
+    ]
+    detect_cells = [
+        [float(v) for v in result.values("detected", honest_count=h)]
+        for h in HONEST_COUNTS
+    ]
+    spoof_cells = [
+        result.values("spoof_services", honest_count=h) for h in HONEST_COUNTS
+    ]
     return exhaust_cells, detect_cells, spoof_cells
 
 
@@ -79,6 +63,18 @@ def bench_ext04_fleet(benchmark):
         ),
     )
     emit("ext04_fleet", table)
+    emit_json(
+        "ext04_fleet",
+        series_sidecar(
+            "honest_co_chargers",
+            HONEST_COUNTS,
+            {
+                "exhausted_ratio": exhaust_cells,
+                "detection_rate": detect_cells,
+                "spoofs": spoof_cells,
+            },
+        ),
+    )
 
     # Solo matches the headline experiment.
     assert avg(exhaust_cells[0]) >= 0.8

@@ -34,11 +34,14 @@ def mean_ci(values: Sequence[float], confidence: float = 0.95) -> SeriesStats:
     """Mean with a Student-t confidence interval.
 
     A single observation yields a zero-width interval (there is no
-    variance estimate to widen it with).
+    variance estimate to widen it with).  Non-finite observations (NaN
+    or ±inf) are rejected: they would silently poison the mean.
     """
     arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         raise ValueError("cannot aggregate an empty series")
+    if not np.isfinite(arr).all():
+        raise ValueError("cannot aggregate non-finite values (NaN or inf)")
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     mean = float(arr.mean())

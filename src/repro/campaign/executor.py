@@ -1,0 +1,263 @@
+"""Trial executors: a crash-isolated process pool and a serial fallback.
+
+Crash isolation is layered:
+
+1. **In-worker capture** — :func:`execute_trial` converts any exception a
+   trial raises (including timeouts, enforced with ``SIGALRM``) into a
+   ``failed`` report, so ordinary bugs in one trial never take down the
+   campaign.
+2. **Pool-breakage quarantine** — a trial that kills its worker process
+   outright (``os._exit``, segfault, OOM kill) breaks the whole
+   :class:`~concurrent.futures.ProcessPoolExecutor`; every outstanding
+   future then raises ``BrokenProcessPool`` and the guilty trial cannot
+   be told apart from innocent bystanders.  The executor re-runs each
+   broken trial alone in a fresh single-worker pool: bystanders complete
+   normally, and the trial that breaks its own private pool is recorded
+   as ``failed`` with certainty.
+
+Transient failures (a trial raising :class:`TransientTrialError`) are
+retried up to ``max_retries`` extra attempts; deterministic trial errors
+are not retried.
+
+Workers use the ``fork`` start method where available so trial kernels
+referenced by dotted path resolve against the parent's ``sys.path`` and
+already-imported modules.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.campaign.spec import canonical_json, resolve_trial_ref
+
+__all__ = [
+    "ParallelExecutor",
+    "SerialExecutor",
+    "TransientTrialError",
+    "TrialTask",
+    "execute_trial",
+]
+
+OnResult = Callable[[dict[str, Any]], None]
+
+
+class TransientTrialError(RuntimeError):
+    """Raised by a trial to signal a retryable, non-deterministic failure."""
+
+
+@dataclass(frozen=True)
+class TrialTask:
+    """One unit of work an executor dispatches (picklable by design)."""
+
+    trial_id: str
+    key: str
+    trial_ref: str
+    params: Mapping[str, Any]
+    timeout_s: float | None = None
+
+
+class _TrialTimeout(Exception):
+    """Internal: the per-trial SIGALRM deadline fired."""
+
+
+def _on_alarm(signum: int, frame: Any) -> None:
+    raise _TrialTimeout()
+
+
+def _validate_metrics(raw: Any) -> dict[str, Any]:
+    if not isinstance(raw, Mapping):
+        raise TypeError(
+            f"trial must return a mapping of metrics, got {type(raw).__name__}"
+        )
+    metrics = dict(raw)
+    canonical_json(metrics)  # rejects non-JSON-able metric values
+    return metrics
+
+
+def execute_trial(task: TrialTask) -> dict[str, Any]:
+    """Run one trial to a JSON-able report; trial errors never propagate.
+
+    The per-trial timeout is enforced with ``SIGALRM`` where possible
+    (POSIX, main thread); elsewhere the trial runs unbounded.
+    """
+    start = time.perf_counter()
+    outcome, metrics, error, retryable = "completed", None, None, False
+    use_alarm = (
+        task.timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler: Any = None
+    try:
+        if use_alarm:
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, float(task.timeout_s))
+        trial = resolve_trial_ref(task.trial_ref)
+        metrics = _validate_metrics(trial(dict(task.params)))
+    except _TrialTimeout:
+        outcome = "failed"
+        error = f"trial timed out after {task.timeout_s:.1f}s"
+    except TransientTrialError as exc:
+        outcome, retryable = "failed", True
+        error = f"transient failure: {exc}"
+    except Exception as exc:
+        outcome = "failed"
+        error = "".join(traceback.format_exception_only(exc)).strip()
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    return {
+        "trial_id": task.trial_id,
+        "key": task.key,
+        "outcome": outcome,
+        "metrics": metrics,
+        "error": error,
+        "retryable": retryable,
+        "wall_time_s": time.perf_counter() - start,
+    }
+
+
+def _crash_report(task: TrialTask, attempts: int) -> dict[str, Any]:
+    return {
+        "trial_id": task.trial_id,
+        "key": task.key,
+        "outcome": "failed",
+        "metrics": None,
+        "error": "worker process crashed while running the trial",
+        "retryable": False,
+        "wall_time_s": 0.0,
+        "attempts": attempts,
+    }
+
+
+def _check_retries(max_retries: int) -> int:
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    return max_retries
+
+
+class SerialExecutor:
+    """In-process executor: the debugging fallback.
+
+    Trials run one after another in the calling process, so a debugger
+    or profiler sees them directly.  Exceptions are still captured as
+    ``failed`` reports, but a trial that kills the process kills the
+    campaign — use :class:`ParallelExecutor` for untrusted workloads.
+    """
+
+    name = "serial"
+
+    def __init__(self, max_retries: int = 1) -> None:
+        self.max_retries = _check_retries(max_retries)
+
+    def run(
+        self, tasks: Sequence[TrialTask], on_result: OnResult | None = None
+    ) -> list[dict[str, Any]]:
+        """Execute tasks in order; returns one report per task."""
+        reports = []
+        for task in tasks:
+            attempts = 0
+            while True:
+                attempts += 1
+                report = execute_trial(task)
+                report["attempts"] = attempts
+                if (
+                    report["outcome"] == "failed"
+                    and report["retryable"]
+                    and attempts <= self.max_retries
+                ):
+                    continue
+                break
+            reports.append(report)
+            if on_result is not None:
+                on_result(report)
+        return reports
+
+
+class ParallelExecutor:
+    """Process-pool executor with per-trial timeout and crash quarantine."""
+
+    name = "parallel"
+
+    def __init__(
+        self, max_workers: int | None = None, max_retries: int = 1
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or multiprocessing.cpu_count()
+        self.max_retries = _check_retries(max_retries)
+        if "fork" in multiprocessing.get_all_start_methods():
+            self._mp_context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            self._mp_context = multiprocessing.get_context()
+
+    def _run_batch(
+        self, batch: Sequence[TrialTask], workers: int
+    ) -> tuple[list[tuple[TrialTask, dict[str, Any]]], list[TrialTask]]:
+        """One pool pass: (finished task/report pairs, pool-breaking tasks)."""
+        finished: list[tuple[TrialTask, dict[str, Any]]] = []
+        broken: list[TrialTask] = []
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(batch)), mp_context=self._mp_context
+        ) as pool:
+            futures = {pool.submit(execute_trial, task): task for task in batch}
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    finished.append((task, future.result()))
+                except BrokenExecutor:
+                    broken.append(task)
+        order = {task.trial_id: index for index, task in enumerate(batch)}
+        broken.sort(key=lambda task: order[task.trial_id])
+        return finished, broken
+
+    def run(
+        self, tasks: Sequence[TrialTask], on_result: OnResult | None = None
+    ) -> list[dict[str, Any]]:
+        """Execute tasks concurrently; returns reports in task order."""
+        reports: dict[str, dict[str, Any]] = {}
+        attempts = {task.trial_id: 0 for task in tasks}
+        queue: list[TrialTask] = list(tasks)
+        quarantine: list[TrialTask] = []
+
+        def record(task: TrialTask, report: dict[str, Any]) -> None:
+            reports[task.trial_id] = report
+            if on_result is not None:
+                on_result(report)
+
+        while queue or quarantine:
+            solo = bool(quarantine)
+            if solo:
+                batch = [quarantine.pop(0)]
+            else:
+                batch, queue = queue, []
+            finished, broken = self._run_batch(batch, 1 if solo else self.max_workers)
+            for task, report in finished:
+                attempts[task.trial_id] += 1
+                report["attempts"] = attempts[task.trial_id]
+                if (
+                    report["outcome"] == "failed"
+                    and report["retryable"]
+                    and attempts[task.trial_id] <= self.max_retries
+                ):
+                    queue.append(task)
+                    continue
+                record(task, report)
+            for task in broken:
+                if solo:
+                    # This task broke a pool it had to itself: guilty.
+                    attempts[task.trial_id] += 1
+                    record(task, _crash_report(task, attempts[task.trial_id]))
+                else:
+                    # Guilt is ambiguous after a shared-pool breakage;
+                    # re-run each broken task alone to find the culprit.
+                    quarantine.append(task)
+        return [reports[task.trial_id] for task in tasks]

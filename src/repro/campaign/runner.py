@@ -1,0 +1,261 @@
+"""Campaign orchestration: cache lookup, delta execution, record merge.
+
+:func:`run_campaign` is the one entry point: it expands a spec into
+trials, satisfies what it can from the store, hands the remainder to an
+executor, persists fresh results, and returns a :class:`CampaignResult`
+whose records sit in spec order regardless of completion order — so
+callers (benchmarks, the CLI) can rebuild series deterministically.
+
+Failures are first-class data: a crashed or failed trial yields a
+``failed`` record instead of an exception, is logged but *not* cached,
+and is therefore retried on the next run.  Callers that require a clean
+campaign call :meth:`CampaignResult.raise_for_failures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.campaign.executor import SerialExecutor, TrialTask
+from repro.campaign.spec import CampaignSpec, Trial
+from repro.campaign.store import CampaignStore
+from repro.campaign.telemetry import CampaignTelemetry
+
+__all__ = ["CampaignResult", "TrialRecord", "run_campaign"]
+
+#: Version of the stored record layout.
+_RECORD_SCHEMA = 1
+
+Progress = Callable[[Mapping[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Final state of one trial after a campaign run."""
+
+    trial_id: str
+    key: str
+    params: Mapping[str, Any]
+    outcome: str
+    metrics: Mapping[str, Any] | None
+    error: str | None
+    attempts: int
+    wall_time_s: float
+    cached: bool
+
+    @property
+    def completed(self) -> bool:
+        """Whether the trial produced metrics."""
+        return self.outcome == "completed"
+
+    def metric(self, name: str) -> Any:
+        """One metric value; raises KeyError with context if absent."""
+        if self.metrics is None:
+            raise KeyError(
+                f"trial {self.trial_id} has no metrics "
+                f"(outcome {self.outcome!r}: {self.error})"
+            )
+        if name not in self.metrics:
+            raise KeyError(
+                f"trial {self.trial_id} has no metric {name!r}; "
+                f"available: {sorted(self.metrics)}"
+            )
+        return self.metrics[name]
+
+    def matches(self, filters: Mapping[str, Any]) -> bool:
+        """Whether this trial's params carry every filter value."""
+        return all(self.params.get(k) == v for k, v in filters.items())
+
+
+class CampaignResult:
+    """Ordered trial records plus series-extraction helpers."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        records: Sequence[TrialRecord],
+        telemetry: CampaignTelemetry,
+    ) -> None:
+        self.spec = spec
+        self.records = list(records)
+        self.telemetry = telemetry
+
+    @property
+    def completed(self) -> list[TrialRecord]:
+        """Records of trials that produced metrics."""
+        return [r for r in self.records if r.completed]
+
+    @property
+    def failed(self) -> list[TrialRecord]:
+        """Records of trials that did not complete."""
+        return [r for r in self.records if not r.completed]
+
+    @property
+    def cached_count(self) -> int:
+        """Trials satisfied from the store without executing."""
+        return sum(1 for r in self.records if r.cached)
+
+    @property
+    def executed_count(self) -> int:
+        """Trials actually executed this run."""
+        return sum(1 for r in self.records if not r.cached)
+
+    def records_where(self, **filters: Any) -> list[TrialRecord]:
+        """Records whose params match the filters, in spec order."""
+        return [r for r in self.records if r.matches(filters)]
+
+    def values(self, metric: str, **filters: Any) -> list[Any]:
+        """One metric across all trials matching the filters, spec order.
+
+        Raises if no trial matches or any matching trial failed — a
+        series with silent holes would corrupt downstream statistics.
+        """
+        selected = self.records_where(**filters)
+        if not selected:
+            raise KeyError(
+                f"no trials of campaign {self.spec.name!r} match {filters!r}"
+            )
+        incomplete = [r for r in selected if not r.completed]
+        if incomplete:
+            first = incomplete[0]
+            raise RuntimeError(
+                f"{len(incomplete)} matching trial(s) did not complete "
+                f"(first: {first.trial_id}: {first.error})"
+            )
+        return [r.metric(metric) for r in selected]
+
+    def raise_for_failures(self) -> None:
+        """Raise RuntimeError if any trial failed, citing the first error."""
+        if not self.failed:
+            return
+        first = self.failed[0]
+        raise RuntimeError(
+            f"campaign {self.spec.name!r}: {len(self.failed)} of "
+            f"{len(self.records)} trial(s) failed "
+            f"(first: {first.trial_id}: {first.error})"
+        )
+
+
+def _record_from_cache(trial: Trial, cached: Mapping[str, Any]) -> TrialRecord:
+    return TrialRecord(
+        trial_id=trial.trial_id,
+        key=trial.key,
+        params=trial.params,
+        outcome="completed",
+        metrics=cached.get("metrics"),
+        error=None,
+        attempts=int(cached.get("attempts", 1)),
+        wall_time_s=float(cached.get("wall_time_s", 0.0)),
+        cached=True,
+    )
+
+
+def _record_from_report(trial: Trial, report: Mapping[str, Any]) -> TrialRecord:
+    return TrialRecord(
+        trial_id=trial.trial_id,
+        key=trial.key,
+        params=trial.params,
+        outcome=str(report["outcome"]),
+        metrics=report.get("metrics"),
+        error=report.get("error"),
+        attempts=int(report.get("attempts", 1)),
+        wall_time_s=float(report.get("wall_time_s", 0.0)),
+        cached=False,
+    )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store: CampaignStore | None = None,
+    executor: Any = None,
+    timeout_s: float | None = None,
+    force: bool = False,
+    progress: Progress | None = None,
+) -> CampaignResult:
+    """Run a campaign: serve cached trials, execute the delta, persist.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    store:
+        Trial cache and log; ``None`` disables persistence entirely.
+    executor:
+        Anything with ``run(tasks, on_result=...)`` — typically a
+        :class:`~repro.campaign.executor.ParallelExecutor` or
+        :class:`~repro.campaign.executor.SerialExecutor` (the default).
+    timeout_s:
+        Per-trial wall-time limit enforced by the executor.
+    force:
+        Ignore cached results (fresh executions still get cached).
+    progress:
+        Callback invoked once per finished or cache-hit trial.
+    """
+    executor = executor if executor is not None else SerialExecutor()
+    telemetry = CampaignTelemetry()
+    trials = spec.trials()
+
+    records: dict[str, TrialRecord] = {}
+    pending: list[Trial] = []
+    for trial in trials:
+        cached = None if (store is None or force) else store.load(spec.name, trial.key)
+        if cached is None:
+            pending.append(trial)
+            continue
+        record = _record_from_cache(trial, cached)
+        records[trial.trial_id] = record
+        telemetry.observe_cached(cached)
+        if progress is not None:
+            progress(
+                {
+                    "trial_id": trial.trial_id,
+                    "outcome": "completed",
+                    "cached": True,
+                    "attempts": record.attempts,
+                    "wall_time_s": 0.0,
+                    "error": None,
+                }
+            )
+
+    by_id = {trial.trial_id: trial for trial in pending}
+    tasks = [
+        TrialTask(
+            trial_id=trial.trial_id,
+            key=trial.key,
+            trial_ref=spec.trial,
+            params=trial.params,
+            timeout_s=timeout_s,
+        )
+        for trial in pending
+    ]
+
+    def on_result(report: dict[str, Any]) -> None:
+        telemetry.observe_executed(report)
+        trial = by_id[report["trial_id"]]
+        if store is not None:
+            stored = {
+                "schema": _RECORD_SCHEMA,
+                "campaign": spec.name,
+                "spec_version": spec.version,
+                "trial_id": trial.trial_id,
+                "key": trial.key,
+                "params": dict(trial.params),
+                "outcome": report["outcome"],
+                "metrics": report["metrics"],
+                "error": report["error"],
+                "attempts": report["attempts"],
+                "wall_time_s": report["wall_time_s"],
+            }
+            store.append_log(spec.name, stored)
+            if report["outcome"] == "completed":
+                store.save(spec.name, trial.key, stored)
+        if progress is not None:
+            progress({**report, "cached": False})
+
+    for report in executor.run(tasks, on_result=on_result):
+        trial = by_id[report["trial_id"]]
+        records[trial.trial_id] = _record_from_report(trial, report)
+
+    return CampaignResult(spec, [records[t.trial_id] for t in trials], telemetry)

@@ -1,0 +1,191 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names an experiment, a *trial kernel* (a pure
+function referenced by dotted path, so worker processes can import it),
+and an explicit parameter grid — one dict of JSON-able parameters per
+trial.  Everything else (caching, parallelism, retries) is the runner's
+business; a spec is pure data.
+
+Cache keys are content-addressed: a trial's key is the SHA-256 of the
+canonical-JSON encoding of (key schema, campaign name, spec version,
+trial reference, package version, trial params).  Any change to the
+parameters or a deliberate ``version`` bump yields a fresh key, so stale
+cached results can never be mistaken for current ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass, replace
+from importlib import import_module, metadata
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = [
+    "CampaignSpec",
+    "Trial",
+    "canonical_json",
+    "parameter_grid",
+    "resolve_trial_ref",
+]
+
+#: Bump when the cache-key recipe itself changes (invalidates every key).
+_KEY_SCHEMA = 1
+
+_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.\-]*")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace, no NaN."""
+    try:
+        return json.dumps(
+            value, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"value is not JSON-encodable: {exc}") from exc
+
+
+def resolve_trial_ref(ref: str) -> Callable[[Mapping[str, Any]], Mapping[str, Any]]:
+    """Import a ``package.module:function`` trial reference."""
+    module_name, sep, attr = ref.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"trial reference must look like 'package.module:function', got {ref!r}"
+        )
+    module = import_module(module_name)
+    try:
+        trial = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(
+            f"module {module_name!r} has no attribute {attr!r}"
+        ) from exc
+    if not callable(trial):
+        raise ValueError(f"trial reference {ref!r} is not callable")
+    return trial
+
+
+def parameter_grid(**axes: Sequence[Any]) -> tuple[dict[str, Any], ...]:
+    """Cross product of named axes; the last axis varies fastest."""
+    if not axes:
+        raise ValueError("parameter_grid needs at least one axis")
+    grid: list[dict[str, Any]] = [{}]
+    for axis, values in axes.items():
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {axis!r} has no values")
+        grid = [{**point, axis: value} for point in grid for value in values]
+    return tuple(grid)
+
+
+def _package_version() -> str:
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:  # running from a bare checkout
+        return "unknown"
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One fully-specified experiment trial inside a campaign."""
+
+    index: int
+    trial_id: str
+    key: str
+    params: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named experiment campaign: a trial kernel plus a parameter grid.
+
+    Parameters
+    ----------
+    name:
+        Campaign identifier (also the on-disk cache directory name).
+    trial:
+        ``package.module:function`` reference to the trial kernel.  The
+        kernel receives one grid point as a dict and returns a mapping of
+        JSON-able metrics; it must be a *pure function* of its params.
+    grid:
+        One parameter dict per trial.  Points must be unique — duplicate
+        points would collide in the content-addressed cache.
+    version:
+        Bump to invalidate cached results when the kernel's semantics
+        change without a parameter change.
+    description:
+        One-line human summary (shown by ``campaign list``).
+    """
+
+    name: str
+    trial: str
+    grid: tuple[Mapping[str, Any], ...]
+    version: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not _NAME_PATTERN.fullmatch(self.name):
+            raise ValueError(
+                f"campaign name must match {_NAME_PATTERN.pattern!r}, "
+                f"got {self.name!r}"
+            )
+        module_name, sep, attr = self.trial.partition(":")
+        if not sep or not module_name or not attr:
+            raise ValueError(
+                "trial must be a 'package.module:function' reference, "
+                f"got {self.trial!r}"
+            )
+        if self.version < 1:
+            raise ValueError(f"version must be >= 1, got {self.version}")
+        points = tuple(dict(point) for point in self.grid)
+        if not points:
+            raise ValueError("campaign grid is empty")
+        seen: dict[str, int] = {}
+        for index, point in enumerate(points):
+            encoded = canonical_json(point)
+            if encoded in seen:
+                raise ValueError(
+                    f"duplicate grid point at index {index} "
+                    f"(same params as index {seen[encoded]}): {point!r}"
+                )
+            seen[encoded] = index
+        object.__setattr__(self, "grid", points)
+
+    @property
+    def trial_count(self) -> int:
+        """Number of trials in the grid."""
+        return len(self.grid)
+
+    def limit(self, count: int) -> "CampaignSpec":
+        """A copy truncated to the first ``count`` grid points."""
+        if count < 1:
+            raise ValueError(f"limit must be >= 1, got {count}")
+        return replace(self, grid=self.grid[:count])
+
+    def key_for(self, params: Mapping[str, Any]) -> str:
+        """Content-addressed cache key for one grid point."""
+        basis = {
+            "schema": _KEY_SCHEMA,
+            "campaign": self.name,
+            "version": self.version,
+            "trial": self.trial,
+            "code": _package_version(),
+            "params": dict(params),
+        }
+        return hashlib.sha256(canonical_json(basis).encode("utf-8")).hexdigest()
+
+    def trials(self) -> tuple[Trial, ...]:
+        """The grid expanded into id-and-key-carrying trials."""
+        return tuple(
+            Trial(
+                index=index,
+                trial_id=f"{self.name}/{index:04d}",
+                key=self.key_for(params),
+                params=params,
+            )
+            for index, params in enumerate(self.grid)
+        )
+
+    def resolve_trial(self) -> Callable[[Mapping[str, Any]], Mapping[str, Any]]:
+        """Import and return the trial kernel."""
+        return resolve_trial_ref(self.trial)

@@ -1,0 +1,131 @@
+"""On-disk campaign results: content-addressed cache + JSONL artifact log.
+
+Layout under the store root::
+
+    <root>/<campaign>/trials/<key[:2]>/<key>.json   completed-trial records
+    <root>/<campaign>/log.jsonl                     append-only execution log
+
+The trial cache holds only *completed* trials — failures are logged but
+never cached, so a resumed campaign retries them.  Records are written
+atomically (temp file + rename) so a crash mid-write can at worst leave
+a stray temp file, never a truncated record; unreadable records are
+treated as cache misses rather than errors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+__all__ = ["CampaignStore", "DEFAULT_STORE_DIR"]
+
+#: Default cache root, relative to the working directory.
+DEFAULT_STORE_DIR = Path(".repro_campaigns")
+
+
+class CampaignStore:
+    """Filesystem-backed trial cache and artifact log."""
+
+    def __init__(self, root: str | Path = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def campaign_dir(self, campaign: str) -> Path:
+        """Directory holding one campaign's cache and log."""
+        return self.root / campaign
+
+    def trial_path(self, campaign: str, key: str) -> Path:
+        """Cache path for one trial record (sharded by key prefix)."""
+        return self.campaign_dir(campaign) / "trials" / key[:2] / f"{key}.json"
+
+    def log_path(self, campaign: str) -> Path:
+        """The campaign's append-only JSONL execution log."""
+        return self.campaign_dir(campaign) / "log.jsonl"
+
+    # ------------------------------------------------------------------
+    # Trial cache
+    # ------------------------------------------------------------------
+    def load(self, campaign: str, key: str) -> dict[str, Any] | None:
+        """A cached completed-trial record, or None on any kind of miss."""
+        path = self.trial_path(campaign, key)
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("key") != key or record.get("outcome") != "completed":
+            return None
+        return record
+
+    def save(self, campaign: str, key: str, record: Mapping[str, Any]) -> Path:
+        """Atomically persist one completed-trial record."""
+        path = self.trial_path(campaign, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(record, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        return path
+
+    def cached_records(self, campaign: str) -> list[dict[str, Any]]:
+        """Every readable cached record of a campaign, sorted by trial id."""
+        trials_dir = self.campaign_dir(campaign) / "trials"
+        records = []
+        for path in sorted(trials_dir.glob("*/*.json")):
+            record = self.load(campaign, path.stem)
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda r: str(r.get("trial_id", "")))
+        return records
+
+    # ------------------------------------------------------------------
+    # Artifact log
+    # ------------------------------------------------------------------
+    def append_log(self, campaign: str, record: Mapping[str, Any]) -> None:
+        """Append one execution record to the campaign's JSONL log."""
+        path = self.log_path(campaign)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def iter_log(self, campaign: str) -> Iterator[dict[str, Any]]:
+        """Log records oldest-first; unparsable lines are skipped."""
+        path = self.log_path(campaign)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def campaigns(self) -> list[str]:
+        """Names of campaigns with any on-disk state."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.name for p in self.root.iterdir() if p.is_dir())
+
+    def clean(self, campaign: str) -> int:
+        """Remove a campaign's cache and log; returns cached trials removed."""
+        target = self.campaign_dir(campaign)
+        if not target.is_dir():
+            return 0
+        count = sum(1 for _ in (target / "trials").glob("*/*.json"))
+        shutil.rmtree(target)
+        return count

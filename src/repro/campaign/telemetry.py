@@ -1,0 +1,105 @@
+"""Campaign telemetry: per-trial outcome counters and progress reporting.
+
+This module (like the rest of :mod:`repro.campaign`) is allowed to read
+the wall clock — it measures the *orchestration*, not the simulation.
+Simulation code stays wall-clock-free (reprolint RL-D003); trial wall
+times arrive here as numbers measured by the executor around the whole
+trial, never from inside the simulated world.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Mapping, TextIO
+
+__all__ = ["CampaignTelemetry", "ProgressReporter"]
+
+
+@dataclass
+class CampaignTelemetry:
+    """Outcome and wall-time counters for one campaign run."""
+
+    completed: int = 0
+    failed: int = 0
+    cached: int = 0
+    retried: int = 0
+    executed_wall_s: float = 0.0
+    slowest_trial_id: str | None = None
+    slowest_wall_s: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        """Trials actually executed (cache misses)."""
+        return self.completed + self.failed
+
+    @property
+    def total(self) -> int:
+        """All trials accounted for, cached included."""
+        return self.executed + self.cached
+
+    def observe_cached(self, record: Mapping[str, Any]) -> None:
+        """Count one cache hit."""
+        self.cached += 1
+
+    def observe_executed(self, report: Mapping[str, Any]) -> None:
+        """Count one executed trial from its executor report."""
+        if report["outcome"] == "completed":
+            self.completed += 1
+        else:
+            self.failed += 1
+        self.retried += max(0, int(report.get("attempts", 1)) - 1)
+        wall = float(report.get("wall_time_s", 0.0))
+        self.executed_wall_s += wall
+        if wall > self.slowest_wall_s:
+            self.slowest_wall_s = wall
+            self.slowest_trial_id = str(report["trial_id"])
+
+    def summary(self) -> str:
+        """One-line human summary of the run."""
+        parts = [
+            f"{self.total} trial(s): {self.completed} completed, "
+            f"{self.failed} failed, {self.cached} cached"
+        ]
+        if self.retried:
+            parts.append(f"{self.retried} retrie(s)")
+        if self.executed:
+            mean = self.executed_wall_s / self.executed
+            timing = (
+                f"{self.executed_wall_s:.1f}s executing "
+                f"(mean {mean:.2f}s/trial"
+            )
+            if self.slowest_trial_id is not None:
+                timing += (
+                    f", slowest {self.slowest_trial_id} "
+                    f"at {self.slowest_wall_s:.2f}s"
+                )
+            parts.append(timing + ")")
+        return "; ".join(parts)
+
+
+class ProgressReporter:
+    """Per-trial progress lines, suitable as a runner ``progress`` hook."""
+
+    def __init__(self, total: int, stream: TextIO | None = None) -> None:
+        self.total = total
+        self.done = 0
+        self.stream = stream if stream is not None else sys.stderr
+
+    def __call__(self, report: Mapping[str, Any]) -> None:
+        """Report one finished (or cache-hit) trial."""
+        self.done += 1
+        width = len(str(self.total))
+        status = str(report["outcome"])
+        if report.get("cached"):
+            status += " (cached)"
+        elif int(report.get("attempts", 1)) > 1:
+            status += f" (attempt {report['attempts']})"
+        line = (
+            f"[{self.done:>{width}}/{self.total}] {report['trial_id']}: "
+            f"{status} ({float(report.get('wall_time_s', 0.0)):.2f}s)"
+        )
+        error = report.get("error")
+        if error:
+            line += f" — {error}"
+        print(line, file=self.stream)

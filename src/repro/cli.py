@@ -7,6 +7,7 @@ can see the system work before writing any code:
 * ``testbed`` — the bench campaign and the headline-claim verdict;
 * ``superposition`` — the Section II phase sweep as a table;
 * ``params`` — the default simulation parameter table;
+* ``campaign`` — the experiment-campaign runner (see ``docs/campaigns.md``);
 * ``lint`` — the reprolint static-analysis gate (see ``docs/reprolint.md``).
 """
 
@@ -17,6 +18,7 @@ import math
 import sys
 from typing import Sequence
 
+from repro.campaign.cli import configure_parser as configure_campaign_parser
 from repro.lint.cli import configure_parser as configure_lint_parser
 
 __all__ = ["build_parser", "main"]
@@ -96,6 +98,12 @@ def _cmd_params(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign.cli import run_campaign_command
+
+    return run_campaign_command(args)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -131,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     params = sub.add_parser("params", help="print the parameter table")
     params.set_defaults(func=_cmd_params)
+
+    campaign = sub.add_parser(
+        "campaign", help="run/inspect cached experiment campaigns"
+    )
+    configure_campaign_parser(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
 
     lint = sub.add_parser(
         "lint", help="run the reprolint static-analysis rules"

@@ -289,11 +289,25 @@ class NeglectMonitor(Detector):
         return None
 
 
-def default_detector_suite(seed: int = 0) -> list[Detector]:
-    """The full defender loadout with default thresholds."""
+def default_detector_suite(
+    seed: int = 0, *, audit_interval_s: float | None = None
+) -> list[Detector]:
+    """The full defender loadout with default thresholds.
+
+    ``audit_interval_s`` overrides the voltage auditor's mean audit
+    interval through its constructor — the supported way to sweep audit
+    intensity (EXP-07), rather than locating the auditor by name in the
+    returned list and mutating it in place.
+    """
+    if audit_interval_s is None:
+        voltage_auditor = RandomVoltageAuditor(seed=seed)
+    else:
+        voltage_auditor = RandomVoltageAuditor(
+            mean_interval_s=audit_interval_s, seed=seed
+        )
     return [
         DeathAfterChargeAuditor(),
-        RandomVoltageAuditor(seed=seed),
+        voltage_auditor,
         TrajectoryAnomalyDetector(),
         NeglectMonitor(),
     ]

@@ -41,6 +41,10 @@ _NUMPY_RANDOM_ALLOWED = {
 _WALL_CLOCK_CALLS = {
     "time.time",
     "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
@@ -108,11 +112,19 @@ class NoUnseededDefaultRng(_DeterminismRule):
 @register
 class NoWallClockSeeding(_DeterminismRule):
     """RL-D003: wall-clock reads in simulation code smuggle real time into
-    what must be a purely virtual-time, seed-determined world."""
+    what must be a purely virtual-time, seed-determined world.
+
+    Scope: :mod:`repro.campaign` is exempt — campaign telemetry measures
+    how long *real* trial executions take, which is exactly a wall-clock
+    concern and never feeds back into simulated time or seeds.
+    """
 
     rule_id = "RL-D003"
     title = "no wall-clock time in simulation code"
     node_types = (ast.Call,)
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and not ctx.has_dir("campaign")
 
     def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
         name = ctx.resolve_call_name(node.func)

@@ -1,0 +1,56 @@
+"""The shared attack-trial kernel.
+
+One simulation with the standard experiment wiring — the unit of work
+every benchmark sweep and campaign trial dispatches.  Previously each
+benchmark hand-rolled this; it lives in the library so campaign worker
+processes (and downstream users) can import it.
+"""
+
+from __future__ import annotations
+
+from repro.attack.attacker import CsaAttacker
+from repro.detection.auditors import default_detector_suite
+from repro.sim.actions import MissionController
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+
+__all__ = ["run_attack"]
+
+
+def run_attack(
+    cfg: ScenarioConfig,
+    seed: int,
+    controller: MissionController | None = None,
+    detectors: bool = True,
+    audit_interval_s: float | None = None,
+) -> SimulationResult:
+    """One attack (or benign) simulation with the standard wiring.
+
+    Parameters
+    ----------
+    cfg:
+        Scenario parameters; network and charger are built fresh.
+    seed:
+        Topology/traffic/detector randomness.
+    controller:
+        The charger's mission controller; defaults to a fresh
+        :class:`~repro.attack.attacker.CsaAttacker` (controllers are
+        single-use, so callers pass a new one per trial).
+    detectors:
+        Whether to deploy the default base-station detector suite.
+    audit_interval_s:
+        Optional override for the voltage auditor's mean audit interval.
+    """
+    network = cfg.build_network(seed=seed)
+    charger = cfg.build_charger()
+    if controller is None:
+        controller = CsaAttacker(key_count=cfg.key_count)
+    suite = (
+        default_detector_suite(seed, audit_interval_s=audit_interval_s)
+        if detectors
+        else []
+    )
+    sim = WrsnSimulation(
+        network, charger, controller, detectors=suite, horizon_s=cfg.horizon_s
+    )
+    return sim.run()

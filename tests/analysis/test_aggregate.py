@@ -39,8 +39,32 @@ class TestMeanCi:
         )
 
     def test_empty_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError, match="cannot aggregate an empty series"
+        ):
             mean_ci([])
+
+    def test_empty_generator_rejected(self):
+        with pytest.raises(
+            ValueError, match="cannot aggregate an empty series"
+        ):
+            mean_ci(v for v in [])
+
+    def test_single_nan_matches_single_finite_shape(self):
+        # A lone NaN must not slip through the n == 1 fast path.
+        with pytest.raises(
+            ValueError, match="cannot aggregate non-finite values"
+        ):
+            mean_ci([float("nan")])
+
+    @pytest.mark.parametrize(
+        "poison", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_rejected(self, poison):
+        with pytest.raises(
+            ValueError, match=r"cannot aggregate non-finite values \(NaN or inf\)"
+        ):
+            mean_ci([1.0, poison, 3.0])
 
     def test_bad_confidence_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,137 @@
+"""Tests for ``python -m repro campaign`` subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return main(["campaign", *argv])
+
+
+class TestRun:
+    def test_run_tiny_campaign(self, tmp_path, capsys):
+        code = run_cli(
+            "run",
+            "tests.campaign.trials:tiny_spec",
+            "--serial",
+            "--cache-dir",
+            str(tmp_path),
+            "--quiet",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "campaign tiny:" in out
+        assert "4 completed" in out
+
+    def test_rerun_hits_cache(self, tmp_path, capsys):
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        capsys.readouterr()
+        code = run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 completed, 0 failed, 4 cached" in out
+
+    def test_limit_restricts_grid(self, tmp_path, capsys):
+        code = run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--limit", "2", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 trial(s)" in out
+
+    def test_progress_lines_on_stderr(self, tmp_path, capsys):
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path),
+        )
+        err = capsys.readouterr().err
+        assert "[1/4] tiny/0000: completed" in err
+
+    def test_failures_set_exit_code(self, tmp_path, capsys):
+        code = run_cli(
+            "run", "tests.campaign.test_cli:failing_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED failing/0000" in out
+
+    def test_unknown_campaign_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown campaign"):
+            run_cli("run", "nonsense", "--cache-dir", str(tmp_path))
+
+
+class TestStatus:
+    def test_status_empty_store(self, tmp_path, capsys):
+        code = run_cli("status", "tiny", "--cache-dir", str(tmp_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no recorded trials" in out
+
+    def test_status_after_run(self, tmp_path, capsys):
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        capsys.readouterr()
+        code = run_cli("status", "tiny", "--cache-dir", str(tmp_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tiny/0000" in out and "tiny/0003" in out
+        assert "4 trial(s): 4 completed" in out
+
+    def test_status_reports_failures(self, tmp_path, capsys):
+        run_cli(
+            "run", "tests.campaign.test_cli:failing_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        capsys.readouterr()
+        run_cli("status", "failing", "--cache-dir", str(tmp_path))
+        out = capsys.readouterr().out
+        assert "1 failed" in out
+        assert "boom on x=1" in out
+
+
+class TestCleanAndList:
+    def test_clean_drops_the_cache(self, tmp_path, capsys):
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        capsys.readouterr()
+        code = run_cli("clean", "tiny", "--cache-dir", str(tmp_path))
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "removed 4 cached trial(s)" in out
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        assert "4 completed, 0 failed, 0 cached" in capsys.readouterr().out
+
+    def test_list_names_builtins(self, capsys):
+        code = run_cli("list")
+        out = capsys.readouterr().out
+        assert code == 0
+        for name, trials in (("exp03", "60"), ("exp04", "30"),
+                             ("exp07", "48"), ("ext04", "12")):
+            assert name in out
+            assert trials in out
+
+
+def failing_spec():
+    from repro.campaign.spec import CampaignSpec
+
+    return CampaignSpec(
+        name="failing",
+        trial="tests.campaign.trials:raise_trial",
+        grid=({"x": 1},),
+    )

@@ -1,0 +1,156 @@
+"""Tests for trial execution: capture, retry, timeout, crash isolation."""
+
+import pytest
+
+from repro.campaign.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialTask,
+    execute_trial,
+)
+
+
+def task_for(ref, params, index=0, timeout_s=None):
+    return TrialTask(
+        trial_id=f"demo/{index:04d}",
+        key=f"{index:064x}",
+        trial_ref=f"tests.campaign.trials:{ref}",
+        params=params,
+        timeout_s=timeout_s,
+    )
+
+
+class TestExecuteTrial:
+    def test_completed_report(self):
+        report = execute_trial(task_for("ok_trial", {"x": 3, "factor": 2}))
+        assert report["outcome"] == "completed"
+        assert report["metrics"] == {"y": 6, "x_seen": 3}
+        assert report["error"] is None
+        assert report["retryable"] is False
+        assert report["wall_time_s"] >= 0.0
+
+    def test_exception_becomes_failed_report(self):
+        report = execute_trial(task_for("raise_trial", {"x": 9}))
+        assert report["outcome"] == "failed"
+        assert report["metrics"] is None
+        assert "boom on x=9" in report["error"]
+        assert report["retryable"] is False
+
+    def test_transient_failure_is_retryable(self, tmp_path):
+        report = execute_trial(
+            task_for("flaky_once_trial", {"x": 1, "scratch": str(tmp_path)})
+        )
+        assert report["outcome"] == "failed"
+        assert report["retryable"] is True
+        assert "transient failure" in report["error"]
+
+    def test_timeout_bounds_the_trial(self):
+        report = execute_trial(
+            task_for("sleepy_trial", {"sleep_s": 30.0}, timeout_s=0.2)
+        )
+        assert report["outcome"] == "failed"
+        assert "timed out after 0.2s" in report["error"]
+        assert report["wall_time_s"] < 5.0
+
+    def test_non_mapping_metrics_rejected(self):
+        # builtins:len called on the params dict returns an int, which the
+        # metrics validator must reject as a failed trial.
+        report = execute_trial(
+            TrialTask(
+                trial_id="demo/0000",
+                key="0" * 64,
+                trial_ref="builtins:len",
+                params={},
+                timeout_s=None,
+            )
+        )
+        assert report["outcome"] == "failed"
+        assert "must return a mapping" in report["error"]
+
+
+class TestSerialExecutor:
+    def test_reports_in_task_order(self):
+        tasks = [task_for("ok_trial", {"x": i}, index=i) for i in range(5)]
+        reports = SerialExecutor().run(tasks)
+        assert [r["trial_id"] for r in reports] == [t.trial_id for t in tasks]
+
+    def test_transient_failure_retried_to_success(self, tmp_path):
+        task = task_for("flaky_once_trial", {"x": 1, "scratch": str(tmp_path)})
+        (report,) = SerialExecutor(max_retries=1).run([task])
+        assert report["outcome"] == "completed"
+        assert report["attempts"] == 2
+
+    def test_zero_retries_leaves_transient_failure(self, tmp_path):
+        task = task_for("flaky_once_trial", {"x": 2, "scratch": str(tmp_path)})
+        (report,) = SerialExecutor(max_retries=0).run([task])
+        assert report["outcome"] == "failed"
+        assert report["attempts"] == 1
+
+    def test_deterministic_failure_not_retried(self):
+        (report,) = SerialExecutor(max_retries=3).run(
+            [task_for("raise_trial", {"x": 1})]
+        )
+        assert report["outcome"] == "failed"
+        assert report["attempts"] == 1
+
+    def test_on_result_called_once_per_task(self):
+        seen = []
+        tasks = [task_for("ok_trial", {"x": i}, index=i) for i in range(3)]
+        SerialExecutor().run(tasks, on_result=seen.append)
+        assert [r["trial_id"] for r in seen] == [t.trial_id for t in tasks]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            SerialExecutor(max_retries=-1)
+
+
+class TestParallelExecutor:
+    def test_forty_trials_with_injected_crash(self):
+        # Acceptance criterion: a >= 40-trial campaign runs to completion
+        # with the parallel executor, and an injected crashing trial is
+        # recorded as `failed` without aborting the run.
+        tasks = [
+            task_for(
+                "crash_if_marked_trial", {"x": i, "crash": i == 17}, index=i
+            )
+            for i in range(40)
+        ]
+        reports = ParallelExecutor(max_workers=2).run(tasks)
+        assert len(reports) == 40
+        assert [r["trial_id"] for r in reports] == [t.trial_id for t in tasks]
+        by_outcome = {}
+        for report in reports:
+            by_outcome.setdefault(report["outcome"], []).append(report)
+        assert len(by_outcome["failed"]) == 1
+        assert "injected crash at x=17" in by_outcome["failed"][0]["error"]
+        assert len(by_outcome["completed"]) == 39
+
+    def test_hard_crash_quarantined_not_fatal(self):
+        # os._exit kills the worker and breaks the shared pool; the
+        # quarantine pass must pin the failure on exactly that trial
+        # while every bystander still completes.
+        tasks = [
+            task_for("hard_exit_trial", {"x": i, "exit": i == 3}, index=i)
+            for i in range(8)
+        ]
+        reports = ParallelExecutor(max_workers=2).run(tasks)
+        failed = [r for r in reports if r["outcome"] == "failed"]
+        assert [r["trial_id"] for r in failed] == ["demo/0003"]
+        assert "worker process crashed" in failed[0]["error"]
+        assert sum(r["outcome"] == "completed" for r in reports) == 7
+
+    def test_transient_failure_retried_across_processes(self, tmp_path):
+        task = task_for("flaky_once_trial", {"x": 5, "scratch": str(tmp_path)})
+        (report,) = ParallelExecutor(max_workers=1).run([task])
+        assert report["outcome"] == "completed"
+        assert report["attempts"] == 2
+
+    def test_timeout_in_worker(self):
+        task = task_for("sleepy_trial", {"sleep_s": 30.0}, timeout_s=0.2)
+        (report,) = ParallelExecutor(max_workers=1).run([task])
+        assert report["outcome"] == "failed"
+        assert "timed out" in report["error"]
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ParallelExecutor(max_workers=0)

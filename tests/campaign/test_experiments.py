@@ -1,0 +1,79 @@
+"""Tests for the built-in experiment campaigns and spec resolution."""
+
+import pytest
+
+from repro.campaign.experiments import (
+    BUILTIN_CAMPAIGNS,
+    exp03_spec,
+    exp03_trial,
+    exp04_spec,
+    exp07_spec,
+    ext04_spec,
+    resolve_spec,
+)
+from repro.campaign.spec import CampaignSpec
+
+
+class TestGridShapes:
+    def test_exp03_grid(self):
+        spec = exp03_spec()
+        assert spec.trial_count == 60  # 5 sizes x 4 attackers x 3 seeds
+        assert spec.grid[0] == {"node_count": 50, "attacker": "CSA", "seed": 1}
+        # Seeds vary fastest, so one (size, attacker) cell is contiguous.
+        assert [p["seed"] for p in spec.grid[:3]] == [1, 2, 3]
+
+    def test_exp04_grid(self):
+        assert exp04_spec().trial_count == 30  # 5 key counts x 2 attackers x 3 seeds
+
+    def test_exp07_grid(self):
+        spec = exp07_spec()
+        assert spec.trial_count == 48  # 4 intervals x 3 attackers x 4 seeds
+        attackers = {p["attacker"] for p in spec.grid}
+        assert attackers == {"CSA", "CSA-no-windows", "Blatant"}
+
+    def test_ext04_grid(self):
+        spec = ext04_spec()
+        assert spec.trial_count == 12  # 4 honest counts x 3 seeds
+        assert {p["honest_count"] for p in spec.grid} == {0, 1, 2, 3}
+
+    def test_all_builtins_resolve_their_kernels(self):
+        for builder in BUILTIN_CAMPAIGNS.values():
+            spec = builder()
+            assert callable(spec.resolve_trial())
+            assert spec.description
+
+
+class TestResolveSpec:
+    def test_builtin_name(self):
+        assert resolve_spec("exp03").name == "exp03"
+
+    def test_module_reference(self):
+        spec = resolve_spec("tests.campaign.trials:tiny_spec")
+        assert isinstance(spec, CampaignSpec)
+        assert spec.name == "tiny"
+
+    def test_unknown_name_lists_builtins(self):
+        with pytest.raises(ValueError, match="exp03"):
+            resolve_spec("definitely-not-a-campaign")
+
+    def test_reference_must_produce_a_spec(self):
+        with pytest.raises(ValueError, match="did not produce a CampaignSpec"):
+            resolve_spec("tests.campaign.trials:not_a_spec")
+
+
+class TestTrialKernels:
+    def test_exp03_trial_smoke(self):
+        # One real (small) simulation through the kernel: the headline
+        # scenario at its smallest size must exhaust key nodes undetected.
+        metrics = exp03_trial({"node_count": 50, "attacker": "CSA", "seed": 1})
+        assert set(metrics) == {
+            "exhausted_key_ratio",
+            "exhausted_key_count",
+            "detected",
+        }
+        assert metrics["exhausted_key_ratio"] >= 0.8
+        assert metrics["detected"] is False
+
+    def test_exp03_trial_unknown_attacker_rejected(self):
+        with pytest.raises(ValueError, match="unknown attacker"):
+            exp03_trial({"node_count": 50, "attacker": "Mystery", "seed": 1})

@@ -1,0 +1,181 @@
+"""Tests for campaign orchestration: caching, delta resume, series access."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    ParallelExecutor,
+    SerialExecutor,
+    parameter_grid,
+    run_campaign,
+)
+
+
+def ok_spec(name="demo", **grid_axes):
+    axes = grid_axes or {"x": (1, 2, 3), "factor": (1, 10)}
+    return CampaignSpec(
+        name=name,
+        trial="tests.campaign.trials:ok_trial",
+        grid=parameter_grid(**axes),
+    )
+
+
+def crashy_spec(crash_x):
+    return CampaignSpec(
+        name="crashy",
+        trial="tests.campaign.trials:crash_if_marked_trial",
+        grid=tuple(
+            {"x": x, "crash": x == crash_x} for x in range(1, 7)
+        ),
+    )
+
+
+class TestRunCampaign:
+    def test_records_in_spec_order(self, tmp_path):
+        result = run_campaign(ok_spec(), store=CampaignStore(tmp_path))
+        assert [r.trial_id for r in result.records] == [
+            f"demo/{i:04d}" for i in range(6)
+        ]
+        assert all(r.completed for r in result.records)
+        assert result.executed_count == 6
+        assert result.cached_count == 0
+
+    def test_rerun_is_pure_cache_hit(self, tmp_path):
+        # Acceptance criterion: an immediate re-run reports a 100% cache
+        # hit — zero trials executed.
+        store = CampaignStore(tmp_path)
+        first = run_campaign(ok_spec(), store=store)
+        second = run_campaign(ok_spec(), store=store)
+        assert first.executed_count == 6
+        assert second.executed_count == 0
+        assert second.cached_count == 6
+        assert [r.metrics for r in second.records] == [
+            r.metrics for r in first.records
+        ]
+        assert second.telemetry.cached == 6
+        assert second.telemetry.executed == 0
+
+    def test_force_re_executes_everything(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(ok_spec(), store=store)
+        forced = run_campaign(ok_spec(), store=store, force=True)
+        assert forced.executed_count == 6
+        assert forced.cached_count == 0
+
+    def test_no_store_never_caches(self):
+        first = run_campaign(ok_spec())
+        second = run_campaign(ok_spec())
+        assert first.executed_count == 6
+        assert second.executed_count == 6
+
+    def test_version_bump_invalidates_cache(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(ok_spec(), store=store)
+        bumped = CampaignSpec(
+            name="demo",
+            trial="tests.campaign.trials:ok_trial",
+            grid=parameter_grid(x=(1, 2, 3), factor=(1, 10)),
+            version=2,
+        )
+        result = run_campaign(bumped, store=store)
+        assert result.executed_count == 6
+
+    def test_grid_growth_executes_only_the_delta(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(ok_spec(x=(1, 2), factor=(1,)), store=store)
+        grown = run_campaign(ok_spec(x=(1, 2, 3), factor=(1,)), store=store)
+        assert grown.cached_count == 2
+        assert grown.executed_count == 1
+
+    def test_failures_are_recorded_not_raised(self, tmp_path):
+        result = run_campaign(crashy_spec(crash_x=4), store=CampaignStore(tmp_path))
+        assert len(result.failed) == 1
+        assert result.failed[0].params == {"x": 4, "crash": True}
+        assert "injected crash at x=4" in result.failed[0].error
+        assert len(result.completed) == 5
+        with pytest.raises(RuntimeError, match="1 of 6 trial"):
+            result.raise_for_failures()
+
+    def test_failed_trials_not_cached_so_resume_retries(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(crashy_spec(crash_x=4), store=store)
+        second = run_campaign(crashy_spec(crash_x=4), store=store)
+        assert second.cached_count == 5
+        assert second.executed_count == 1
+        assert second.failed[0].params["x"] == 4
+
+    def test_executed_failures_land_in_the_log(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(crashy_spec(crash_x=4), store=store)
+        outcomes = [e["outcome"] for e in store.iter_log("crashy")]
+        assert outcomes.count("failed") == 1
+        assert outcomes.count("completed") == 5
+
+    def test_parallel_executor_end_to_end(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        result = run_campaign(
+            ok_spec(), store=store, executor=ParallelExecutor(max_workers=2)
+        )
+        assert all(r.completed for r in result.records)
+        rerun = run_campaign(
+            ok_spec(), store=store, executor=ParallelExecutor(max_workers=2)
+        )
+        assert rerun.executed_count == 0
+
+    def test_progress_callback_sees_every_trial(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        run_campaign(ok_spec(), store=store)
+        seen = []
+        run_campaign(ok_spec(), store=store, progress=seen.append)
+        assert len(seen) == 6
+        assert all(report["cached"] for report in seen)
+
+    def test_timeout_threads_through_to_trials(self, tmp_path):
+        spec = CampaignSpec(
+            name="sleepy",
+            trial="tests.campaign.trials:sleepy_trial",
+            grid=({"sleep_s": 30.0},),
+        )
+        result = run_campaign(
+            spec,
+            store=CampaignStore(tmp_path),
+            executor=SerialExecutor(),
+            timeout_s=0.2,
+        )
+        assert result.failed
+        assert "timed out" in result.failed[0].error
+
+
+class TestCampaignResult:
+    def test_values_filters_in_grid_order(self):
+        result = run_campaign(ok_spec())
+        assert result.values("y", factor=10) == [10, 20, 30]
+        assert result.values("y", x=2) == [2, 20]
+        assert result.values("y", x=2, factor=10) == [20]
+
+    def test_values_no_match_raises_keyerror(self):
+        result = run_campaign(ok_spec())
+        with pytest.raises(KeyError, match="no trials of campaign 'demo'"):
+            result.values("y", x=99)
+
+    def test_values_with_failed_match_raises(self, tmp_path):
+        result = run_campaign(crashy_spec(crash_x=4), store=CampaignStore(tmp_path))
+        with pytest.raises(RuntimeError, match="did not complete"):
+            result.values("y", x=4)
+
+    def test_missing_metric_raises_with_context(self):
+        result = run_campaign(ok_spec())
+        with pytest.raises(KeyError, match="has no metric 'nope'"):
+            result.records[0].metric("nope")
+
+    def test_records_where(self):
+        result = run_campaign(ok_spec())
+        assert len(result.records_where(factor=1)) == 3
+        assert result.records_where(x=1, factor=1)[0].metrics["y"] == 1
+
+    def test_telemetry_summary_mentions_counts(self):
+        result = run_campaign(ok_spec())
+        summary = result.telemetry.summary()
+        assert "6 trial(s)" in summary
+        assert "6 completed" in summary

@@ -1,0 +1,148 @@
+"""Tests for campaign specs, grids, and cache keys."""
+
+import pytest
+
+from repro.campaign.spec import (
+    CampaignSpec,
+    canonical_json,
+    parameter_grid,
+    resolve_trial_ref,
+)
+
+from tests.campaign.trials import ok_trial
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="demo",
+        trial="tests.campaign.trials:ok_trial",
+        grid=parameter_grid(x=(1, 2, 3)),
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_canonical(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="not JSON-encodable"):
+            canonical_json({"x": float("nan")})
+
+    def test_non_serialisable_rejected(self):
+        with pytest.raises(ValueError, match="not JSON-encodable"):
+            canonical_json({"x": object()})
+
+
+class TestParameterGrid:
+    def test_cross_product_last_axis_fastest(self):
+        grid = parameter_grid(a=(1, 2), b=("x", "y"))
+        assert grid == (
+            {"a": 1, "b": "x"},
+            {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"},
+            {"a": 2, "b": "y"},
+        )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis 'a' has no values"):
+            parameter_grid(a=())
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_grid()
+
+
+class TestResolveTrialRef:
+    def test_resolves_to_the_function(self):
+        assert resolve_trial_ref("tests.campaign.trials:ok_trial") is ok_trial
+
+    def test_malformed_ref_rejected(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            resolve_trial_ref("no-colon-here")
+
+    def test_missing_attribute_rejected(self):
+        with pytest.raises(ValueError, match="has no attribute"):
+            resolve_trial_ref("tests.campaign.trials:nope")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ValueError, match="not callable"):
+            resolve_trial_ref("tests.campaign.trials:__doc__")
+
+
+class TestCampaignSpec:
+    def test_trial_count_and_ids(self):
+        spec = make_spec()
+        assert spec.trial_count == 3
+        trials = spec.trials()
+        assert [t.trial_id for t in trials] == [
+            "demo/0000",
+            "demo/0001",
+            "demo/0002",
+        ]
+        assert [t.params for t in trials] == [{"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(ValueError, match="campaign name"):
+            make_spec(name="bad name with spaces")
+
+    def test_bad_trial_ref_rejected(self):
+        with pytest.raises(ValueError, match="package.module:function"):
+            make_spec(trial="not-a-ref")
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            make_spec(version=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid is empty"):
+            make_spec(grid=())
+
+    def test_duplicate_grid_points_rejected(self):
+        with pytest.raises(ValueError, match="duplicate grid point at index 1"):
+            make_spec(grid=({"x": 1}, {"x": 1}))
+
+    def test_limit_truncates(self):
+        spec = make_spec().limit(2)
+        assert spec.trial_count == 2
+        assert spec.grid == ({"x": 1}, {"x": 2})
+
+    def test_limit_below_one_rejected(self):
+        with pytest.raises(ValueError, match="limit"):
+            make_spec().limit(0)
+
+    def test_resolve_trial(self):
+        assert make_spec().resolve_trial() is ok_trial
+
+
+class TestCacheKeys:
+    def test_key_is_stable_across_instances(self):
+        assert make_spec().key_for({"x": 1}) == make_spec().key_for({"x": 1})
+
+    def test_key_ignores_param_dict_order(self):
+        spec = make_spec()
+        assert spec.key_for({"a": 1, "b": 2}) == spec.key_for({"b": 2, "a": 1})
+
+    def test_key_varies_with_params(self):
+        spec = make_spec()
+        assert spec.key_for({"x": 1}) != spec.key_for({"x": 2})
+
+    def test_key_varies_with_version(self):
+        assert make_spec().key_for({"x": 1}) != make_spec(version=2).key_for(
+            {"x": 1}
+        )
+
+    def test_key_varies_with_campaign_name(self):
+        assert make_spec().key_for({"x": 1}) != make_spec(name="other").key_for(
+            {"x": 1}
+        )
+
+    def test_key_varies_with_trial_ref(self):
+        other = make_spec(trial="tests.campaign.trials:raise_trial")
+        assert make_spec().key_for({"x": 1}) != other.key_for({"x": 1})
+
+    def test_key_is_hex_sha256(self):
+        key = make_spec().key_for({"x": 1})
+        assert len(key) == 64
+        int(key, 16)

@@ -1,0 +1,112 @@
+"""Tests for the on-disk trial cache and JSONL log."""
+
+import json
+
+from repro.campaign.store import CampaignStore
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "1" * 62
+
+
+def record_for(key, trial_id="demo/0000", outcome="completed"):
+    return {
+        "key": key,
+        "trial_id": trial_id,
+        "outcome": outcome,
+        "metrics": {"y": 1},
+    }
+
+
+class TestTrialCache:
+    def test_save_then_load_roundtrip(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_A, record_for(KEY_A))
+        assert store.load("demo", KEY_A) == record_for(KEY_A)
+
+    def test_load_missing_is_none(self, tmp_path):
+        assert CampaignStore(tmp_path).load("demo", KEY_A) is None
+
+    def test_load_corrupt_json_is_none(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        path = store.trial_path("demo", KEY_A)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert store.load("demo", KEY_A) is None
+
+    def test_load_key_mismatch_is_none(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_A, record_for(KEY_B))
+        assert store.load("demo", KEY_A) is None
+
+    def test_load_non_completed_is_none(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_A, record_for(KEY_A, outcome="failed"))
+        assert store.load("demo", KEY_A) is None
+
+    def test_paths_shard_by_key_prefix(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        path = store.trial_path("demo", KEY_A)
+        assert path.parent.name == KEY_A[:2]
+        assert path.name == f"{KEY_A}.json"
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_A, record_for(KEY_A))
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_cached_records_sorted_by_trial_id(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_B, record_for(KEY_B, trial_id="demo/0001"))
+        store.save("demo", KEY_A, record_for(KEY_A, trial_id="demo/0000"))
+        ids = [r["trial_id"] for r in store.cached_records("demo")]
+        assert ids == ["demo/0000", "demo/0001"]
+
+
+class TestLog:
+    def test_append_and_iter_in_order(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append_log("demo", {"trial_id": "demo/0000", "outcome": "failed"})
+        store.append_log("demo", {"trial_id": "demo/0001", "outcome": "completed"})
+        entries = list(store.iter_log("demo"))
+        assert [e["trial_id"] for e in entries] == ["demo/0000", "demo/0001"]
+
+    def test_iter_skips_unparsable_lines(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append_log("demo", {"trial_id": "demo/0000"})
+        with store.log_path("demo").open("a") as handle:
+            handle.write("not json at all\n")
+        store.append_log("demo", {"trial_id": "demo/0001"})
+        assert len(list(store.iter_log("demo"))) == 2
+
+    def test_iter_missing_log_is_empty(self, tmp_path):
+        assert list(CampaignStore(tmp_path).iter_log("demo")) == []
+
+    def test_log_lines_are_json(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.append_log("demo", {"trial_id": "demo/0000", "outcome": "failed"})
+        line = store.log_path("demo").read_text().splitlines()[0]
+        assert json.loads(line)["outcome"] == "failed"
+
+
+class TestMaintenance:
+    def test_campaigns_lists_directories(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("alpha", KEY_A, record_for(KEY_A))
+        store.append_log("beta", {"trial_id": "beta/0000"})
+        assert store.campaigns() == ["alpha", "beta"]
+
+    def test_campaigns_empty_root(self, tmp_path):
+        assert CampaignStore(tmp_path / "nothing").campaigns() == []
+
+    def test_clean_removes_and_counts(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.save("demo", KEY_A, record_for(KEY_A))
+        store.save("demo", KEY_B, record_for(KEY_B))
+        store.append_log("demo", {"trial_id": "demo/0000"})
+        assert store.clean("demo") == 2
+        assert store.load("demo", KEY_A) is None
+        assert not store.campaign_dir("demo").exists()
+
+    def test_clean_missing_campaign_is_zero(self, tmp_path):
+        assert CampaignStore(tmp_path).clean("nope") == 0

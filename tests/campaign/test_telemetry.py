@@ -1,0 +1,74 @@
+"""Tests for campaign telemetry counters and the progress reporter."""
+
+import io
+
+from repro.campaign.telemetry import CampaignTelemetry, ProgressReporter
+
+
+def report(trial_id="demo/0000", outcome="completed", attempts=1, wall=0.5,
+           error=None, cached=False):
+    return {
+        "trial_id": trial_id,
+        "outcome": outcome,
+        "attempts": attempts,
+        "wall_time_s": wall,
+        "error": error,
+        "cached": cached,
+    }
+
+
+class TestCampaignTelemetry:
+    def test_counters_accumulate(self):
+        t = CampaignTelemetry()
+        t.observe_cached({"trial_id": "demo/0000"})
+        t.observe_executed(report("demo/0001", wall=0.5))
+        t.observe_executed(report("demo/0002", "failed", attempts=2, wall=1.5,
+                                  error="boom"))
+        assert t.cached == 1
+        assert t.completed == 1
+        assert t.failed == 1
+        assert t.retried == 1
+        assert t.executed == 2
+        assert t.total == 3
+        assert t.executed_wall_s == 2.0
+
+    def test_slowest_trial_tracked(self):
+        t = CampaignTelemetry()
+        t.observe_executed(report("demo/0000", wall=0.2))
+        t.observe_executed(report("demo/0001", wall=0.9))
+        t.observe_executed(report("demo/0002", wall=0.4))
+        assert t.slowest_trial_id == "demo/0001"
+        assert t.slowest_wall_s == 0.9
+
+    def test_summary_lines(self):
+        t = CampaignTelemetry()
+        t.observe_executed(report(wall=1.0))
+        t.observe_cached({})
+        summary = t.summary()
+        assert "2 trial(s): 1 completed, 0 failed, 1 cached" in summary
+        assert "1.0s executing" in summary
+        assert "slowest demo/0000" in summary
+
+    def test_summary_without_executions_omits_timing(self):
+        t = CampaignTelemetry()
+        t.observe_cached({})
+        assert "executing" not in t.summary()
+
+
+class TestProgressReporter:
+    def test_line_format_counts_and_outcome(self):
+        stream = io.StringIO()
+        progress = ProgressReporter(total=12, stream=stream)
+        progress(report("demo/0003", wall=1.25))
+        assert stream.getvalue() == "[ 1/12] demo/0003: completed (1.25s)\n"
+
+    def test_cached_and_retry_annotations(self):
+        stream = io.StringIO()
+        progress = ProgressReporter(total=3, stream=stream)
+        progress(report("demo/0000", cached=True, wall=0.0))
+        progress(report("demo/0001", attempts=2))
+        progress(report("demo/0002", outcome="failed", error="boom"))
+        lines = stream.getvalue().splitlines()
+        assert "completed (cached)" in lines[0]
+        assert "(attempt 2)" in lines[1]
+        assert lines[2].endswith("— boom")

@@ -1,0 +1,87 @@
+"""Importable trial kernels for the campaign tests.
+
+Campaign trial kernels are referenced by dotted path and executed in
+worker processes, so they must live at module level in an importable
+module — lambdas and closures defined inside a test cannot be used.
+Kernels taking a scratch path receive it through their params dict
+(everything in params must be JSON-able, so paths travel as strings).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.campaign import TransientTrialError
+from repro.campaign.spec import CampaignSpec, parameter_grid
+
+__all__ = [
+    "crash_if_marked_trial",
+    "flaky_once_trial",
+    "hard_exit_trial",
+    "not_a_spec",
+    "ok_trial",
+    "raise_trial",
+    "sleepy_trial",
+    "tiny_spec",
+]
+
+
+def ok_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Deterministic arithmetic on the params: y = x * factor."""
+    return {"y": params["x"] * params.get("factor", 1), "x_seen": params["x"]}
+
+
+def raise_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Always fails with an ordinary (non-retryable) exception."""
+    raise RuntimeError(f"boom on x={params['x']}")
+
+
+def crash_if_marked_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Completes normally unless ``params['crash']`` is set."""
+    if params.get("crash"):
+        raise RuntimeError(f"injected crash at x={params['x']}")
+    return {"y": params["x"]}
+
+
+def hard_exit_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Kills its worker process outright when marked (breaks the pool)."""
+    if params.get("exit"):
+        os._exit(17)
+    return {"y": params["x"]}
+
+
+def flaky_once_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Raises TransientTrialError on the first call, then succeeds.
+
+    Cross-process attempt tracking uses a marker file under the scratch
+    directory passed via params.
+    """
+    marker = Path(params["scratch"]) / f"flaky-{params['x']}.marker"
+    if not marker.exists():
+        marker.write_text("attempted")
+        raise TransientTrialError("first attempt always fails")
+    return {"y": params["x"]}
+
+
+def sleepy_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Sleeps for ``params['sleep_s']`` seconds, then returns."""
+    time.sleep(params["sleep_s"])
+    return {"slept": params["sleep_s"]}
+
+
+def not_a_spec() -> dict[str, Any]:
+    """A zero-arg callable that does NOT build a CampaignSpec."""
+    return {"not": "a spec"}
+
+
+def tiny_spec() -> CampaignSpec:
+    """A 4-trial spec the CLI tests can reference as module:callable."""
+    return CampaignSpec(
+        name="tiny",
+        trial="tests.campaign.trials:ok_trial",
+        grid=parameter_grid(x=(1, 2), factor=(1, 10)),
+        description="four cheap arithmetic trials",
+    )

@@ -249,6 +249,38 @@ class TestSuite:
             "neglect",
         }
 
+    def test_audit_interval_override(self):
+        suite = default_detector_suite(seed=3, audit_interval_s=7200.0)
+        auditor = next(d for d in suite if d.name == "voltage-audit")
+        assert auditor.mean_interval_s == 7200.0
+
+    def test_audit_interval_default_untouched(self):
+        default = next(
+            d for d in default_detector_suite() if d.name == "voltage-audit"
+        )
+        overridden = next(
+            d
+            for d in default_detector_suite(audit_interval_s=123.0)
+            if d.name == "voltage-audit"
+        )
+        assert default.mean_interval_s != 123.0
+        assert overridden.mean_interval_s == 123.0
+
+    def test_audit_interval_override_matches_mutation(self):
+        # The constructor path must give the same RNG stream as the old
+        # post-construction mutation (benchmarks rely on byte-stable
+        # tables across this refactor).
+        ctor = next(
+            d
+            for d in default_detector_suite(seed=5, audit_interval_s=43200.0)
+            if d.name == "voltage-audit"
+        )
+        mutated = next(
+            d for d in default_detector_suite(seed=5) if d.name == "voltage-audit"
+        )
+        mutated.mean_interval_s = 43200.0
+        assert ctor.next_audit_time(0.0) == mutated.next_audit_time(0.0)
+
     def test_detection_latches(self):
         detector = DeathAfterChargeAuditor(grace_s=3600.0)
         sim = StubSim()

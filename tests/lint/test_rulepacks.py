@@ -75,6 +75,39 @@ class TestDeterminismVariants:
         source = "import random\nrandom.seed(0)\n"
         assert lint_source(source, "tests/test_whatever.py") == []
 
+    def test_monotonic_clock_fires_in_sim_code(self):
+        source = (
+            "import time\n"
+            "__all__ = ['tick']\n"
+            "def tick() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D003"]
+
+    def test_wall_clock_allowed_in_campaign_code(self):
+        # RL-D003 is scoped out of repro.campaign: trial telemetry
+        # legitimately measures real elapsed time.
+        source = (
+            "import time\n"
+            "__all__ = ['now']\n"
+            "def now() -> float:\n"
+            "    return time.perf_counter()\n"
+        )
+        assert lint_source(source, "src/repro/campaign/mod.py") == []
+
+    def test_other_determinism_rules_still_apply_in_campaign_code(self):
+        # The campaign exemption is RL-D003 only; global-RNG use in
+        # campaign code is still a finding.
+        source = (
+            "import random\n"
+            "__all__ = ['draw']\n"
+            "def draw() -> int:\n"
+            "    return random.randint(0, 10)\n"
+        )
+        findings = lint_source(source, "src/repro/campaign/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D001"]
+
 
 class TestPhysicsVariants:
     def test_float_equality_outside_physical_dirs_is_allowed(self):
