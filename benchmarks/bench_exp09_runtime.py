@@ -1,22 +1,121 @@
-"""EXP-09 — planning runtime scalability.
+"""EXP-09 — planning and simulation runtime scalability.
 
 Paper anchor: the algorithm-cost figure.  Times CSA planning across
 instance sizes (the quantity an on-line attacker replans with) and the
 exact DP at its practical limit, via pytest-benchmark's proper timing
 machinery.
+
+Also measures the simulator's event-loop advance throughput: every
+popped event advances all ``N`` node batteries, so the advance is the
+per-event cost floor of the whole discrete-event simulation.  The SoA
+:class:`~repro.network.energy_ledger.EnergyLedger` path is benchmarked
+against a faithful replica of the pre-ledger per-node-object loop, and
+the series lands in the ``BENCH_exp09_runtime.json`` sidecar.
 """
 
+import time
+
 import pytest
-from _common import emit
+from _common import emit, emit_json
 
 from repro.analysis.tables import format_table
 from repro.core.csa import CsaPlanner
 from repro.core.optimal import solve_tide_exact
 from repro.core.tide import TideInstance, TideTarget
+from repro.network import build_network
 from repro.utils.geometry import Point
 from repro.utils.rng import make_rng
 
 _RESULTS: dict[str, float] = {}
+_SIM_RESULTS: dict[int, dict[str, float]] = {}
+
+#: Simulated event pops per timed drive (each pop advances all N nodes).
+_ADVANCES = 200
+
+#: Required ledger-vs-scalar speedup of the N=1000 advance loop.
+_SPEEDUP_FLOOR = 5.0
+
+
+class _ScalarNode:
+    """Replica of the pre-ledger per-object node energy path.
+
+    Carries exactly the state and arithmetic the historical
+    ``SensorNode.advance_to`` used, so timing it against the ledger
+    measures the refactor, not an artificial strawman.
+    """
+
+    __slots__ = (
+        "node_id",
+        "energy_j",
+        "believed_j",
+        "consumption_w",
+        "clock",
+        "alive",
+        "death_time",
+    )
+
+    def __init__(self, node_id, energy_j, believed_j, consumption_w, clock):
+        self.node_id = node_id
+        self.energy_j = energy_j
+        self.believed_j = believed_j
+        self.consumption_w = consumption_w
+        self.clock = clock
+        self.alive = True
+        self.death_time = None
+
+    def advance_to(self, time_s):
+        if time_s < self.clock - 1e-9:
+            raise ValueError(f"node {self.node_id}: cannot advance backwards")
+        dt = max(0.0, time_s - self.clock)
+        if not self.alive:
+            self.clock = time_s
+            return False
+        drained = self.consumption_w * dt
+        died = False
+        if drained >= self.energy_j - 1e-7 and self.consumption_w > 0.0:
+            self.death_time = min(
+                self.clock + self.energy_j / self.consumption_w, time_s
+            )
+            self.energy_j = 0.0
+            self.believed_j = 0.0
+            self.alive = False
+            died = True
+        else:
+            self.energy_j -= drained
+            self.believed_j = max(0.0, self.believed_j - drained)
+        self.clock = time_s
+        return died
+
+    @classmethod
+    def clone_network(cls, net):
+        ledger = net.ledger
+        return [
+            cls(
+                i,
+                float(ledger.energy_j[i]),
+                float(ledger.believed_j[i]),
+                float(ledger.consumption_w[i]),
+                float(ledger.clock[i]),
+            )
+            for i in range(len(ledger))
+        ]
+
+
+def _drive_ledger(ledger, dt):
+    """One timed burst: _ADVANCES event pops through the SoA ledger."""
+    time_s = float(ledger.clock[0])
+    for _ in range(_ADVANCES):
+        time_s += dt
+        ledger.advance_all_to(time_s)
+
+
+def _drive_scalar(nodes, dt):
+    """The same burst through the historical per-node-object loop."""
+    time_s = nodes[0].clock
+    for _ in range(_ADVANCES):
+        time_s += dt
+        for node in nodes:
+            node.advance_to(time_s)
 
 
 def make_instance(n: int, seed: int = 0) -> TideInstance:
@@ -65,16 +164,79 @@ def bench_exp09_exact_runtime(benchmark):
     assert plan.evaluation.feasible
 
 
+@pytest.mark.parametrize("n", [50, 200, 1000])
+def bench_exp09_sim_throughput(benchmark, n):
+    """Event-loop advance throughput: SoA ledger vs the per-node loop."""
+    net = build_network(n, seed=0)
+    dt = 0.25  # small steps: measures dispatch cost, nobody dies mid-drive
+
+    benchmark(_drive_ledger, net.ledger, dt)
+    ledger_s = benchmark.stats.stats.mean
+
+    nodes = _ScalarNode.clone_network(net)
+    scalar_s = min(
+        _timed(_drive_scalar, nodes, dt) for _ in range(3 if n >= 1000 else 5)
+    )
+
+    speedup = scalar_s / ledger_s
+    _SIM_RESULTS[n] = {
+        "advances": _ADVANCES,
+        "ledger_events_per_s": _ADVANCES / ledger_s,
+        "scalar_events_per_s": _ADVANCES / scalar_s,
+        "speedup": speedup,
+    }
+    if n >= 1000:
+        assert speedup >= _SPEEDUP_FLOOR, (
+            f"N={n} advance loop speedup {speedup:.1f}x "
+            f"below the {_SPEEDUP_FLOOR:.0f}x floor"
+        )
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
 def bench_exp09_report(benchmark):
     """Summarise the runtimes collected above into the figure table."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = [[name, f"{mean * 1e3:.2f}"] for name, mean in sorted(_RESULTS.items())]
+    sections = []
     if rows:
-        emit(
-            "exp09_runtime",
+        sections.append(
             format_table(
                 ["planner/size", "mean_ms"],
                 rows,
                 title="EXP-09: planning runtime",
-            ),
+            )
         )
+    if _SIM_RESULTS:
+        sim_rows = [
+            [
+                f"N={n}",
+                f"{r['scalar_events_per_s']:.0f}",
+                f"{r['ledger_events_per_s']:.0f}",
+                f"{r['speedup']:.1f}x",
+            ]
+            for n, r in sorted(_SIM_RESULTS.items())
+        ]
+        sections.append(
+            format_table(
+                ["network size", "scalar_ev/s", "ledger_ev/s", "speedup"],
+                sim_rows,
+                title="EXP-09b: event-loop advance throughput",
+            )
+        )
+        emit_json(
+            "exp09_runtime",
+            {
+                "advance_throughput": {
+                    str(n): r for n, r in sorted(_SIM_RESULTS.items())
+                },
+                "planning_runtime_s": dict(sorted(_RESULTS.items())),
+                "speedup_floor": _SPEEDUP_FLOOR,
+            },
+        )
+    if sections:
+        emit("exp09_runtime", "\n\n".join(sections))

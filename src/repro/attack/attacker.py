@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.core.baselines import Planner
 from repro.core.csa import CsaPlanner
 from repro.core.tide import (
@@ -52,6 +54,21 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["BlatantAttacker", "CsaAttacker", "PlannedAttacker"]
 
 _EPS = 1e-6
+
+
+def _sort_requests_by_distance(
+    requests: list[ChargingRequest], origin, sim: "WrsnSimulation"
+) -> list[ChargingRequest]:
+    """Requests ordered by distance from ``origin``, ties by node id.
+
+    One vectorized distance pass over the network's position table
+    replaces the per-candidate ``Point.distance_to`` calls; ``lexsort``
+    keeps the historical deterministic (distance, node_id) order.
+    """
+    ids = np.array([r.node_id for r in requests], dtype=np.int64)
+    xy = sim.network.positions_xy[ids]
+    distances = np.hypot(xy[:, 0] - origin.x, xy[:, 1] - origin.y)
+    return [requests[i] for i in np.lexsort((ids, distances))]
 
 
 class PlannedAttacker(MissionController):
@@ -321,12 +338,7 @@ class PlannedAttacker(MissionController):
             candidates.append(request)
         if not candidates:
             return None
-        candidates.sort(
-            key=lambda r: (
-                mc.position.distance_to(sim.network.nodes[r.node_id].position),
-                r.node_id,
-            )
-        )
+        candidates = _sort_requests_by_distance(candidates, mc.position, sim)
         plan_cost = self._route_cost_j(sim)
         for request in candidates:
             node = sim.network.nodes[request.node_id]
@@ -412,12 +424,7 @@ class BlatantAttacker(MissionController):
         ]
         if not pending:
             return None
-        pending.sort(
-            key=lambda r: (
-                mc.position.distance_to(sim.network.nodes[r.node_id].position),
-                r.node_id,
-            )
-        )
+        pending = _sort_requests_by_distance(pending, mc.position, sim)
         request = pending[0]
         self._visited.add(request.node_id)
         return ServeAction(node_id=request.node_id, mode=ChargeMode.PRETEND)

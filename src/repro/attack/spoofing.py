@@ -10,7 +10,10 @@ from the EM substrate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.mc.charger import ChargingHardware
 from repro.utils.geometry import Point
@@ -57,17 +60,20 @@ def execute_spoof(hardware: ChargingHardware) -> SpoofReport:
     Uses the same parking geometry the simulator assumes, so the report's
     ``harvested_w`` matches :attr:`ChargingHardware.spoof_rate_w` exactly.
     """
-    import math
-
     charger = Point(0.0, 0.0)
     victim = Point(hardware.service_distance_m, 0.0)
     array = hardware.array
 
     phases = array.spoof_phases(charger, victim)
-    rf = array.rf_power_at(victim, charger, phases)
-    harvested = hardware.rectenna.harvest(rf)
     pilot_point = array.pilot_point(victim, charger)
-    pilot_rf = array.rf_power_at(pilot_point, charger, phases)
+    # Rectenna and pilot observables come out of one batched field solve.
+    observations = np.array(
+        [(victim.x, victim.y), (pilot_point.x, pilot_point.y)], dtype=float
+    )
+    rf_powers = array.rf_powers_at_many(observations, charger, phases)
+    rf = float(rf_powers[0])
+    pilot_rf = float(rf_powers[1])
+    harvested = float(hardware.rectenna.harvest(rf))
     genuine = hardware.genuine_rate_w
 
     if harvested <= 0.0:

@@ -152,12 +152,15 @@ class RandomVoltageAuditor(Detector):
     def perform_audit(self, now: float, sim: "WrsnSimulation") -> AuditOutcome:
         # Only alive, *reachable* nodes can answer an audit query: a node
         # stranded from the base station is out of contact entirely.
+        # Liveness comes straight off the ledger's alive array, not a
+        # per-node object walk.
         tree = sim.network.routing_tree
+        alive = sim.network.alive_mask()
         candidates = sorted(
             node_id
             for node_id, when in self._recent_services.items()
             if now - when <= self.lookback_s
-            and sim.network.nodes[node_id].alive
+            and alive[node_id]
             and tree.is_connected(node_id)
         )
         if not candidates:

@@ -17,9 +17,24 @@ exploits:
 * :mod:`repro.em.superposition` — the paper's Section II experiment as
   code: sweep relative phase, measure harvested power, fit the cancellation
   model.
+
+The hot-path kernels are batched: :meth:`ChargerArray.fields_at_many`
+(and its companions ``rf_powers_at_many``, ``spoof_phases_many``,
+``beamform_phases_many``, ``delivered_powers_many``) take an ``(m, 2)``
+ndarray of observation points and return per-point phasors/powers from a
+single vectorized field solve, with :func:`solve_null_phases_batch`
+nulling every target's arrival phases at once.  ``Rectenna.harvest`` /
+``efficiency``, the :class:`FriisModel` path quantities, and
+:func:`two_wave_rf_power` all accept ndarrays elementwise, so sweeps and
+attack/detection scans never fall back to per-point Python loops.
 """
 
-from repro.em.charger_array import AntennaElement, ChargerArray, solve_null_phases
+from repro.em.charger_array import (
+    AntennaElement,
+    ChargerArray,
+    solve_null_phases,
+    solve_null_phases_batch,
+)
 from repro.em.propagation import (
     POWERCAST_FREQUENCY_HZ,
     EmpiricalChargingModel,
@@ -55,6 +70,7 @@ __all__ = [
     "fit_two_wave_model",
     "incoherent_power",
     "solve_null_phases",
+    "solve_null_phases_batch",
     "superpose",
     "superposition_sweep",
     "two_wave_rf_power",

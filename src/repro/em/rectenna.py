@@ -25,8 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.utils.validation import (
     check_non_negative,
+    check_non_negative_array,
     check_positive,
     check_probability,
 )
@@ -65,20 +68,36 @@ class Rectenna:
         check_positive("knee_power_w", self.knee_power_w)
         check_positive("saturation_w", self.saturation_w)
 
-    def efficiency(self, rf_power_w: float) -> float:
+    def efficiency(self, rf_power_w: float | np.ndarray) -> float | np.ndarray:
         """Conversion efficiency at the given incident RF power.
 
         Zero below the sensitivity threshold; otherwise a saturating
         rational curve ``eta_max * P / (P + P_knee)`` capturing the diode's
         improving efficiency with drive level.
+
+        Accepts an ndarray of powers and returns per-entry efficiencies
+        of the same shape (the batched path used by the EM kernels).
         """
+        if isinstance(rf_power_w, np.ndarray):
+            rf = check_non_negative_array("rf_power_w", rf_power_w)
+            eta = self.peak_efficiency * rf / (rf + self.knee_power_w)
+            return np.where(rf < self.sensitivity_w, 0.0, eta)
         rf_power_w = check_non_negative("rf_power_w", rf_power_w)
         if rf_power_w < self.sensitivity_w:
             return 0.0
         return self.peak_efficiency * rf_power_w / (rf_power_w + self.knee_power_w)
 
-    def harvest(self, rf_power_w: float) -> float:
-        """Harvested DC power in watts for the given incident RF power."""
+    def harvest(self, rf_power_w: float | np.ndarray) -> float | np.ndarray:
+        """Harvested DC power in watts for the given incident RF power.
+
+        Elementwise over an ndarray of powers, one fused pass — the
+        batched counterpart feeding :func:`superposition_sweep` and the
+        charger-array power maps.
+        """
+        if isinstance(rf_power_w, np.ndarray):
+            rf = check_non_negative_array("rf_power_w", rf_power_w)
+            dc = self.efficiency(rf) * rf
+            return np.minimum(dc, self.saturation_w)
         rf_power_w = check_non_negative("rf_power_w", rf_power_w)
         dc = self.efficiency(rf_power_w) * rf_power_w
         return min(dc, self.saturation_w)

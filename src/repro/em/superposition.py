@@ -34,15 +34,22 @@ __all__ = [
 ]
 
 
-def two_wave_rf_power(p1: float, p2: float, phase_offset: float) -> float:
+def two_wave_rf_power(
+    p1: float, p2: float, phase_offset: float | np.ndarray
+) -> float | np.ndarray:
     """Coherent RF power of two waves of powers ``p1``, ``p2`` at relative phase.
 
     This is the closed-form interference law the sweep should follow.
+    ``phase_offset`` may be an ndarray, in which case the whole sweep is
+    evaluated in one fused pass and an array of the same shape returns.
     """
     p1 = check_non_negative("p1", p1)
     p2 = check_non_negative("p2", p2)
-    power = p1 + p2 + 2.0 * math.sqrt(p1 * p2) * math.cos(phase_offset)
-    # Floating-point cancellation can dip a hair below zero at dphi = pi.
+    cross = 2.0 * math.sqrt(p1 * p2)
+    if isinstance(phase_offset, np.ndarray):
+        # Floating-point cancellation can dip a hair below zero at dphi = pi.
+        return np.maximum(p1 + p2 + cross * np.cos(phase_offset), 0.0)
+    power = p1 + p2 + cross * math.cos(phase_offset)
     return max(power, 0.0)
 
 
@@ -78,15 +85,16 @@ def superposition_sweep(
     """
     wave_power_w = check_non_negative("wave_power_w", wave_power_w)
     amplitude_ratio = check_non_negative("amplitude_ratio", amplitude_ratio)
+    noise_std_w = check_non_negative("noise_std_w", noise_std_w)
     if noise_std_w > 0.0 and rng is None:
         raise ValueError("noise_std_w > 0 requires an rng")
     rect = rectenna or Rectenna()
 
-    offsets = np.asarray(list(phase_offsets), dtype=float)
+    offsets = np.asarray(phase_offsets, dtype=float)
     p1 = wave_power_w
     p2 = wave_power_w * amplitude_ratio**2
-    rf = np.array([two_wave_rf_power(p1, p2, d) for d in offsets])
-    harvested = np.array([rect.harvest(p) for p in rf])
+    rf = two_wave_rf_power(p1, p2, offsets)
+    harvested = rect.harvest(rf)
     if noise_std_w > 0.0:
         assert rng is not None
         harvested = np.maximum(harvested + rng.normal(0.0, noise_std_w, harvested.shape), 0.0)
@@ -152,8 +160,8 @@ def fit_two_wave_model(
     ``r_squared`` with ``modulation_index`` near 1 confirms the coherent
     (nonlinear-in-power) superposition regime that enables spoofing.
     """
-    x = np.asarray(list(phase_offsets), dtype=float)
-    y = np.asarray(list(rf_power), dtype=float)
+    x = np.asarray(phase_offsets, dtype=float)
+    y = np.asarray(rf_power, dtype=float)
     if x.shape != y.shape or x.size < 3:
         raise ValueError("need at least 3 paired samples to fit the model")
     design = np.column_stack([np.ones_like(x), np.cos(x)])

@@ -1,9 +1,10 @@
-"""API hygiene rule pack (RL-H001..RL-H004).
+"""API hygiene rule pack (RL-H001..RL-H005).
 
 Language-level footguns that bite library consumers: shared mutable
 defaults, exception handlers that swallow ``KeyboardInterrupt``, public
-modules without an explicit export surface, and signatures that shadow
-builtins.
+modules without an explicit export surface, signatures that shadow
+builtins, and per-element Python loops feeding ``np.array`` in hot-path
+numeric code.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ __all__ = [
     "NoBareExcept",
     "NoBuiltinShadowing",
     "NoMutableDefaults",
+    "NoScalarKernelListComp",
     "PublicModuleHasAll",
 ]
 
@@ -108,6 +110,37 @@ class PublicModuleHasAll(Rule):
             "public module does not declare __all__; make the export "
             "surface explicit"
         )
+
+
+@register
+class NoScalarKernelListComp(Rule):
+    """RL-H005: ``np.array([f(x) for x in xs])`` maps a scalar kernel over
+    the data one Python call at a time and only then boxes the result —
+    the EM and network hot paths must feed the whole array to the
+    vectorized kernel instead.  Gathering plain attributes or tuples into
+    an array is fine; the smell is a *call* per element."""
+
+    rule_id = "RL-H005"
+    title = "no per-element scalar-kernel loops into np.array"
+    node_types = (ast.Call,)
+
+    _ARRAY_BUILDERS = frozenset({"numpy.array", "numpy.asarray"})
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_test_code and ctx.has_dir("em", "network")
+
+    def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        if ctx.resolve_call_name(node.func) not in self._ARRAY_BUILDERS:
+            return
+        for arg in node.args[:1]:
+            if isinstance(arg, (ast.ListComp, ast.GeneratorExp)) and isinstance(
+                arg.elt, ast.Call
+            ):
+                yield arg, (
+                    "array built by calling a scalar kernel per element; "
+                    "pass the array to the vectorized kernel instead "
+                    "(the repro.em batch APIs take ndarrays directly)"
+                )
 
 
 @register

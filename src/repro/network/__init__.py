@@ -8,6 +8,7 @@ exhaustion cripples the network.
 """
 
 from repro.network.energy import RadioEnergyModel, node_power_w
+from repro.network.energy_ledger import EnergyLedger
 from repro.network.keynodes import (
     KeyNodeInfo,
     connectivity_impact,
@@ -29,6 +30,7 @@ from repro.network.traffic import TrafficModel, relay_loads
 __all__ = [
     "ChargingRequest",
     "Deployment",
+    "EnergyLedger",
     "KeyNodeInfo",
     "Network",
     "NodeState",

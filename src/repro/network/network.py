@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.network.energy import RadioEnergyModel, node_power_w
+from repro.network.energy_ledger import EnergyLedger
 from repro.network.keynodes import KeyNodeInfo, identify_key_nodes
 from repro.network.node import SensorNode
 from repro.network.requests import ChargingRequest, predict_request
@@ -67,6 +68,10 @@ class Network:
         self.traffic = traffic
         self.radio = radio or RadioEnergyModel()
         self.graph = deployment.graph()
+        # All node batteries share one structure-of-arrays ledger, so the
+        # event loop's advance is a vectorized pass instead of an O(N)
+        # Python loop; each SensorNode is a view onto its slot.
+        self.ledger = EnergyLedger(deployment.node_count)
         self.nodes: dict[int, SensorNode] = {
             i: SensorNode(
                 node_id=i,
@@ -75,9 +80,14 @@ class Network:
                 initial_energy_frac=initial_energy_frac,
                 request_threshold_frac=request_threshold_frac,
                 generation_rate_bps=traffic.rate(i),
+                ledger=self.ledger,
+                slot=i,
             )
             for i, pos in enumerate(deployment.positions)
         }
+        self.positions_xy = np.array(
+            [(p.x, p.y) for p in deployment.positions], dtype=float
+        ).reshape(-1, 2)
         self.key_nodes: list[KeyNodeInfo] = []
         self._tree: RoutingTree | None = None
         self.recompute_consumption()
@@ -98,11 +108,15 @@ class Network:
 
     def alive_ids(self) -> set[int]:
         """Ids of nodes still operating."""
-        return {i for i, node in self.nodes.items() if node.alive}
+        return set(self.ledger.alive_ids())
 
     def dead_ids(self) -> set[int]:
         """Ids of exhausted nodes."""
-        return {i for i, node in self.nodes.items() if not node.alive}
+        return set(self.ledger.dead_ids())
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean liveness array indexed by node id (a live view)."""
+        return self.ledger.alive
 
     def alive_graph(self):
         """Communication graph restricted to alive nodes (plus the BS)."""
@@ -170,21 +184,16 @@ class Network:
     def advance_to(self, time: float) -> list[int]:
         """Advance every node to ``time``; return ids of nodes that died.
 
-        Does *not* recompute routing — the caller decides when (typically
+        One vectorized ledger pass; the death list is ascending by node
+        id, matching the historical per-node-loop contract.  Does *not*
+        recompute routing — the caller decides when (typically
         immediately, via :meth:`recompute_consumption`).
         """
-        died: list[int] = []
-        for node_id, node in sorted(self.nodes.items()):
-            was_alive = node.alive
-            node.advance_to(time)
-            if was_alive and not node.alive:
-                died.append(node_id)
-        return died
+        return self.ledger.advance_all_to(time)
 
     def next_death_time(self) -> float:
         """Earliest predicted node death at current draws (``inf`` if none)."""
-        times = [n.predicted_death_time() for n in self.nodes.values() if n.alive]
-        return min(times, default=float("inf"))
+        return self.ledger.next_death_time()
 
     def next_request(self) -> ChargingRequest | None:
         """The earliest charging request any node will issue (or ``None``)."""
@@ -202,7 +211,7 @@ class Network:
     # ------------------------------------------------------------------
     def total_true_energy(self) -> float:
         """Sum of true residual energies over alive nodes, joules."""
-        return sum(n.energy_j for n in self.nodes.values() if n.alive)
+        return self.ledger.total_alive_energy()
 
     def stranded_ids(self) -> set[int]:
         """Alive nodes currently without a route to the base station."""

@@ -10,6 +10,12 @@ service duration, so the node credits itself the expected harvest, while
 the rectenna delivered nothing.  This divergence between belief and truth
 is what lets a spoofed node die "in vain" without ever re-requesting a
 charge.
+
+Storage-wise a node is a thin *view* onto one slot of an
+:class:`repro.network.energy_ledger.EnergyLedger`: a network-owned node
+shares the network's ledger (so the simulation loop can advance every
+battery in one vectorized pass), while a standalone node owns a private
+single-slot ledger.  Either way the scalar API below is unchanged.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from __future__ import annotations
 import math
 from enum import Enum
 
+from repro.network.energy_ledger import EnergyLedger
 from repro.utils.geometry import Point
 from repro.utils.validation import (
     check_non_negative,
@@ -53,6 +60,9 @@ class SensorNode:
         to this fraction of capacity.
     generation_rate_bps:
         The node's own data-generation rate.
+    ledger, slot:
+        Shared energy store and this node's slot in it.  Omitted (the
+        standalone case), the node allocates a private single-slot ledger.
     """
 
     def __init__(
@@ -63,6 +73,9 @@ class SensorNode:
         initial_energy_frac: float = 1.0,
         request_threshold_frac: float = 0.2,
         generation_rate_bps: float = 3_000.0,
+        *,
+        ledger: EnergyLedger | None = None,
+        slot: int = 0,
     ) -> None:
         if node_id < 0:
             raise ValueError(f"node_id must be >= 0, got {node_id}")
@@ -81,12 +94,12 @@ class SensorNode:
             "generation_rate_bps", generation_rate_bps
         )
 
-        self._energy_j = self.battery_capacity_j * initial_energy_frac
-        self._believed_energy_j = self._energy_j
-        self._consumption_w = 0.0
-        self._clock = 0.0
-        self.state = NodeState.ALIVE
-        self.death_time: float | None = None
+        if ledger is None:
+            ledger = EnergyLedger(1)
+            slot = 0
+        self._ledger = ledger
+        self._slot = slot
+        ledger.init_slot(slot, self.battery_capacity_j, initial_energy_frac)
 
         # Key-node annotations, filled in by repro.network.keynodes.
         self.is_key = False
@@ -98,27 +111,38 @@ class SensorNode:
     @property
     def energy_j(self) -> float:
         """True residual battery energy at the node's local clock."""
-        return self._energy_j
+        return float(self._ledger.energy_j[self._slot])
 
     @property
     def believed_energy_j(self) -> float:
         """The node's own energy estimate at its local clock."""
-        return self._believed_energy_j
+        return float(self._ledger.believed_j[self._slot])
 
     @property
     def consumption_w(self) -> float:
         """Current steady-state power draw."""
-        return self._consumption_w
+        return float(self._ledger.consumption_w[self._slot])
 
     @property
     def clock(self) -> float:
         """Simulation time the node's energy state is valid at."""
-        return self._clock
+        return float(self._ledger.clock[self._slot])
 
     @property
     def alive(self) -> bool:
         """Whether the node is still operating."""
-        return self.state == NodeState.ALIVE
+        return bool(self._ledger.alive[self._slot])
+
+    @property
+    def state(self) -> NodeState:
+        """Liveness of the node, as an enum."""
+        return NodeState.ALIVE if self.alive else NodeState.DEAD
+
+    @property
+    def death_time(self) -> float | None:
+        """Exact depletion instant, or ``None`` while alive."""
+        value = float(self._ledger.death_time[self._slot])
+        return None if math.isnan(value) else value
 
     @property
     def request_threshold_j(self) -> float:
@@ -130,7 +154,9 @@ class SensorNode:
     # ------------------------------------------------------------------
     def set_consumption(self, power_w: float) -> None:
         """Set the node's steady-state power draw (>= 0)."""
-        self._consumption_w = check_non_negative("power_w", power_w)
+        self._ledger.consumption_w[self._slot] = check_non_negative(
+            "power_w", power_w
+        )
 
     # ------------------------------------------------------------------
     # Time evolution
@@ -142,30 +168,12 @@ class SensorNode:
         engine) must advance nodes monotonically.  If the battery empties
         en route, the node dies at the exact depletion instant.
         """
-        if time < self._clock - 1e-9:
+        if time < self.clock - 1e-9:
             raise ValueError(
                 f"node {self.node_id}: cannot advance to {time} "
-                f"(clock already at {self._clock})"
+                f"(clock already at {self.clock})"
             )
-        dt = max(0.0, time - self._clock)
-        if not self.alive:
-            self._clock = time
-            return
-        drained = self._consumption_w * dt
-        # The small tolerance realises deaths scheduled at the exact
-        # predicted depletion instant despite float rounding.
-        if drained >= self._energy_j - 1e-7 and self._consumption_w > 0.0:
-            time_of_death = min(
-                self._clock + self._energy_j / self._consumption_w, time
-            )
-            self._energy_j = 0.0
-            self._believed_energy_j = 0.0
-            self.state = NodeState.DEAD
-            self.death_time = time_of_death
-        else:
-            self._energy_j -= drained
-            self._believed_energy_j = max(0.0, self._believed_energy_j - drained)
-        self._clock = time
+        self._ledger.advance_slot_to(self._slot, time)
 
     def predicted_death_time(self) -> float:
         """Time at which the battery will empty at the current draw.
@@ -173,10 +181,12 @@ class SensorNode:
         ``inf`` if the node draws no power.  Based on *true* energy.
         """
         if not self.alive:
-            return self.death_time if self.death_time is not None else self._clock
-        if self._consumption_w <= 0.0:
+            death = self.death_time
+            return death if death is not None else self.clock
+        consumption = self.consumption_w
+        if consumption <= 0.0:
             return math.inf
-        return self._clock + self._energy_j / self._consumption_w
+        return self.clock + self.energy_j / consumption
 
     def predicted_request_time(self) -> float:
         """Time at which *believed* energy will cross the request threshold.
@@ -186,12 +196,13 @@ class SensorNode:
         """
         if not self.alive:
             return math.inf
-        deficit = self._believed_energy_j - self.request_threshold_j
+        deficit = self.believed_energy_j - self.request_threshold_j
         if deficit <= 0.0:
-            return self._clock
-        if self._consumption_w <= 0.0:
+            return self.clock
+        consumption = self.consumption_w
+        if consumption <= 0.0:
             return math.inf
-        return self._clock + deficit / self._consumption_w
+        return self.clock + deficit / consumption
 
     # ------------------------------------------------------------------
     # Charging
@@ -213,12 +224,7 @@ class SensorNode:
         """
         delivered_j = check_non_negative("delivered_j", delivered_j)
         believed_j = check_non_negative("believed_j", believed_j)
-        if not self.alive:
-            return
-        self._energy_j = min(self.battery_capacity_j, self._energy_j + delivered_j)
-        self._believed_energy_j = min(
-            self.battery_capacity_j, self._believed_energy_j + believed_j
-        )
+        self._ledger.charge_slot(self._slot, delivered_j, believed_j)
 
     def set_initial_energy(self, fraction: float) -> None:
         """Reset both true and believed energy to a fraction of capacity.
@@ -227,20 +233,19 @@ class SensorNode:
         start full); raises if the node has already evolved.
         """
         fraction = check_probability("fraction", fraction)
-        if self._clock != 0.0:
+        if self.clock != 0.0:
             raise RuntimeError(
                 "set_initial_energy is only valid before the simulation starts"
             )
-        self._energy_j = self.battery_capacity_j * fraction
-        self._believed_energy_j = self._energy_j
+        self._ledger.reset_slot_energy(self._slot, fraction)
 
     def belief_gap_j(self) -> float:
         """How much the node over-estimates its own energy (>= 0 under attack)."""
-        return self._believed_energy_j - self._energy_j
+        return self.believed_energy_j - self.energy_j
 
     def __repr__(self) -> str:
         return (
             f"SensorNode(id={self.node_id}, pos=({self.position.x:.1f}, "
-            f"{self.position.y:.1f}), energy={self._energy_j:.0f}J, "
+            f"{self.position.y:.1f}), energy={self.energy_j:.0f}J, "
             f"state={self.state.value})"
         )

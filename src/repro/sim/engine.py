@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -62,7 +63,9 @@ class EventQueue:
         version_key: Any = None,
     ) -> ScheduledEvent:
         """Enqueue an event; stamps it with the entity's current version."""
-        if time != time or time == float("inf"):  # NaN or never
+        # NaN, "never" (+inf) and -inf are all rejected: a -inf entry
+        # would silently sort before every real event in the heap.
+        if not math.isfinite(time):
             raise ValueError(f"cannot schedule event at time {time!r}")
         event = ScheduledEvent(
             time=time,

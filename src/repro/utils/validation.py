@@ -12,10 +12,13 @@ from __future__ import annotations
 import math
 from typing import Any
 
+import numpy as np
+
 __all__ = [
     "check_finite",
     "check_in_range",
     "check_non_negative",
+    "check_non_negative_array",
     "check_positive",
     "check_probability",
 ]
@@ -50,6 +53,20 @@ def check_non_negative(name: str, value: Any) -> float:
     result = check_finite(name, value)
     if result < 0.0:
         raise ValueError(f"{name} must be >= 0, got {result!r}")
+    return result
+
+
+def check_non_negative_array(name: str, value: Any) -> np.ndarray:
+    """Return ``value`` as a float ndarray of finite, >= 0 entries.
+
+    The batched counterpart of :func:`check_non_negative` for the
+    vectorized EM kernels: one fused pass validates the whole array.
+    """
+    result = np.asarray(value, dtype=float)
+    if not np.all(np.isfinite(result)):
+        raise ValueError(f"{name} must be finite everywhere")
+    if np.any(result < 0.0):
+        raise ValueError(f"{name} must be >= 0 everywhere")
     return result
 
 

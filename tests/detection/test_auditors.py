@@ -4,6 +4,8 @@ Detectors only need the event objects and a ``sim``-shaped accessor for
 nodes, so a minimal stub keeps these tests fast and surgical.
 """
 
+import numpy as np
+
 from repro.detection.auditors import (
     DeathAfterChargeAuditor,
     NeglectMonitor,
@@ -29,6 +31,13 @@ class StubNetwork:
     def __init__(self, nodes, connected=None):
         self.nodes = nodes
         self.routing_tree = StubTree(connected)
+
+    def alive_mask(self):
+        size = max(self.nodes, default=-1) + 1
+        mask = np.zeros(size, dtype=bool)
+        for node_id, node in self.nodes.items():
+            mask[node_id] = node.alive
+        return mask
 
 
 class StubSim:

@@ -1,0 +1,162 @@
+"""Batched EM kernels agree with their scalar counterparts.
+
+The array-in/array-out paths (``fields_at_many`` and friends,
+``solve_null_phases_batch``, ndarray ``Rectenna``/``FriisModel``/
+``two_wave_rf_power``) exist purely for speed; every answer must match
+what the scalar API already gives.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.em import (
+    ChargerArray,
+    FriisModel,
+    Rectenna,
+    solve_null_phases,
+    solve_null_phases_batch,
+    two_wave_rf_power,
+)
+from repro.em.charger_array import minimum_null_residual
+from repro.utils.geometry import Point
+
+CHARGER = Point(0.0, 0.0)
+
+
+def observation_grid():
+    rng = np.random.default_rng(7)
+    return np.column_stack(
+        [rng.uniform(0.5, 6.0, size=24), rng.uniform(-3.0, 3.0, size=24)]
+    )
+
+
+class TestFieldsAtMany:
+    def test_matches_scalar_field_at(self):
+        array = ChargerArray.uniform_linear(4)
+        obs = observation_grid()
+        phases = [0.1, -0.4, 1.2, 2.2]
+        fields = array.fields_at_many(obs, CHARGER, phases)
+        for row, field in zip(obs, fields):
+            scalar = array.field_at(Point(row[0], row[1]), CHARGER, phases)
+            assert field == pytest.approx(scalar, rel=1e-12, abs=1e-18)
+
+    def test_per_observation_phase_vectors(self):
+        array = ChargerArray.uniform_linear(3)
+        obs = observation_grid()[:5]
+        phase_rows = np.linspace(0.0, 1.0, 15).reshape(5, 3)
+        fields = array.fields_at_many(obs, CHARGER, phase_rows)
+        for row, phases, field in zip(obs, phase_rows, fields):
+            scalar = array.field_at(Point(row[0], row[1]), CHARGER, list(phases))
+            assert field == pytest.approx(scalar, rel=1e-12, abs=1e-18)
+
+    def test_rf_powers_match_scalar(self):
+        array = ChargerArray.uniform_linear(4)
+        obs = observation_grid()
+        phases = array.beamform_phases(CHARGER, Point(3.0, 0.0))
+        powers = array.rf_powers_at_many(obs, CHARGER, phases)
+        for row, power in zip(obs, powers):
+            scalar = array.rf_power_at(Point(row[0], row[1]), CHARGER, phases)
+            assert power == pytest.approx(scalar, rel=1e-12)
+
+    def test_shape_validation(self):
+        array = ChargerArray.uniform_linear(4)
+        with pytest.raises(ValueError, match="observations"):
+            array.fields_at_many(np.zeros((3, 3)), CHARGER, [0.0] * 4)
+        with pytest.raises(ValueError, match="phases"):
+            array.fields_at_many(observation_grid(), CHARGER, [0.0] * 3)
+        with pytest.raises(ValueError, match="phase vectors"):
+            array.fields_at_many(
+                observation_grid(), CHARGER, np.zeros((3, 4))
+            )
+
+
+class TestBatchPhaseSolvers:
+    def test_beamform_phases_many_matches_scalar(self):
+        array = ChargerArray.uniform_linear(5)
+        obs = observation_grid()
+        batch = array.beamform_phases_many(CHARGER, obs)
+        for row, phases in zip(obs, batch):
+            scalar = array.beamform_phases(CHARGER, Point(row[0], row[1]))
+            np.testing.assert_allclose(phases, scalar, rtol=1e-12)
+
+    def test_spoof_phases_many_null_every_target(self):
+        array = ChargerArray.uniform_linear(4)
+        obs = observation_grid()
+        batch = array.spoof_phases_many(CHARGER, obs)
+        assert batch.shape == (len(obs), 4)
+        genuine = array.delivered_powers_many(
+            "beamform", CHARGER, obs, Rectenna()
+        )
+        for row, phases in zip(obs, batch):
+            target = Point(row[0], row[1])
+            residual_rf = array.rf_power_at(target, CHARGER, list(phases))
+            # The null crushes the RF far below any beamformed harvest.
+            assert residual_rf < 1e-18
+        assert (genuine > 0.0).all()
+
+    def test_spoof_requires_two_elements(self):
+        array = ChargerArray.uniform_linear(1)
+        with pytest.raises(ValueError, match="two elements"):
+            array.spoof_phases_many(CHARGER, observation_grid())
+
+    def test_solve_null_phases_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        amps = rng.uniform(0.0, 2.0, size=(30, 6))
+        batch = solve_null_phases_batch(amps)
+        for row_amps, row_phases in zip(amps, batch):
+            scalar = solve_null_phases(list(row_amps))
+            np.testing.assert_array_equal(row_phases, scalar)
+
+    def test_batch_residuals_near_optimal(self):
+        rng = np.random.default_rng(13)
+        # Include infeasible rows (one dominant amplitude).
+        amps = rng.uniform(0.0, 1.0, size=(20, 5))
+        amps[::4, 0] = 10.0
+        phases = solve_null_phases_batch(amps)
+        residuals = np.abs((amps * np.exp(1j * phases)).sum(axis=1))
+        for row_amps, residual in zip(amps, residuals):
+            best = minimum_null_residual(list(row_amps))
+            assert residual <= best + 1e-9
+
+    def test_batch_input_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            solve_null_phases_batch(np.ones(4))
+        with pytest.raises(ValueError, match=">= 0"):
+            solve_null_phases_batch(np.array([[1.0, -1.0]]))
+
+
+class TestElementwiseKernels:
+    def test_rectenna_array_matches_scalar(self):
+        rect = Rectenna()
+        powers = np.array([0.0, 1e-6, 80e-6, 1e-3, 0.05, 5.0])
+        harvested = rect.harvest(powers)
+        efficiencies = rect.efficiency(powers)
+        for p, h, eta in zip(powers, harvested, efficiencies):
+            assert h == rect.harvest(float(p))
+            assert eta == rect.efficiency(float(p))
+
+    def test_rectenna_array_validation(self):
+        with pytest.raises(ValueError, match="rf_power_w"):
+            Rectenna().harvest(np.array([1e-3, -1e-3]))
+
+    def test_friis_array_matches_scalar(self):
+        model = FriisModel()
+        distances = np.array([0.0, 0.05, 0.5, 3.0, 40.0])
+        powers = model.received_power(2.0, distances)
+        amplitudes = model.field_amplitude(2.0, distances)
+        path = model.path_phase(distances)
+        for d, p, a, ph in zip(distances, powers, amplitudes, path):
+            assert p == model.received_power(2.0, float(d))
+            assert a == model.field_amplitude(2.0, float(d))
+            assert ph == model.path_phase(float(d))
+
+    def test_two_wave_rf_power_array_matches_scalar(self):
+        offsets = np.linspace(0.0, 2.0 * math.pi, 33)
+        batch = two_wave_rf_power(0.01, 0.004, offsets)
+        for d, p in zip(offsets, batch):
+            assert p == pytest.approx(
+                two_wave_rf_power(0.01, 0.004, float(d)), rel=1e-15, abs=0.0
+            )
+        assert batch.min() >= 0.0

@@ -73,6 +73,15 @@ class TestSweep:
         with pytest.raises(ValueError):
             full_sweep(noise_std_w=1e-4)
 
+    def test_negative_noise_std_rejected(self):
+        # Regression: a negative noise_std_w used to be silently accepted
+        # (it slipped past the "> 0 requires an rng" guard) and then fed
+        # to rng.normal as a negative scale.
+        with pytest.raises(ValueError, match="noise_std_w"):
+            full_sweep(noise_std_w=-1e-4)
+        with pytest.raises(ValueError, match="noise_std_w"):
+            full_sweep(noise_std_w=-1e-4, rng=make_rng(3, "neg-noise"))
+
     def test_noise_is_applied_and_non_negative(self):
         rng = make_rng(3, "sweep-noise")
         noisy = full_sweep(noise_std_w=1e-3, rng=rng)

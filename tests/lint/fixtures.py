@@ -387,6 +387,43 @@ RULE_FIXTURES: tuple[RuleFixture, ...] = (
         ),
     ),
     RuleFixture(
+        rule_id="RL-H005",
+        path="src/repro/em/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["harvest_all"]
+
+
+            def harvest_all(rect, powers) -> np.ndarray:
+                return np.array([rect.harvest(p) for p in powers])
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["harvest_all"]
+
+
+            def harvest_all(rect, powers) -> np.ndarray:
+                return rect.harvest(np.asarray(powers, dtype=float))
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["harvest_all"]
+
+
+            def harvest_all(rect, powers) -> np.ndarray:
+                return np.array([rect.harvest(p) for p in powers])  # reprolint: disable=RL-H005
+            """
+        ),
+    ),
+    RuleFixture(
         rule_id="RL-H004",
         path="src/repro/analysis/snippet.py",
         bad=_src(

@@ -124,7 +124,7 @@ class TestRegistry:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert len(ids) == 11
+        assert len(ids) == 12
 
     def test_register_rejects_malformed_rule_id(self):
         with pytest.raises(ValueError, match="convention"):

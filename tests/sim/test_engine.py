@@ -89,6 +89,12 @@ class TestValidation:
         with pytest.raises(ValueError):
             EventQueue().schedule(float("nan"), "confused")
 
+    def test_rejects_negative_infinite_time(self):
+        # Regression: -inf used to slip past the finiteness check and
+        # would sort before every real event in the heap.
+        with pytest.raises(ValueError):
+            EventQueue().schedule(float("-inf"), "before-time-itself")
+
     def test_payload_carried(self):
         q = EventQueue()
         q.schedule(1.0, "x", payload={"data": 42})
