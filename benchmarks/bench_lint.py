@@ -1,0 +1,121 @@
+"""LINT — reprolint engine throughput: cold serial vs warm parallel+cache.
+
+Times the full lint of ``src/repro`` three ways and persists the series
+in ``BENCH_lint.json``:
+
+* **cold serial** — no cache, one process: the pre-optimisation path and
+  the baseline every other mode is compared against;
+* **cold parallel** — process-pool per-file pass on an empty cache;
+* **warm cached** — every per-file result served from the
+  content-addressed cache, so only cache lookups and the cross-module
+  project passes run.
+
+The warm-cache run must beat the cold serial run (``_SPEEDUP_FLOOR``);
+all three modes must agree finding-for-finding with the serial path,
+so the speed never comes at the cost of a dropped diagnostic.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+from _common import emit, emit_json
+
+from repro.analysis.tables import format_table
+from repro.lint import LintCache, LintEngine
+from repro.lint.registry import ruleset_signature
+
+SRC_TREE = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+#: Required cold-serial / warm-cache speedup.  The warm path skips every
+#: per-file AST walk, so the cold per-file cost disappears and only the
+#: (uncacheable) project passes re-run; the floor leaves headroom for
+#: scheduler noise on shared runners.
+_SPEEDUP_FLOOR = 1.3
+
+#: Timed repetitions per mode; the minimum is reported to damp scheduler
+#: noise on shared CI runners.
+_ROUNDS = 3
+
+_RESULTS: dict[str, float] = {}
+
+
+def _time_lint(cache_factory=None, jobs=1):
+    engine = LintEngine()
+    best = float("inf")
+    findings = None
+    for round_index in range(_ROUNDS):
+        cache = cache_factory(round_index) if cache_factory else None
+        start = time.perf_counter()
+        findings = engine.lint_paths([SRC_TREE], cache=cache, jobs=jobs)
+        best = min(best, time.perf_counter() - start)
+    return best, findings
+
+
+def bench_lint_modes(tmp_path, benchmark):
+    serial_s, serial_findings = _time_lint()
+
+    # A fresh cache directory per round keeps every parallel round cold.
+    jobs = max(2, os.cpu_count() or 1)
+    parallel_s, parallel_findings = _time_lint(
+        cache_factory=lambda i: LintCache(
+            tmp_path / f"cold{i}", ruleset_signature()
+        ),
+        jobs=jobs,
+    )
+
+    warm_cache = LintCache(tmp_path / "warm", ruleset_signature())
+    engine = LintEngine()
+    engine.lint_paths([SRC_TREE], cache=warm_cache)  # populate
+    warm_s, warm_findings = _time_lint(
+        cache_factory=lambda _i: warm_cache, jobs=jobs
+    )
+    assert warm_cache.hits > 0
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    as_rows = lambda fs: [f.format() for f in fs]  # noqa: E731
+    assert as_rows(parallel_findings) == as_rows(serial_findings)
+    assert as_rows(warm_findings) == as_rows(serial_findings)
+
+    _RESULTS["cold serial"] = serial_s
+    _RESULTS[f"cold parallel (jobs={jobs})"] = parallel_s
+    _RESULTS["warm cached"] = warm_s
+
+    speedup = serial_s / warm_s
+    assert speedup >= _SPEEDUP_FLOOR, (
+        f"warm-cache lint only {speedup:.2f}x faster than cold serial, "
+        f"below the {_SPEEDUP_FLOOR:.1f}x floor"
+    )
+
+    rows = [
+        [mode, f"{seconds * 1e3:.1f}", f"{serial_s / seconds:.2f}x"]
+        for mode, seconds in _RESULTS.items()
+    ]
+    emit(
+        "lint",
+        format_table(
+            ["mode", "time (ms)", "speedup"],
+            rows,
+            title=(
+                f"reprolint over src/repro ({len(serial_findings)} findings, "
+                f"best of {_ROUNDS})"
+            ),
+        ),
+    )
+    emit_json(
+        "lint",
+        {
+            "modes": {mode: seconds for mode, seconds in _RESULTS.items()},
+            "jobs": jobs,
+            "rounds": _ROUNDS,
+            "speedup_warm_vs_cold_serial": speedup,
+            "speedup_floor": _SPEEDUP_FLOOR,
+            "findings": len(serial_findings),
+        },
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "--benchmark-only"])

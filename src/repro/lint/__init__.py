@@ -4,32 +4,71 @@ An AST-based lint engine with rule packs tailored to this codebase:
 
 * **determinism** (``RL-D...``): no legacy global-state RNG, no unseeded
   generators, no wall-clock seeding, seed plumbing through
-  :func:`repro.utils.rng.coerce_rng`;
+  :func:`repro.utils.rng.coerce_rng`, and cross-module RNG-taint rules
+  (raw Generators crossing module boundaries, unvalidated external
+  seeds);
 * **physics / unit-safety** (``RL-P...``): no float equality in the
-  physical layers, no dBm/watt arithmetic mixing, validated numeric
+  physical layers, no dBm/watt arithmetic mixing (suffix-level and
+  inferred across assignments/call boundaries), validated numeric
   constructor parameters;
 * **API hygiene** (``RL-H...``): no mutable defaults, no bare ``except``,
-  ``__all__`` in public modules, no builtin shadowing in signatures.
+  ``__all__`` in public modules (and only real, consumed names in it),
+  no builtin shadowing in signatures, no top-level import cycles.
 
+Per-file rules see one module; *project* rules (:mod:`repro.lint.flow`)
+see the whole tree through :class:`repro.lint.project.ProjectModel`.
 Run it as ``python -m repro lint [paths]`` or programmatically via
-:func:`lint_paths` / :func:`lint_source`.  Findings on a line carrying a
-``# reprolint: disable=RL-XXXX`` comment are suppressed.
+:func:`lint_paths` / :func:`lint_source` / :func:`lint_sources`.
+Findings on a line carrying a ``# reprolint: disable=RL-XXXX`` comment —
+any physical line of the offending statement — are suppressed.
+
+Production niceties: a content-addressed per-file result cache
+(:mod:`repro.lint.cache`), a process-pool parallel mode, a SARIF 2.1.0
+renderer for code scanning, and count-based baselines
+(:mod:`repro.lint.baseline`) so new rules land strict-for-new-code.
 """
 
-from repro.lint.engine import LintEngine, lint_paths, lint_source
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cache import LintCache
+from repro.lint.engine import LintEngine, lint_paths, lint_source, lint_sources
 from repro.lint.findings import Finding
-from repro.lint.registry import Rule, all_rules, get_rule, register
-from repro.lint.reporting import render_json, render_text
+from repro.lint.project import ProjectModel
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_rule,
+    register,
+    register_project,
+)
+from repro.lint.reporting import (
+    render_json,
+    render_sarif,
+    render_statistics,
+    render_text,
+)
 
 __all__ = [
     "Finding",
+    "LintCache",
     "LintEngine",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
+    "apply_baseline",
     "get_rule",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "load_baseline",
     "register",
+    "register_project",
     "render_json",
+    "render_sarif",
+    "render_statistics",
     "render_text",
+    "write_baseline",
 ]

@@ -1,0 +1,111 @@
+"""Finding baselines: land strict rules without a flag-day cleanup.
+
+A baseline records, per ``(file, rule)`` pair, how many findings existed
+when the baseline was written.  Applying it suppresses up to that many
+findings for the pair and reports anything beyond — so pre-existing debt
+stays visible in the checked-in baseline file while *new* code is held to
+the strict standard immediately.
+
+Counts, not line numbers, key the baseline: unrelated edits move lines
+constantly, and a count survives them.  The trade-off is that within one
+``(file, rule)`` bucket the specific surviving findings are chosen by
+report order (the last ``excess`` entries), which is deterministic but
+not attributable to a specific line.  Fixing any baselined finding lets
+the count be ratcheted down with ``--update-baseline``.
+
+Paths are canonicalised to their ``src``-anchored (or ``tests`` /
+``benchmarks``-anchored) suffix so the same baseline matches whether the
+tree is linted as ``src/repro`` from the repo root or by absolute path
+from a test harness.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path, PurePosixPath
+from typing import Sequence
+
+from repro.lint.findings import Finding, sort_findings
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "apply_baseline",
+    "canonical_path",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+#: Conventional checked-in baseline location.
+DEFAULT_BASELINE_PATH = ".reprolint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+_ANCHORS = ("src", "tests", "benchmarks")
+
+
+def canonical_path(path: str) -> str:
+    """Anchor-relative posix form of a finding path (see module docs)."""
+    parts = PurePosixPath(Path(path).as_posix()).parts
+    for index, part in enumerate(parts):
+        if part in _ANCHORS:
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialise findings into the baseline document (stable JSON)."""
+    counts: Counter[tuple[str, str]] = Counter(
+        (canonical_path(f.path), f.rule_id) for f in findings
+    )
+    entries: dict[str, dict[str, int]] = {}
+    for (path, rule_id), count in sorted(counts.items()):
+        entries.setdefault(path, {})[rule_id] = count
+    payload = {
+        "tool": "reprolint",
+        "version": _FORMAT_VERSION,
+        "entries": entries,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Write the baseline document for ``findings`` to ``path``."""
+    Path(path).write_text(render_baseline(findings), encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> dict[tuple[str, str], int]:
+    """Load a baseline into ``(canonical_path, rule_id) -> allowed count``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("tool") != "reprolint":
+        raise ValueError(f"{path} is not a reprolint baseline document")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has baseline format version {payload.get('version')!r}; "
+            f"this reprolint reads version {_FORMAT_VERSION}"
+        )
+    allowed: dict[tuple[str, str], int] = {}
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path} has a malformed 'entries' table")
+    for file_path, rules in entries.items():
+        for rule_id, count in rules.items():
+            allowed[(str(file_path), str(rule_id))] = int(count)
+    return allowed
+
+
+def apply_baseline(
+    findings: Sequence[Finding], allowed: dict[tuple[str, str], int]
+) -> list[Finding]:
+    """Findings that exceed their baseline budget, in report order."""
+    grouped: dict[tuple[str, str], list[Finding]] = {}
+    for finding in sort_findings(list(findings)):
+        key = (canonical_path(finding.path), finding.rule_id)
+        grouped.setdefault(key, []).append(finding)
+    surviving: list[Finding] = []
+    for key, group in grouped.items():
+        budget = allowed.get(key, 0)
+        if len(group) > budget:
+            surviving.extend(group[budget:])
+    return sort_findings(surviving)

@@ -1,0 +1,111 @@
+"""Content-addressed per-file lint result cache.
+
+Each per-file pass result is stored as one small JSON document keyed on
+``sha256(path NUL sha256(source) NUL ruleset_signature)``: identical
+content at the same path under the same rule set is a guaranteed hit, and
+any change to the source, the rule ids, or :data:`~repro.lint.registry.RULESET_VERSION`
+misses cleanly.  The path participates in the key because rule scoping is
+path-sensitive (``em/`` vs ``analysis/`` classify differently), so the
+same bytes can legitimately produce different findings at different
+locations.
+
+Only the per-file pass is cached: the cross-module passes in
+:mod:`repro.lint.flow` depend on every module at once, so they re-run on
+each invocation (they are a small fraction of a cold lint).
+
+The cache mirrors the campaign store's crash-tolerance posture: a
+corrupt or truncated entry is treated as a miss and rewritten, never an
+error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache", "source_digest"]
+
+#: Conventional in-repo cache location (gitignored); opt-in via the CLI.
+DEFAULT_CACHE_DIR = ".reprolint-cache"
+
+_FORMAT_VERSION = 1
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 hex digest of a module's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Filesystem-backed cache of per-file lint results."""
+
+    def __init__(self, root: str | Path, signature: str) -> None:
+        self.root = Path(root)
+        self.signature = signature
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, path: str, digest: str) -> Path:
+        key = hashlib.sha256(
+            f"{path}\0{digest}\0{self.signature}".encode("utf-8")
+        ).hexdigest()
+        return self.root / f"{key}.json"
+
+    def get(self, path: str, source: str) -> list[Finding] | None:
+        """Cached findings for ``(path, source)``; ``None`` on a miss."""
+        entry = self._entry_path(path, source_digest(source))
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(
+                    path=path,
+                    line=int(line),
+                    col=int(col),
+                    rule_id=str(rule_id),
+                    message=str(message),
+                )
+                for line, col, rule_id, message in payload["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(self, path: str, source: str, findings: Sequence[Finding]) -> None:
+        """Store the per-file findings for ``(path, source)``."""
+        entry = self._entry_path(path, source_digest(source))
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                [f.line, f.col, f.rule_id, f.message] for f in findings
+            ],
+        }
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            # Atomic replace so a concurrent reader never sees a torn entry.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.root, prefix=entry.stem, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, entry)
+        except OSError:
+            # A read-only or full filesystem degrades to uncached linting.
+            pass

@@ -2,11 +2,16 @@
 
 Kept separate from :mod:`repro.cli` so the top-level CLI only pays the
 import cost of the lint engine when the subcommand actually runs.
+
+Exit codes: 0 clean (or baseline updated), 1 findings, 2 usage error.
+Usage errors go to stderr; ``--statistics`` also prints to stderr so the
+stdout report stays machine-parseable under ``--format json``/``sarif``.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 __all__ = ["configure_parser", "run_lint"]
 
@@ -22,7 +27,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--format",
         dest="output_format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -31,32 +36,111 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule finding counts to stderr",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in this baseline document",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline (--baseline, default "
+        ".reprolint-baseline.json) from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool workers for the per-file pass "
+        "(0 = one per CPU, default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        nargs="?",
+        const=".reprolint-cache",
+        default=None,
+        metavar="DIR",
+        help="enable the content-addressed per-file result cache "
+        "(default dir when the flag is given bare: .reprolint-cache)",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
-    """Execute the lint subcommand; returns the process exit code.
+    """Execute the lint subcommand; returns the process exit code."""
+    import os
 
-    Exit codes: 0 clean, 1 findings, 2 usage error (bad path).
-    """
-    from repro.lint.engine import lint_paths
-    from repro.lint.registry import all_rules
-    from repro.lint.reporting import render_json, render_text
+    from repro.lint.baseline import (
+        DEFAULT_BASELINE_PATH,
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.cache import LintCache
+    from repro.lint.engine import LintEngine
+    from repro.lint.registry import (
+        all_project_rules,
+        all_rules,
+        ruleset_signature,
+    )
+    from repro.lint.reporting import (
+        render_json,
+        render_sarif,
+        render_statistics,
+        render_text,
+    )
 
     if args.list_rules:
-        for rule in all_rules():
+        for rule in (*all_rules(), *all_project_rules()):
             print(f"{rule.rule_id}  {rule.title}")
         return 0
 
+    cache = None
+    if args.cache_dir is not None:
+        cache = LintCache(args.cache_dir, ruleset_signature())
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    engine = LintEngine()
     try:
-        findings = lint_paths(args.paths)
+        findings = engine.lint_paths(args.paths, cache=cache, jobs=jobs)
     except FileNotFoundError as exc:
-        print(f"reprolint: {exc}")
+        print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    renderer = render_json if args.output_format == "json" else render_text
+    if args.update_baseline:
+        target = args.baseline or DEFAULT_BASELINE_PATH
+        write_baseline(target, findings)
+        print(
+            f"reprolint: baseline written to {target} "
+            f"({len(findings)} findings)",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            allowed = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"reprolint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, allowed)
+
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.output_format]
     try:
         print(renderer(findings))
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; the exit code still stands.
         pass
+    if args.statistics:
+        print(render_statistics(findings), file=sys.stderr)
     return 1 if findings else 0

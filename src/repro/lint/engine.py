@@ -1,25 +1,44 @@
-"""The reprolint engine: one AST walk per module, rules ride along.
+"""The reprolint engine: per-file AST walks plus whole-project passes.
 
-The engine parses a module, tokenizes it once to collect
+Per file, the engine parses the module, tokenizes it once to collect
 ``# reprolint: disable=...`` suppression comments, then performs a single
 :class:`ast.NodeVisitor` pass.  At each node it first updates the shared
-:class:`ModuleContext` bookkeeping (import aliases, lexical scope stack) and
-then dispatches the node to every registered rule subscribed to that node
-type.  Findings landing on a suppressed line are dropped at collection
-time, so reporters never see them.
+:class:`ModuleContext` bookkeeping (import aliases, lexical scope stack)
+and then dispatches the node to every registered rule subscribed to that
+node type.
+
+Across files, the engine builds one :class:`~repro.lint.project.ProjectModel`
+and runs the registered :class:`~repro.lint.registry.ProjectRule` passes
+(:mod:`repro.lint.flow`) over it, so violations spanning import and call
+boundaries are caught too.  Findings landing on a suppressed line — any
+physical line of the offending statement may carry the comment — are
+dropped at collection time, so reporters never see them.
+
+The per-file pass is embarrassingly parallel and content-addressed:
+``lint_paths``/``lint_files`` accept a :class:`~repro.lint.cache.LintCache`
+and a ``jobs`` count, mirroring the campaign runner's process-pool
+executor (fork start method where available, serial fallback on any pool
+breakage).
 """
 
 from __future__ import annotations
 
 import ast
 import io
+import multiprocessing
 import re
 import tokenize
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from pathlib import Path, PurePosixPath
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding, sort_findings
-from repro.lint.registry import Rule, all_rules
+from repro.lint.registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+)
 
 __all__ = [
     "LintEngine",
@@ -28,6 +47,8 @@ __all__ = [
     "collect_suppressions",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "resolve_lint_files",
 ]
 
 #: Pseudo rule id used for files that fail to parse.
@@ -71,6 +92,21 @@ def collect_suppressions(source: str) -> dict[int, set[str]]:
         # Unterminated constructs: the ast parse will report the real error.
         pass
     return suppressions
+
+
+def _suppressed_ids(
+    suppressions: dict[int, set[str]], start: int, end: int
+) -> set[str]:
+    """Union of suppressions across the statement's physical lines.
+
+    A trailing comment on *any* line of a multi-line statement suppresses
+    the whole statement, so wrapped calls and parenthesised expressions
+    can carry the comment wherever it is readable.
+    """
+    ids: set[str] = set()
+    for line in range(start, max(start, end) + 1):
+        ids |= suppressions.get(line, set())
+    return ids
 
 
 class ModuleContext:
@@ -195,19 +231,89 @@ class _Dispatcher(ast.NodeVisitor):
             self.generic_visit(node)
 
 
+def resolve_lint_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directory trees into a deduplicated file list.
+
+    Overlapping targets (``src`` and ``src/repro``, a directory plus a
+    file inside it, the same path twice) resolve to each file exactly
+    once, so no finding is ever double-reported.  Raises
+    :class:`FileNotFoundError` for a target that is neither.
+    """
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for target in paths:
+        target = Path(target)
+        if target.is_dir():
+            candidates = [
+                file
+                for file in sorted(target.rglob("*.py"))
+                if not any(
+                    part in _SKIP_DIR_NAMES or part.endswith(".egg-info")
+                    for part in file.parts
+                )
+            ]
+        elif target.is_file():
+            candidates = [target]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for file in candidates:
+            key = file.resolve()
+            if key not in seen:
+                seen.add(key)
+                files.append(file)
+    return files
+
+
+def _lint_batch_worker(
+    items: Sequence[tuple[str, str]],
+) -> list[tuple[str, int, int, str, str]]:
+    """Process-pool worker: run the per-file pass over a batch of sources.
+
+    Returns plain tuples (not :class:`Finding`) to keep the pickled
+    payload small and version-independent.  Workers always run the full
+    default rule set; engines with a custom rule selection lint serially.
+    """
+    engine = LintEngine(project_rules=())
+    out: list[tuple[str, int, int, str, str]] = []
+    for path, source in items:
+        for finding in engine._run_file_rules(source, path):
+            out.append(
+                (finding.path, finding.line, finding.col, finding.rule_id,
+                 finding.message)
+            )
+    return out
+
+
 class LintEngine:
     """Runs the registered rules over sources, files, and trees."""
 
-    def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
+    def __init__(
+        self,
+        rules: Sequence[type[Rule]] | None = None,
+        project_rules: Sequence[type[ProjectRule]] | None = None,
+    ) -> None:
+        self._default_rule_set = rules is None and project_rules is None
         self._rule_classes = tuple(rules) if rules is not None else all_rules()
+        self._project_rule_classes = (
+            tuple(project_rules) if project_rules is not None
+            else all_project_rules()
+        )
 
     @property
     def rule_classes(self) -> tuple[type[Rule], ...]:
-        """The rule classes this engine runs."""
+        """The per-file rule classes this engine runs."""
         return self._rule_classes
 
-    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
-        """Lint one module given as a source string."""
+    @property
+    def project_rule_classes(self) -> tuple[type[ProjectRule], ...]:
+        """The whole-project rule classes this engine runs."""
+        return self._project_rule_classes
+
+    # ------------------------------------------------------------------
+    # Per-file pass
+    # ------------------------------------------------------------------
+    def _run_file_rules(self, source: str, path: str) -> list[Finding]:
+        """The cacheable per-file pass: parse once, dispatch, suppress."""
         ctx = ModuleContext(path, source)
         try:
             tree = ast.parse(source, filename=ctx.path)
@@ -231,7 +337,8 @@ class LintEngine:
         for node, rule_id, message in dispatcher.findings:
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
-            suppressed = suppressions.get(line, ())
+            end_line = getattr(node, "end_lineno", None) or line
+            suppressed = _suppressed_ids(suppressions, line, end_line)
             if rule_id in suppressed or "all" in suppressed:
                 continue
             findings.append(
@@ -242,27 +349,156 @@ class LintEngine:
             )
         return sort_findings(findings)
 
+    # ------------------------------------------------------------------
+    # Whole-project pass
+    # ------------------------------------------------------------------
+    def _run_project_rules(
+        self, items: Sequence[tuple[str, str]]
+    ) -> list[Finding]:
+        if not self._project_rule_classes:
+            return []
+        from repro.lint.project import ProjectModel
+
+        project = ProjectModel.from_sources(items)
+        by_path = {record.path: record for record in project}
+        findings: list[Finding] = []
+        seen: set[tuple[str, int, int, str, str]] = set()
+        for cls in self._project_rule_classes:
+            rule = cls()
+            for path, anchor, message in rule.check_project(project):
+                if isinstance(anchor, int):
+                    line, col, end_line = anchor, 0, anchor
+                elif anchor is not None:
+                    line = getattr(anchor, "lineno", 1)
+                    col = getattr(anchor, "col_offset", 0)
+                    end_line = getattr(anchor, "end_lineno", None) or line
+                else:
+                    line, col, end_line = 1, 0, 1
+                record = by_path.get(path)
+                if record is not None:
+                    suppressed = _suppressed_ids(
+                        record.suppressions, line, end_line
+                    )
+                    if cls.rule_id in suppressed or "all" in suppressed:
+                        continue
+                key = (path, line, col, cls.rule_id, message)
+                if key in seen:
+                    continue  # nested scopes may re-derive the same flow
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        path=path, line=line, col=col,
+                        rule_id=cls.rule_id, message=message,
+                    )
+                )
+        return findings
+
+    def _parallel_file_pass(
+        self, pending: Sequence[tuple[str, str]], jobs: int
+    ) -> list[Finding] | None:
+        """Per-file pass over a process pool; ``None`` means fall back."""
+        if not self._default_rule_set:
+            return None  # workers can only reconstruct the default rule set
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            mp_context = multiprocessing.get_context()
+        chunk = max(1, len(pending) // (jobs * 4) or 1)
+        batches = [
+            list(pending[i : i + chunk]) for i in range(0, len(pending), chunk)
+        ]
+        findings: list[Finding] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs, mp_context=mp_context
+            ) as pool:
+                for rows in pool.map(_lint_batch_worker, batches):
+                    findings.extend(Finding(*row) for row in rows)
+        except (BrokenExecutor, OSError):  # pragma: no cover - pool breakage
+            return None
+        return findings
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one module given as a source string (full rule set: the
+        project passes run on the single-module project)."""
+        return self.lint_sources([(path, source)])
+
+    def lint_sources(
+        self,
+        items: Sequence[tuple[str, str]],
+        *,
+        cache: "LintCache | None" = None,  # noqa: F821 - lazy import below
+        jobs: int = 1,
+    ) -> list[Finding]:
+        """Lint ``(path, source)`` pairs as one project.
+
+        ``cache`` (a :class:`repro.lint.cache.LintCache`) skips the
+        per-file pass for unchanged content; ``jobs > 1`` runs cache
+        misses on a process pool.
+        """
+        items = [
+            (str(PurePosixPath(Path(str(path)).as_posix())), source)
+            for path, source in items
+        ]
+        findings: list[Finding] = []
+        pending: list[tuple[str, str]] = []
+        for path, source in items:
+            cached = cache.get(path, source) if cache is not None else None
+            if cached is not None:
+                findings.extend(cached)
+            else:
+                pending.append((path, source))
+        if pending:
+            computed: list[Finding] | None = None
+            if jobs > 1 and len(pending) > 1:
+                computed = self._parallel_file_pass(pending, jobs)
+            if computed is None:
+                computed = []
+                for path, source in pending:
+                    computed.extend(self._run_file_rules(source, path))
+            if cache is not None:
+                by_path: dict[str, list[Finding]] = {
+                    path: [] for path, _ in pending
+                }
+                for finding in computed:
+                    by_path.setdefault(finding.path, []).append(finding)
+                for path, source in pending:
+                    cache.put(path, source, by_path.get(path, []))
+            findings.extend(computed)
+        findings.extend(self._run_project_rules(items))
+        return sort_findings(findings)
+
     def lint_file(self, path: str | Path) -> list[Finding]:
         """Lint one file on disk."""
         text = Path(path).read_text(encoding="utf-8")
         return self.lint_source(text, str(path))
 
-    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+    def lint_files(
+        self,
+        files: Sequence[str | Path],
+        *,
+        cache: "LintCache | None" = None,  # noqa: F821
+        jobs: int = 1,
+    ) -> list[Finding]:
+        """Lint an explicit file list as one project."""
+        items = [
+            (str(file), Path(file).read_text(encoding="utf-8"))
+            for file in files
+        ]
+        return self.lint_sources(items, cache=cache, jobs=jobs)
+
+    def lint_paths(
+        self,
+        paths: Iterable[str | Path],
+        *,
+        cache: "LintCache | None" = None,  # noqa: F821
+        jobs: int = 1,
+    ) -> list[Finding]:
         """Lint files and directory trees; directories are walked for .py."""
-        findings: list[Finding] = []
-        for target in paths:
-            target = Path(target)
-            if target.is_dir():
-                for file in sorted(target.rglob("*.py")):
-                    if any(part in _SKIP_DIR_NAMES or part.endswith(".egg-info")
-                           for part in file.parts):
-                        continue
-                    findings.extend(self.lint_file(file))
-            elif target.is_file():
-                findings.extend(self.lint_file(target))
-            else:
-                raise FileNotFoundError(f"no such file or directory: {target}")
-        return sort_findings(findings)
+        return self.lint_files(resolve_lint_files(paths), cache=cache, jobs=jobs)
 
 
 def lint_source(source: str, path: str = "<string>") -> list[Finding]:
@@ -270,6 +506,11 @@ def lint_source(source: str, path: str = "<string>") -> list[Finding]:
     return LintEngine().lint_source(source, path)
 
 
-def lint_paths(paths: Iterable[str | Path]) -> list[Finding]:
-    """Lint files/trees with all registered rules."""
-    return LintEngine().lint_paths(paths)
+def lint_sources(items: Sequence[tuple[str, str]]) -> list[Finding]:
+    """Lint ``(path, source)`` pairs as one project with all rules."""
+    return LintEngine().lint_sources(items)
+
+
+def lint_paths(paths: Iterable[str | Path], **kwargs) -> list[Finding]:
+    """Lint files/trees with all registered rules (see ``LintEngine.lint_paths``)."""
+    return LintEngine().lint_paths(paths, **kwargs)

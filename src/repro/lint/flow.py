@@ -1,0 +1,612 @@
+"""Cross-module flow-analysis passes (RL-D005/D006, RL-P004, RL-H006/H007).
+
+These rules run on the whole :class:`~repro.lint.project.ProjectModel`
+rather than one file at a time, so they can see a raw RNG handed across a
+call boundary, a dBm value returned from one module and summed as watts
+in another, an export that no other module consumes, or an import cycle —
+none of which a per-file AST walk can detect.
+
+The passes are deliberately flow-*insensitive* inside a scope (names are
+classified by every binding they receive, with conflicts resolving to
+"unknown") and inter-procedural only through statically resolvable dotted
+names: the same ``resolve_call_name`` machinery the per-file rules use.
+That keeps them fast, deterministic, and free of false positives from
+dynamic dispatch, at the cost of missing aliased flows.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.project import ModuleRecord, ProjectModel
+from repro.lint.registry import ProjectRule, register_project
+from repro.lint.rules.physics import _DB_NAME, _WATT_NAME, _unit_classes
+
+__all__ = [
+    "CrossModuleUnitMix",
+    "ExportSurfaceIntegrity",
+    "ExternalSeedTaint",
+    "NoImportCycles",
+    "RawGeneratorCrossesModules",
+]
+
+
+# ----------------------------------------------------------------------
+# Scope utilities shared by the dataflow passes
+# ----------------------------------------------------------------------
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _walk_scope(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """All nodes of one lexical scope, not descending into nested defs."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTION_NODES):
+                continue
+            stack.append(child)
+
+
+def _scopes(
+    record: ModuleRecord,
+) -> list[tuple[ast.FunctionDef | ast.AsyncFunctionDef | None, list[ast.AST]]]:
+    """``(function_or_None, scope_nodes)`` for the module and every def.
+
+    Every flow pass iterates the same scopes, so the walk is done once
+    per record and memoised on it; the node lists are shared read-only.
+    """
+    cached = getattr(record, "_flow_scopes", None)
+    if cached is None:
+        cached = [(None, list(_walk_scope(record.tree.body)))]
+        for node in ast.walk(record.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cached.append((node, list(_walk_scope(node.body))))
+        record._flow_scopes = cached
+        record._flow_scope_index = {id(fn): nodes for fn, nodes in cached}
+    return cached
+
+
+def _scope_nodes(
+    record: ModuleRecord,
+    fn: ast.FunctionDef | ast.AsyncFunctionDef | None,
+) -> list[ast.AST]:
+    """The memoised node list for one scope of ``record``."""
+    _scopes(record)
+    return record._flow_scope_index[id(fn)]
+
+
+def _assigned_names(stmt: ast.AST) -> list[str]:
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    names: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+    return names
+
+
+def _callee_tail(call: ast.Call, record: ModuleRecord) -> str:
+    """Last dotted component of a call target, resolved when possible."""
+    resolved = record.ctx.resolve_call_name(call.func)
+    if resolved:
+        return resolved.rsplit(".", 1)[-1]
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def _cross_module_target(
+    call: ast.Call, record: ModuleRecord, project: ProjectModel
+) -> tuple[str, ModuleRecord] | None:
+    """Resolve a call to a *different* project module, if statically possible."""
+    resolved = record.ctx.resolve_call_name(call.func)
+    owner = project.module_of(resolved)
+    if owner is None or owner.name == record.name or resolved is None:
+        return None
+    return resolved, owner
+
+
+# ----------------------------------------------------------------------
+# RL-D005 — raw Generators must not cross module boundaries
+# ----------------------------------------------------------------------
+_STREAM_DERIVERS = {"coerce_rng", "make_rng", "stream", "child", "spawn"}
+
+
+@register_project
+class RawGeneratorCrossesModules(ProjectRule):
+    """RL-D005: a ``np.random.default_rng`` Generator created in one
+    component and handed to a function in another module couples the two
+    components to one stream — adding a draw to either silently perturbs
+    the other.  Cross-module randomness must be derived through
+    ``coerce_rng`` / ``make_rng`` / ``RngFactory.stream`` so each
+    component owns an independent named stream."""
+
+    rule_id = "RL-D005"
+    title = "raw Generators must not cross module boundaries"
+
+    def check_project(
+        self, project: ProjectModel
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        for record in project:
+            if record.is_test_code:
+                continue
+            for _fn, nodes in _scopes(record):
+                yield from self._check_scope(record, project, nodes)
+
+    def _check_scope(
+        self, record: ModuleRecord, project: ProjectModel, nodes: list[ast.AST]
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        raw: set[str] = set()
+        sanctioned: set[str] = set()
+        for node in nodes:
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                if not isinstance(value, ast.Call):
+                    continue
+                resolved = record.ctx.resolve_call_name(value.func)
+                tail = _callee_tail(value, record)
+                if resolved == "numpy.random.default_rng":
+                    raw.update(_assigned_names(node))
+                elif tail in _STREAM_DERIVERS:
+                    sanctioned.update(_assigned_names(node))
+        raw -= sanctioned
+        if not raw:
+            return
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            target = _cross_module_target(node, record, project)
+            if target is None:
+                continue
+            resolved, _owner = target
+            values = [*node.args, *(kw.value for kw in node.keywords)]
+            for value in values:
+                if isinstance(value, ast.Name) and value.id in raw:
+                    yield (
+                        record.path,
+                        node,
+                        f"raw default_rng Generator `{value.id}` crosses the "
+                        f"module boundary into `{resolved}`; derive an "
+                        "independent named stream instead "
+                        "(repro.utils.rng.coerce_rng / RngFactory.stream)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL-D006 — seeds from external input must be validated
+# ----------------------------------------------------------------------
+_TAINT_PASSTHROUGH = {"int", "float", "str", "abs", "min", "max", "round"}
+_SEED_NAME = re.compile(r"(^|_)seed$")
+_EXTERNAL_CONTAINERS = {"os.environ", "sys.argv"}
+_EXTERNAL_CALLS = {"os.getenv", "os.environ.get", "input", "builtins.input"}
+
+
+def _is_sanitizer(tail: str) -> bool:
+    return tail.startswith("check_") or tail in {"coerce_rng", "make_rng"}
+
+
+def _is_taint_source(node: ast.AST, record: ModuleRecord) -> bool:
+    if isinstance(node, ast.Subscript):
+        return _is_taint_source(node.value, record)
+    if isinstance(node, (ast.Attribute, ast.Name)):
+        resolved = record.ctx.resolve_call_name(node)
+        return resolved in _EXTERNAL_CONTAINERS
+    if isinstance(node, ast.Call):
+        resolved = record.ctx.resolve_call_name(node.func)
+        return resolved in _EXTERNAL_CALLS
+    return False
+
+
+def _is_tainted(node: ast.AST, tainted: set[str], record: ModuleRecord) -> bool:
+    if _is_taint_source(node, record):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Subscript):
+        return _is_tainted(node.value, tainted, record)
+    if isinstance(node, ast.Call):
+        tail = _callee_tail(node, record)
+        if _is_sanitizer(tail):
+            return False
+        if tail in _TAINT_PASSTHROUGH:
+            values = [*node.args, *(kw.value for kw in node.keywords)]
+            return any(_is_tainted(v, tainted, record) for v in values)
+        return False  # an unknown call boundary is assumed to transform
+    if isinstance(node, ast.BinOp):
+        return _is_tainted(node.left, tainted, record) or _is_tainted(
+            node.right, tainted, record
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_tainted(node.operand, tainted, record)
+    if isinstance(node, ast.IfExp):
+        return _is_tainted(node.body, tainted, record) or _is_tainted(
+            node.orelse, tainted, record
+        )
+    return False
+
+
+@register_project
+class ExternalSeedTaint(ProjectRule):
+    """RL-D006: a seed read from the environment, argv, or stdin that
+    reaches simulation state without validation makes a run silently
+    irreproducible (typos, empty strings, out-of-range values).  External
+    seeds must pass through a ``utils.validation.check_*`` helper (or the
+    coercion helpers, which type-check) before use."""
+
+    rule_id = "RL-D006"
+    title = "external-input seeds are validated before use"
+
+    def check_project(
+        self, project: ProjectModel
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        for record in project:
+            if record.is_test_code:
+                continue
+            for _fn, nodes in _scopes(record):
+                yield from self._check_scope(record, project, nodes)
+
+    def _check_scope(
+        self, record: ModuleRecord, project: ProjectModel, nodes: list[ast.AST]
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        tainted: set[str] = set()
+        for _ in range(2):  # fixpoint over unordered flow-insensitive bindings
+            before = len(tainted)
+            for node in nodes:
+                if isinstance(node, (ast.Assign, ast.AnnAssign)) and node.value:
+                    if _is_tainted(node.value, tainted, record):
+                        tainted.update(_assigned_names(node))
+            if len(tainted) == before:
+                break
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                yield from self._check_call(record, project, node, tainted)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)) and node.value:
+                yield from self._check_state_write(record, node, tainted)
+
+    def _check_call(
+        self,
+        record: ModuleRecord,
+        project: ProjectModel,
+        call: ast.Call,
+        tainted: set[str],
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        sink: str | None = None
+        for kw in call.keywords:
+            if kw.arg and _SEED_NAME.search(kw.arg):
+                if _is_tainted(kw.value, tainted, record):
+                    sink = f"{kw.arg}="
+                    break
+        if sink is None:
+            resolved = record.ctx.resolve_call_name(call.func)
+            target = project.resolve_function(resolved)
+            if target is None and resolved is not None:
+                # A class call binds its __init__; resolve constructors too.
+                owner = project.resolve_symbol(resolved)
+                if owner is not None:
+                    rec, symbol = owner
+                    ctor = rec.functions.get(f"{symbol}.__init__")
+                    target = (rec, ctor) if ctor is not None else None
+            if target is not None:
+                _rec, fn = target
+                params = [a.arg for a in (*fn.args.posonlyargs, *fn.args.args)]
+                if params and params[0] in ("self", "cls"):
+                    params = params[1:]
+                for value, param in zip(call.args, params):
+                    if _SEED_NAME.search(param) and _is_tainted(
+                        value, tainted, record
+                    ):
+                        sink = f"parameter `{param}` of `{resolved}`"
+                        break
+        if sink is not None:
+            yield (
+                record.path,
+                call,
+                f"seed derived from external input (os.environ / sys.argv / "
+                f"input) reaches {sink} unvalidated; pass it through a "
+                "utils.validation check_* helper or coerce_rng first",
+            )
+
+    def _check_state_write(
+        self,
+        record: ModuleRecord,
+        node: ast.Assign | ast.AnnAssign,
+        tainted: set[str],
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            name = None
+            if isinstance(target, ast.Attribute):
+                name = target.attr
+            elif isinstance(target, ast.Name):
+                name = target.id
+            if name is None or not _SEED_NAME.search(name):
+                continue
+            if isinstance(target, ast.Name) and node.value is not None:
+                # plain `seed = ...` bindings are flagged only when stored
+                # into object state (attributes); locals get flagged at the
+                # call sink where they actually enter the simulation.
+                continue
+            if node.value is not None and _is_tainted(node.value, tainted, record):
+                yield (
+                    record.path,
+                    node,
+                    f"external-input seed stored unvalidated into `{name}`; "
+                    "pass it through a utils.validation check_* helper or "
+                    "coerce_rng first",
+                )
+
+
+# ----------------------------------------------------------------------
+# RL-P004 — cross-module dB/linear unit inference
+# ----------------------------------------------------------------------
+def _suffix_unit(name: str) -> str | None:
+    if _DB_NAME.search(name):
+        return "db"
+    if _WATT_NAME.search(name):
+        return "watt"
+    return None
+
+
+_CONFLICT = "conflict"
+
+
+class _UnitInference:
+    """Propagates dB/linear facts through assignments and call returns."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.ret_units: dict[str, str] = {}
+        self._seed_return_units()
+        for _ in range(3):  # inter-procedural fixpoint (depth-3 call chains)
+            if not self._propagate_return_units():
+                break
+
+    # -- return units ---------------------------------------------------
+    def _function_items(self):
+        for record in self.project:
+            if record.is_test_code:
+                continue
+            for qual, fn in record.functions.items():
+                yield record, f"{record.name}.{qual}", fn
+
+    def _seed_return_units(self) -> None:
+        for _record, key, fn in self._function_items():
+            unit = _suffix_unit(fn.name)
+            if unit is not None:
+                self.ret_units[key] = unit
+
+    def _propagate_return_units(self) -> bool:
+        changed = False
+        for record, key, fn in self._function_items():
+            if _suffix_unit(fn.name) is not None:
+                continue  # the name suffix is authoritative
+            env = self.scope_env(record, fn)
+            units = set()
+            for node in _scope_nodes(record, fn):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    units.add(self.unit_of(node.value, env, record))
+            units.discard(None)
+            if len(units) == 1:
+                unit = units.pop()
+                if unit in ("db", "watt") and self.ret_units.get(key) != unit:
+                    self.ret_units[key] = unit
+                    changed = True
+        return changed
+
+    # -- environments ---------------------------------------------------
+    def scope_env(
+        self,
+        record: ModuleRecord,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef | None,
+    ) -> dict[str, str]:
+        env: dict[str, str] = {}
+        if fn is not None:
+            for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs):
+                unit = _suffix_unit(arg.arg)
+                if unit is not None:
+                    env[arg.arg] = unit
+        nodes = _scope_nodes(record, fn)
+        for _ in range(2):  # unordered bindings need one extra sweep
+            changed = False
+            for node in nodes:
+                if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                    continue
+                if node.value is None:
+                    continue
+                unit = self.unit_of(node.value, env, record)
+                for name in _assigned_names(node):
+                    if _suffix_unit(name) is not None:
+                        continue  # suffixed names classify themselves
+                    current = env.get(name)
+                    if current == _CONFLICT:
+                        continue
+                    if unit in ("db", "watt"):
+                        if current is None:
+                            env[name] = unit
+                            changed = True
+                        elif current != unit:
+                            env[name] = _CONFLICT
+                            changed = True
+            if not changed:
+                break
+        return {k: v for k, v in env.items() if v != _CONFLICT}
+
+    # -- expression units -----------------------------------------------
+    def unit_of(
+        self, node: ast.AST, env: dict[str, str], record: ModuleRecord
+    ) -> str | None:
+        if isinstance(node, ast.Name):
+            return env.get(node.id) or _suffix_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            return _suffix_unit(node.attr)
+        if isinstance(node, ast.Call):
+            tail = _callee_tail(node, record)
+            unit = _suffix_unit(tail)
+            if unit is not None:
+                return unit
+            resolved = record.ctx.resolve_call_name(node.func)
+            if resolved is not None:
+                return self.ret_units.get(resolved)
+            return None
+        if isinstance(node, ast.BinOp):
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                return None  # units do not survive *, /, ** unchanged
+            left = self.unit_of(node.left, env, record)
+            right = self.unit_of(node.right, env, record)
+            if left and right and left != right:
+                return None  # the mix is reported at this BinOp itself
+            return left or right
+        if isinstance(node, ast.UnaryOp):
+            return self.unit_of(node.operand, env, record)
+        if isinstance(node, ast.IfExp):
+            left = self.unit_of(node.body, env, record)
+            right = self.unit_of(node.orelse, env, record)
+            return left if left == right else None
+        return None
+
+
+@register_project
+class CrossModuleUnitMix(ProjectRule):
+    """RL-P004: dB/linear unit facts are propagated from identifier
+    suffixes, converter-style call names, and project function returns
+    through assignments and call boundaries; adding or subtracting a
+    dB-classified value and a watt-classified value is then flagged even
+    when neither operand carries a unit suffix itself.  Mixes already
+    visible to the suffix-only RL-P002 heuristic are left to RL-P002."""
+
+    rule_id = "RL-P004"
+    title = "no inferred dB/linear unit mixing across assignments and calls"
+
+    def check_project(
+        self, project: ProjectModel
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        inference = _UnitInference(project)
+        for record in project:
+            if record.is_test_code:
+                continue
+            for fn, nodes in _scopes(record):
+                env = inference.scope_env(record, fn)
+                for node in nodes:
+                    if not isinstance(node, ast.BinOp):
+                        continue
+                    if not isinstance(node.op, (ast.Add, ast.Sub)):
+                        continue
+                    left_s = _unit_classes(node.left)
+                    right_s = _unit_classes(node.right)
+                    if ("db" in left_s and "watt" in right_s) or (
+                        "watt" in left_s and "db" in right_s
+                    ):
+                        continue  # RL-P002 already reports suffix-level mixes
+                    left = inference.unit_of(node.left, env, record)
+                    right = inference.unit_of(node.right, env, record)
+                    if {left, right} == {"db", "watt"}:
+                        yield (
+                            record.path,
+                            node,
+                            f"arithmetic mixes dB-scaled and linear-power "
+                            f"quantities (left inferred {left!r}, right "
+                            f"inferred {right!r}) across assignments/call "
+                            "boundaries; convert to one unit system "
+                            "explicitly first",
+                        )
+
+
+# ----------------------------------------------------------------------
+# RL-H006 — export surface integrity
+# ----------------------------------------------------------------------
+@register_project
+class ExportSurfaceIntegrity(ProjectRule):
+    """RL-H006: ``__all__`` is the module's contract.  A name listed there
+    that does not exist breaks ``import *`` at runtime; a name exported
+    but never referenced by any other project module is dead public API
+    (or a missing consumer) and belongs off the contract.  The
+    dead-export check only runs on multi-module projects."""
+
+    rule_id = "RL-H006"
+    title = "__all__ names exist and are consumed somewhere"
+
+    def check_project(
+        self, project: ProjectModel
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        references: dict[str, set[str]] | None = None
+        if len(project) > 1:
+            references = project.external_references()
+        for record in project:
+            if record.is_test_code or record.dunder_all is None:
+                continue
+            anchor = record.dunder_all_node
+            for name in record.dunder_all:
+                if name not in record.symbols:
+                    yield (
+                        record.path,
+                        anchor,
+                        f"`__all__` exports `{name}`, which is not defined at "
+                        "module top level (import * would fail)",
+                    )
+            if references is None or record.name.endswith("__main__"):
+                continue
+            consumed = references.get(record.name, set())
+            for name in record.dunder_all:
+                if name.startswith("_") or name not in record.symbols:
+                    continue
+                if record.is_package and name in record.ctx.imported_names:
+                    # A package __init__ re-export is a deliberate surface
+                    # for consumers *outside* the linted tree (tests,
+                    # benchmarks, downstream users); only names defined in
+                    # the module itself are held to the consumption check.
+                    continue
+                if name not in consumed:
+                    yield (
+                        record.path,
+                        anchor,
+                        f"`{name}` is exported in `__all__` but never "
+                        "referenced by another project module (dead public "
+                        "API, or a consumer that bypasses the export surface)",
+                    )
+
+
+# ----------------------------------------------------------------------
+# RL-H007 — no import cycles
+# ----------------------------------------------------------------------
+@register_project
+class NoImportCycles(ProjectRule):
+    """RL-H007: a top-level import cycle makes module initialisation
+    order-dependent — whichever module imports first sees a partially
+    initialised partner.  Break cycles with a lazy (function-level)
+    import, a ``TYPE_CHECKING`` guard, or a shared lower-level module;
+    both of those escapes are excluded from the graph on purpose."""
+
+    rule_id = "RL-H007"
+    title = "no top-level import cycles"
+
+    def check_project(
+        self, project: ProjectModel
+    ) -> Iterator[tuple[str, ast.AST | int | None, str]]:
+        edges = project.import_edges()
+        for cycle in project.import_cycles():
+            first = cycle[0]
+            members = set(cycle)
+            successor = next(
+                (dst for dst in sorted(edges.get(first, ())) if dst in members),
+                first,
+            )
+            lineno = edges.get(first, {}).get(successor, 1)
+            chain = " -> ".join([*cycle, first]) if len(cycle) > 1 else (
+                f"{first} -> {first}"
+            )
+            yield (
+                project.modules[first].path,
+                lineno,
+                f"top-level import cycle: {chain}; break it with a lazy "
+                "import, a TYPE_CHECKING guard, or a shared lower-level "
+                "module",
+            )

@@ -1,29 +1,54 @@
-"""Rule base class and the global rule registry.
+"""Rule base classes and the global rule registries.
 
-A rule is a class with a unique ``rule_id`` (``RL-<pack letter><3 digits>``),
-a one-line ``title``, the AST ``node_types`` it wants to inspect, and a
-:meth:`Rule.check` generator yielding ``(node, message)`` pairs.  Decorating
-the class with :func:`register` makes the engine run it.
+Two kinds of rule exist:
 
-The engine walks each module's AST exactly once; at every node it
-dispatches to the registered rules subscribed to that node type, so adding
-a rule never adds a traversal.
+* a per-file :class:`Rule` has a unique ``rule_id`` (``RL-<pack
+  letter><3 digits>``), a one-line ``title``, the AST ``node_types`` it
+  wants to inspect, and a :meth:`Rule.check` generator yielding
+  ``(node, message)`` pairs; the engine walks each module's AST exactly
+  once and dispatches nodes to subscribed rules, so adding a rule never
+  adds a traversal;
+* a :class:`ProjectRule` sees the whole :class:`~repro.lint.project.ProjectModel`
+  at once and yields ``(path, node, message)`` triples, so it can reason
+  across import and call boundaries (RNG taint, unit inference, API
+  graph).
+
+Decorating a class with :func:`register` / :func:`register_project` makes
+the engine run it.  Rule ids are unique across *both* registries.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 from typing import TYPE_CHECKING, ClassVar, Iterator, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lint.engine import ModuleContext
+    from repro.lint.project import ProjectModel
 
-__all__ = ["Rule", "all_rules", "get_rule", "register"]
+__all__ = [
+    "ProjectRule",
+    "RULESET_VERSION",
+    "Rule",
+    "all_project_rules",
+    "all_rules",
+    "get_rule",
+    "register",
+    "register_project",
+    "ruleset_signature",
+]
+
+#: Bumped whenever rule semantics change, so content-addressed cache
+#: entries written by an older rule set are never reused.
+RULESET_VERSION = "2"
 
 _RULE_ID_PATTERN = re.compile(r"^RL-[A-Z]\d{3}$")
 
 _REGISTRY: dict[str, Type["Rule"]] = {}
+
+_PROJECT_REGISTRY: dict[str, Type["ProjectRule"]] = {}
 
 
 class Rule:
@@ -49,39 +74,91 @@ class Rule:
         yield  # pragma: no cover - makes this a generator for subclass typing
 
 
-def register(cls: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global registry.
+class ProjectRule:
+    """Base class for whole-project (cross-module) reprolint rules.
 
-    Enforces the ``RL-Xnnn`` id convention and id uniqueness, so a
-    copy-pasted rule pack cannot silently mask an existing rule.
+    One instance is created per lint run; :meth:`check_project` sees the
+    complete :class:`~repro.lint.project.ProjectModel` and yields
+    ``(path, anchor, message)`` triples.  The anchor may be an AST node
+    (line/column taken from it), a bare line number, or ``None`` for the
+    top of the file.
     """
+
+    rule_id: ClassVar[str] = ""
+    title: ClassVar[str] = ""
+
+    def check_project(
+        self, project: "ProjectModel"
+    ) -> Iterator[tuple[str, "ast.AST | int | None", str]]:
+        """Yield ``(path, node, message)`` for each violation in the project."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for subclass typing
+
+
+def _validate_rule_id(cls: type) -> None:
     if not _RULE_ID_PATTERN.match(cls.rule_id):
         raise ValueError(
             f"rule id {cls.rule_id!r} does not match the RL-Xnnn convention"
         )
     if not cls.title:
         raise ValueError(f"rule {cls.rule_id} must set a title")
-    if not cls.node_types:
-        raise ValueError(f"rule {cls.rule_id} must subscribe to node types")
-    existing = _REGISTRY.get(cls.rule_id)
+    existing = _REGISTRY.get(cls.rule_id) or _PROJECT_REGISTRY.get(cls.rule_id)
     if existing is not None and existing is not cls:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a per-file rule to the global registry.
+
+    Enforces the ``RL-Xnnn`` id convention and id uniqueness, so a
+    copy-pasted rule pack cannot silently mask an existing rule.
+    """
+    _validate_rule_id(cls)
+    if not cls.node_types:
+        raise ValueError(f"rule {cls.rule_id} must subscribe to node types")
     _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the global registry."""
+    _validate_rule_id(cls)
+    _PROJECT_REGISTRY[cls.rule_id] = cls
     return cls
 
 
 def _load_builtin_rules() -> None:
     # Importing the pack modules triggers their @register decorators.
-    from repro.lint import rules  # noqa: F401
+    from repro.lint import flow, rules  # noqa: F401
 
 
 def all_rules() -> tuple[Type[Rule], ...]:
-    """All registered rule classes, sorted by rule id."""
+    """All registered per-file rule classes, sorted by rule id."""
     _load_builtin_rules()
     return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
 
 
-def get_rule(rule_id: str) -> Type[Rule]:
+def all_project_rules() -> tuple[Type[ProjectRule], ...]:
+    """All registered project (cross-module) rule classes, sorted by id."""
+    _load_builtin_rules()
+    return tuple(_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Type[Rule] | Type[ProjectRule]:
     """Look up one rule class by id; raises ``KeyError`` if unknown."""
     _load_builtin_rules()
-    return _REGISTRY[rule_id]
+    if rule_id in _REGISTRY:
+        return _REGISTRY[rule_id]
+    return _PROJECT_REGISTRY[rule_id]
+
+
+def ruleset_signature() -> str:
+    """Stable digest of the registered rule ids + :data:`RULESET_VERSION`.
+
+    Cache entries are keyed on this, so adding/removing a rule or bumping
+    the version invalidates every cached per-file result at once.
+    """
+    ids = [cls.rule_id for cls in all_rules()]
+    ids += [cls.rule_id for cls in all_project_rules()]
+    blob = ",".join(sorted(ids)) + "|" + RULESET_VERSION
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -1,13 +1,34 @@
-"""Finding reporters: compiler-style text and machine-readable JSON."""
+"""Finding reporters: compiler-style text, JSON, and SARIF 2.1.0.
+
+The SARIF renderer targets the GitHub code-scanning ingestion subset of
+SARIF 2.1.0: one run, a ``tool.driver`` with the full rule catalogue
+(per-file and project rules), and one ``result`` per finding with a
+``physicalLocation``.  Columns are converted from reprolint's 0-based
+convention to SARIF's 1-based one.
+"""
 
 from __future__ import annotations
 
 import json
+from collections import Counter
 from typing import Sequence
 
 from repro.lint.findings import Finding
 
-__all__ = ["render_json", "render_text"]
+__all__ = [
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "render_json",
+    "render_sarif",
+    "render_statistics",
+    "render_text",
+]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -36,3 +57,74 @@ def render_json(findings: Sequence[Finding]) -> str:
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _rule_catalogue() -> list[dict]:
+    from repro.lint.registry import all_project_rules, all_rules
+
+    catalogue = [
+        {
+            "id": cls.rule_id,
+            "name": cls.__name__,
+            "shortDescription": {"text": cls.title},
+        }
+        for cls in (*all_rules(), *all_project_rules())
+    ]
+    return sorted(catalogue, key=lambda rule: rule["id"])
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """A SARIF 2.1.0 log suitable for GitHub code scanning upload."""
+    rules = _rule_catalogue()
+    rule_index = {rule["id"]: index for index, rule in enumerate(rules)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/reprolint.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_statistics(findings: Sequence[Finding]) -> str:
+    """Per-rule finding counts, most frequent first (ties by rule id)."""
+    counts = Counter(finding.rule_id for finding in findings)
+    lines = [
+        f"{rule_id:<10} {count:>5}"
+        for rule_id, count in sorted(
+            counts.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+    lines.append(f"{'total':<10} {len(findings):>5}")
+    return "\n".join(lines)

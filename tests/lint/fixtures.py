@@ -22,6 +22,9 @@ class RuleFixture:
     bad: str
     good: str
     suppressed: str
+    #: Companion ``(path, source)`` modules linted alongside every variant;
+    #: used by cross-module (project) rules.  Must themselves be clean.
+    extra_files: tuple[tuple[str, str], ...] = ()
 
 
 def _src(text: str) -> str:
@@ -452,6 +455,263 @@ RULE_FIXTURES: tuple[RuleFixture, ...] = (
             def lookup(id: int) -> int:  # reprolint: disable=RL-H004
                 return id + 1
             """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-D005",
+        path="src/repro/pkg/main.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            from repro.pkg.helper import consume
+
+            __all__: list[str] = []
+
+
+            def run(seed: int) -> float:
+                rng = np.random.default_rng(seed)
+                return consume(rng)
+            """
+        ),
+        good=_src(
+            """
+            from repro.pkg.helper import consume
+            from repro.utils.rng import coerce_rng
+
+            __all__: list[str] = []
+
+
+            def run(seed: int) -> float:
+                rng = coerce_rng(seed)
+                return consume(rng)
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            from repro.pkg.helper import consume
+
+            __all__: list[str] = []
+
+
+            def run(seed: int) -> float:
+                rng = np.random.default_rng(seed)
+                return consume(rng)  # reprolint: disable=RL-D005
+            """
+        ),
+        extra_files=(
+            (
+                "src/repro/pkg/helper.py",
+                _src(
+                    """
+                    __all__ = ["consume"]
+
+
+                    def consume(rng) -> float:
+                        return float(rng.standard_normal())
+                    """
+                ),
+            ),
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-D006",
+        path="src/repro/pkg/config.py",
+        bad=_src(
+            """
+            import os
+
+            from repro.utils.rng import make_rng
+
+            __all__: list[str] = []
+
+
+            def build():
+                raw = int(os.environ["REPRO_SEED"])
+                return make_rng(seed=raw)
+            """
+        ),
+        good=_src(
+            """
+            import os
+
+            from repro.utils.rng import make_rng
+            from repro.utils.validation import check_non_negative
+
+            __all__: list[str] = []
+
+
+            def build():
+                raw = check_non_negative(int(os.environ["REPRO_SEED"]), name="seed")
+                return make_rng(seed=raw)
+            """
+        ),
+        suppressed=_src(
+            """
+            import os
+
+            from repro.utils.rng import make_rng
+
+            __all__: list[str] = []
+
+
+            def build():
+                raw = int(os.environ["REPRO_SEED"])
+                return make_rng(seed=raw)  # reprolint: disable=RL-D006
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-P004",
+        path="src/repro/pkg/link.py",
+        bad=_src(
+            """
+            from repro.pkg.conversions import noise_floor_dbm
+
+            __all__: list[str] = []
+
+
+            def margin(tx_power_w: float) -> float:
+                noise = noise_floor_dbm(180.0)
+                return tx_power_w - noise
+            """
+        ),
+        good=_src(
+            """
+            from repro.pkg.conversions import noise_floor_dbm
+            from repro.utils.units import dbm_to_w
+
+            __all__: list[str] = []
+
+
+            def margin(tx_power_w: float) -> float:
+                noise_w = dbm_to_w(noise_floor_dbm(180.0))
+                return tx_power_w - noise_w
+            """
+        ),
+        suppressed=_src(
+            """
+            from repro.pkg.conversions import noise_floor_dbm
+
+            __all__: list[str] = []
+
+
+            def margin(tx_power_w: float) -> float:
+                noise = noise_floor_dbm(180.0)
+                return tx_power_w - noise  # reprolint: disable=RL-P004
+            """
+        ),
+        extra_files=(
+            (
+                "src/repro/pkg/conversions.py",
+                _src(
+                    """
+                    __all__ = ["noise_floor_dbm"]
+
+
+                    def noise_floor_dbm(bandwidth_hz: float) -> float:
+                        return -174.0 + 10.0
+                    """
+                ),
+            ),
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H006",
+        path="src/repro/pkg/surface.py",
+        bad=_src(
+            """
+            __all__ = ["thing", "missing"]
+
+
+            def thing() -> int:
+                return 1
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["thing"]
+
+
+            def thing() -> int:
+                return 1
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["thing", "missing"]  # reprolint: disable=RL-H006
+
+
+            def thing() -> int:
+                return 1
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-H007",
+        path="src/repro/pkg/alpha.py",
+        bad=_src(
+            """
+            from repro.pkg.beta import beat
+
+            __all__: list[str] = []
+
+
+            def alpha() -> int:
+                return beat() + 1
+            """
+        ),
+        good=_src(
+            """
+            import repro.pkg.gamma
+
+            __all__: list[str] = []
+
+
+            def alpha() -> int:
+                return repro.pkg.gamma.base() + 1
+            """
+        ),
+        suppressed=_src(
+            """
+            from repro.pkg.beta import beat  # reprolint: disable=RL-H007
+
+            __all__: list[str] = []
+
+
+            def alpha() -> int:
+                return beat() + 1
+            """
+        ),
+        extra_files=(
+            (
+                "src/repro/pkg/beta.py",
+                _src(
+                    """
+                    from repro.pkg.alpha import alpha
+
+                    __all__: list[str] = []
+
+
+                    def beat() -> int:
+                        return alpha() - 1
+                    """
+                ),
+            ),
+            (
+                "src/repro/pkg/gamma.py",
+                _src(
+                    """
+                    __all__: list[str] = []
+
+
+                    def base() -> int:
+                        return 42
+                    """
+                ),
+            ),
         ),
     ),
 )

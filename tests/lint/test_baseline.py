@@ -1,0 +1,94 @@
+"""Baseline tests: canonicalisation, round trip, ratchet semantics."""
+
+import json
+
+import pytest
+
+from repro.lint import apply_baseline, lint_paths, load_baseline, write_baseline
+from repro.lint.baseline import canonical_path, render_baseline
+from repro.lint.findings import Finding
+
+_DIRTY = "def f(acc=[]):\n    return acc\n"
+
+
+def _finding(path, rule_id="RL-H001", line=1):
+    return Finding(path=path, line=line, col=0, rule_id=rule_id, message="m")
+
+
+class TestCanonicalPath:
+    def test_absolute_and_relative_src_paths_agree(self):
+        assert canonical_path("/root/repo/src/repro/em/waves.py") == (
+            canonical_path("src/repro/em/waves.py")
+        )
+
+    def test_tests_anchor(self):
+        assert canonical_path("/x/tests/lint/test_cli.py") == (
+            "tests/lint/test_cli.py"
+        )
+
+    def test_unanchored_path_is_kept_verbatim(self):
+        assert canonical_path("scratch/mod.py") == "scratch/mod.py"
+
+
+class TestBaselineDocument:
+    def test_render_groups_counts_by_path_and_rule(self):
+        findings = [
+            _finding("src/repro/a.py", line=1),
+            _finding("src/repro/a.py", line=9),
+            _finding("src/repro/b.py", rule_id="RL-H002"),
+        ]
+        payload = json.loads(render_baseline(findings))
+        assert payload["tool"] == "reprolint"
+        assert payload["entries"]["src/repro/a.py"]["RL-H001"] == 2
+        assert payload["entries"]["src/repro/b.py"]["RL-H002"] == 1
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        doc = tmp_path / "baseline.json"
+        doc.write_text('{"tool": "other", "version": 1, "entries": {}}')
+        with pytest.raises(ValueError, match="not a reprolint baseline"):
+            load_baseline(doc)
+
+    def test_load_rejects_unknown_format_version(self, tmp_path):
+        doc = tmp_path / "baseline.json"
+        doc.write_text('{"tool": "reprolint", "version": 99, "entries": {}}')
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(doc)
+
+
+class TestApplyBaseline:
+    def test_counts_within_budget_are_suppressed(self):
+        findings = [_finding("src/repro/a.py", line=n) for n in (1, 2)]
+        allowed = {("src/repro/a.py", "RL-H001"): 2}
+        assert apply_baseline(findings, allowed) == []
+
+    def test_excess_findings_survive(self):
+        findings = [_finding("src/repro/a.py", line=n) for n in (1, 2, 3)]
+        allowed = {("src/repro/a.py", "RL-H001"): 2}
+        survivors = apply_baseline(findings, allowed)
+        assert len(survivors) == 1
+        assert survivors[0].line == 3
+
+    def test_unbaselined_rules_always_fire(self):
+        findings = [_finding("src/repro/a.py", rule_id="RL-H002")]
+        allowed = {("src/repro/a.py", "RL-H001"): 5}
+        assert apply_baseline(findings, allowed) == findings
+
+
+class TestRoundTrip:
+    def test_write_relint_is_clean_and_new_violations_fire(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "pkg"
+        tree.mkdir(parents=True)
+        (tree / "legacy.py").write_text(_DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        first = lint_paths([tree])
+        assert first
+        write_baseline(baseline, first)
+
+        second = apply_baseline(lint_paths([tree]), load_baseline(baseline))
+        assert second == []
+
+        (tree / "fresh.py").write_text(_DIRTY)
+        third = apply_baseline(lint_paths([tree]), load_baseline(baseline))
+        assert third
+        assert all("fresh.py" in f.path for f in third)

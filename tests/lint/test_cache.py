@@ -1,0 +1,122 @@
+"""LintCache tests: content addressing, invalidation, crash tolerance."""
+
+import json
+
+from repro.lint import LintCache, LintEngine
+from repro.lint.cache import source_digest
+from repro.lint.findings import Finding
+from repro.lint.registry import ruleset_signature
+
+_DIRTY = "def f(acc=[]):\n    return acc\n"
+
+
+def _cache(tmp_path):
+    return LintCache(tmp_path / "cache", ruleset_signature())
+
+
+class TestCacheBasics:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = _cache(tmp_path)
+        finding = Finding(
+            path="src/repro/x.py", line=3, col=4,
+            rule_id="RL-H001", message="msg",
+        )
+        assert cache.get("src/repro/x.py", "source") is None
+        cache.put("src/repro/x.py", "source", [finding])
+        assert cache.get("src/repro/x.py", "source") == [finding]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_source_change_invalidates(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.put("src/repro/x.py", "a = 1\n", [])
+        assert cache.get("src/repro/x.py", "a = 2\n") is None
+
+    def test_path_participates_in_the_key(self, tmp_path):
+        # Rule scoping is path-sensitive, so identical bytes at another
+        # location must not share an entry.
+        cache = _cache(tmp_path)
+        cache.put("src/repro/em/x.py", "a = 1\n", [])
+        assert cache.get("src/repro/analysis/x.py", "a = 1\n") is None
+
+    def test_signature_change_invalidates(self, tmp_path):
+        old = LintCache(tmp_path / "cache", "sig-one")
+        new = LintCache(tmp_path / "cache", "sig-two")
+        old.put("src/repro/x.py", "a = 1\n", [])
+        assert new.get("src/repro/x.py", "a = 1\n") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.put("src/repro/x.py", "a = 1\n", [])
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text("{truncated")
+        assert cache.get("src/repro/x.py", "a = 1\n") is None
+
+    def test_source_digest_is_sha256_hex(self):
+        digest = source_digest("a = 1\n")
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestEngineCacheIntegration:
+    def test_warm_run_reproduces_cold_findings(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(_DIRTY)
+        engine = LintEngine()
+        cache = _cache(tmp_path)
+        cold = engine.lint_paths([target], cache=cache)
+        warm = engine.lint_paths([target], cache=cache)
+        assert [f.format() for f in warm] == [f.format() for f in cold]
+        assert cache.hits >= 1
+
+    def test_project_findings_survive_warm_runs(self, tmp_path):
+        # Cross-module passes are never cached; a dead export must be
+        # reported on the warm run too.
+        a = tmp_path / "src" / "repro" / "pkg" / "a.py"
+        a.parent.mkdir(parents=True)
+        a.write_text(
+            "__all__ = ['used', 'unused']\n\n\ndef used() -> int:\n"
+            "    return 1\n\n\ndef unused() -> int:\n    return 2\n"
+        )
+        b = a.with_name("b.py")
+        b.write_text(
+            "from repro.pkg.a import used\n"
+            "__all__: list[str] = []\n"
+            "def f() -> int:\n    return used()\n"
+        )
+        engine = LintEngine()
+        cache = _cache(tmp_path)
+        cold = engine.lint_paths([a.parent], cache=cache)
+        warm = engine.lint_paths([a.parent], cache=cache)
+        assert [f.rule_id for f in cold] == ["RL-H006"]
+        assert [f.format() for f in warm] == [f.format() for f in cold]
+
+    def test_cache_entries_are_json_documents(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.put("src/repro/x.py", "a = 1\n", [])
+        entries = list((tmp_path / "cache").glob("*.json"))
+        assert len(entries) == 1
+        payload = json.loads(entries[0].read_text())
+        assert payload["version"] == 1
+        assert payload["findings"] == []
+
+
+class TestParallelMode:
+    def test_parallel_matches_serial(self, tmp_path):
+        for index in range(6):
+            (tmp_path / f"mod{index}.py").write_text(_DIRTY)
+        engine = LintEngine()
+        serial = engine.lint_paths([tmp_path], jobs=1)
+        parallel = engine.lint_paths([tmp_path], jobs=2)
+        assert [f.format() for f in parallel] == [f.format() for f in serial]
+        assert serial  # the comparison is not vacuous
+
+    def test_custom_rule_engine_falls_back_to_serial(self, tmp_path):
+        from repro.lint.rules.hygiene import NoBareExcept
+
+        (tmp_path / "mod.py").write_text(
+            "try:\n    pass\nexcept:\n    pass\n"
+        )
+        (tmp_path / "mod2.py").write_text(_DIRTY)
+        engine = LintEngine(rules=[NoBareExcept], project_rules=())
+        findings = engine.lint_paths([tmp_path], jobs=4)
+        assert [f.rule_id for f in findings] == ["RL-H002"]

@@ -38,13 +38,54 @@ class TestLintCommand:
         first = payload["findings"][0]
         assert {"path", "line", "col", "rule", "message"} <= set(first)
 
-    def test_missing_path_exits_two(self, tmp_path, capsys):
+    def test_missing_path_exits_two_and_reports_on_stderr(
+        self, tmp_path, capsys
+    ):
         missing = str(tmp_path / "nope.py")
         assert main(["lint", missing]) == 2
-        assert "reprolint" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "reprolint" in captured.err
+        assert "nope.py" in captured.err
+        assert captured.out == ""
 
     def test_list_rules_prints_catalogue(self, capsys):
         assert main(["lint", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RL-D001", "RL-P003", "RL-H004"):
+        for rule_id in ("RL-D001", "RL-P003", "RL-H004", "RL-H007"):
             assert rule_id in out
+
+    def test_statistics_go_to_stderr(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(["lint", "--statistics", path]) == 1
+        captured = capsys.readouterr()
+        assert "RL-H001" in captured.err
+        assert "total" in captured.err
+
+    def test_sarif_format_is_valid_json(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(["lint", "--format", "sarif", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+    def test_update_baseline_then_enforce_round_trip(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", "--baseline", baseline, "--update-baseline", path]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--baseline", baseline, path]) == 0
+        out = capsys.readouterr().out
+        assert "0 findings" in out
+
+    def test_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "clean.py", "__all__ = []\n")
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert main(["lint", "--baseline", str(bad), path]) == 2
+        assert "baseline" in capsys.readouterr().err

@@ -92,6 +92,66 @@ class TestEngineBasics:
         assert lint_paths([tmp_path]) == []
 
 
+class TestOverlappingTargets:
+    def test_overlapping_targets_lint_each_file_once(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        dirty = pkg / "bad.py"
+        dirty.write_text("def f(acc=[]):\n    return acc\n")
+        once = lint_paths([pkg])
+        twice = lint_paths([pkg, dirty, str(pkg)])
+        assert [f.format() for f in twice] == [f.format() for f in once]
+
+    def test_resolve_lint_files_dedupes_relative_and_absolute(self, tmp_path):
+        from repro.lint.engine import resolve_lint_files
+
+        target = tmp_path / "mod.py"
+        target.write_text("__all__ = []\n")
+        files = resolve_lint_files([target, str(target), tmp_path])
+        assert len(files) == 1
+
+
+class TestMultiLineSuppression:
+    def test_suppression_on_any_physical_line_of_statement(self):
+        # The offending call spans three lines; the disable comment sits on
+        # the *last* one, far from the reported lineno.
+        source = (
+            "import random\n"
+            "__all__ = ['draw']\n"
+            "def draw() -> float:\n"
+            "    return random.uniform(\n"
+            "        0.0,\n"
+            "        1.0,\n"
+            "    )  # reprolint: disable=RL-D001\n"
+        )
+        assert lint_source(source, "src/repro/sim/mod.py") == []
+
+    def test_suppression_on_first_line_still_works(self):
+        source = (
+            "import random\n"
+            "__all__ = ['draw']\n"
+            "def draw() -> float:\n"
+            "    return random.uniform(  # reprolint: disable=RL-D001\n"
+            "        0.0,\n"
+            "        1.0,\n"
+            "    )\n"
+        )
+        assert lint_source(source, "src/repro/sim/mod.py") == []
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        source = (
+            "import random\n"
+            "__all__ = ['draw']\n"
+            "def draw() -> float:\n"
+            "    return random.uniform(\n"
+            "        0.0,\n"
+            "        1.0,\n"
+            "    )  # reprolint: disable=RL-H001\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert [f.rule_id for f in findings] == ["RL-D001"]
+
+
 class TestModuleContext:
     def test_import_alias_resolution(self):
         ctx = ModuleContext("src/repro/x.py", "")
@@ -125,6 +185,29 @@ class TestRegistry:
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
         assert len(ids) == 12
+
+    def test_combined_registry_counts_project_rules(self):
+        from repro.lint.registry import all_project_rules
+
+        project_ids = [rule.rule_id for rule in all_project_rules()]
+        assert project_ids == sorted(project_ids)
+        assert len(project_ids) == 5
+        per_file_ids = {rule.rule_id for rule in all_rules()}
+        assert per_file_ids.isdisjoint(project_ids)
+
+    def test_ruleset_signature_is_stable_and_short(self):
+        from repro.lint.registry import ruleset_signature
+
+        sig = ruleset_signature()
+        assert sig == ruleset_signature()
+        assert len(sig) == 16
+        int(sig, 16)  # hex digest prefix
+
+    def test_get_rule_finds_both_kinds(self):
+        from repro.lint.registry import get_rule
+
+        assert get_rule("RL-D001").rule_id == "RL-D001"
+        assert get_rule("RL-H007").rule_id == "RL-H007"
 
     def test_register_rejects_malformed_rule_id(self):
         with pytest.raises(ValueError, match="convention"):

@@ -1,0 +1,310 @@
+"""Flow-pass variant tests beyond the canonical per-rule fixtures."""
+
+from repro.lint import lint_sources
+
+
+def _ids(findings):
+    return [f.rule_id for f in findings]
+
+
+_CONSUMER = (
+    "src/repro/pkg/helper.py",
+    "__all__ = ['consume']\n\n\ndef consume(rng) -> float:\n"
+    "    return float(rng.standard_normal())\n",
+)
+
+
+class TestRawGeneratorCrossing:
+    def test_stream_derived_generator_is_sanctioned(self):
+        main = (
+            "src/repro/pkg/main.py",
+            "from repro.pkg.helper import consume\n"
+            "from repro.utils.rng import RngFactory\n"
+            "__all__: list[str] = []\n"
+            "def run(factory: RngFactory) -> float:\n"
+            "    rng = factory.stream('main')\n"
+            "    return consume(rng)\n",
+        )
+        assert lint_sources([main, _CONSUMER]) == []
+
+    def test_raw_generator_within_one_module_is_allowed(self):
+        main = (
+            "src/repro/pkg/main.py",
+            "import numpy as np\n"
+            "__all__: list[str] = []\n"
+            "def local(rng) -> float:\n"
+            "    return float(rng.random())\n"
+            "def run(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return local(rng)\n",
+        )
+        assert lint_sources([main]) == []
+
+    def test_raw_generator_to_numpy_api_is_allowed(self):
+        main = (
+            "src/repro/pkg/main.py",
+            "import numpy as np\n"
+            "__all__: list[str] = []\n"
+            "def run(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return float(np.mean(rng.random(4)))\n",
+        )
+        assert lint_sources([main]) == []
+
+    def test_keyword_argument_crossing_fires(self):
+        main = (
+            "src/repro/pkg/main.py",
+            "import numpy as np\n"
+            "from repro.pkg.helper import consume\n"
+            "__all__: list[str] = []\n"
+            "def run(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return consume(rng=rng)\n",
+        )
+        assert _ids(lint_sources([main, _CONSUMER])) == ["RL-D005"]
+
+    def test_scopes_do_not_leak_names_across_functions(self):
+        # `rng` is raw in one function and sanctioned in another; the
+        # sanctioned function's cross-module call must not be flagged.
+        main = (
+            "src/repro/pkg/main.py",
+            "import numpy as np\n"
+            "from repro.pkg.helper import consume\n"
+            "from repro.utils.rng import coerce_rng\n"
+            "__all__: list[str] = []\n"
+            "def local_only(seed: int) -> float:\n"
+            "    rng = np.random.default_rng(seed)\n"
+            "    return float(rng.random())\n"
+            "def run(seed: int) -> float:\n"
+            "    rng = coerce_rng(seed)\n"
+            "    return consume(rng)\n",
+        )
+        assert lint_sources([main, _CONSUMER]) == []
+
+
+class TestExternalSeedTaint:
+    def test_argv_seed_fires(self):
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "import sys\n"
+            "from repro.utils.rng import make_rng\n"
+            "__all__: list[str] = []\n"
+            "def build():\n"
+            "    return make_rng(seed=int(sys.argv[1]))\n",
+        )
+        assert _ids(lint_sources([mod])) == ["RL-D006"]
+
+    def test_getenv_seed_fires(self):
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "import os\n"
+            "from repro.utils.rng import make_rng\n"
+            "__all__: list[str] = []\n"
+            "def build():\n"
+            "    return make_rng(seed=int(os.getenv('SEED', '0')))\n",
+        )
+        assert _ids(lint_sources([mod])) == ["RL-D006"]
+
+    def test_tainted_positional_arg_to_project_seed_param_fires(self):
+        maker = (
+            "src/repro/pkg/maker.py",
+            "__all__ = ['build']\n\n\ndef build(seed: int):\n    return seed\n",
+        )
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "import os\n"
+            "from repro.pkg.maker import build\n"
+            "__all__: list[str] = []\n"
+            "def main():\n"
+            "    return build(int(os.environ['SEED']))\n",
+        )
+        assert _ids(lint_sources([mod, maker])) == ["RL-D006"]
+
+    def test_sanitized_seed_is_clean(self):
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "import sys\n"
+            "from repro.utils.rng import make_rng\n"
+            "from repro.utils.validation import check_in_range\n"
+            "__all__: list[str] = []\n"
+            "def build():\n"
+            "    seed_raw = int(sys.argv[1])\n"
+            "    return make_rng(seed=check_in_range(seed_raw, 0, 2**32))\n",
+        )
+        assert lint_sources([mod]) == []
+
+    def test_literal_seed_is_clean(self):
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "from repro.utils.rng import make_rng\n"
+            "__all__: list[str] = []\n"
+            "def build():\n"
+            "    return make_rng(seed=1234)\n",
+        )
+        assert lint_sources([mod]) == []
+
+    def test_tainted_attribute_seed_write_fires(self):
+        mod = (
+            "src/repro/pkg/cfg.py",
+            "import os\n"
+            "__all__: list[str] = []\n"
+            "class Config:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.seed = int(os.environ['SEED'])\n",
+        )
+        assert _ids(lint_sources([mod])) == ["RL-D006"]
+
+
+class TestCrossModuleUnitInference:
+    def test_return_body_inference_without_name_suffix(self):
+        conv = (
+            "src/repro/pkg/conv.py",
+            "__all__ = ['floor']\n\n\ndef floor(bandwidth_hz: float) -> float:\n"
+            "    noise_dbm = -174.0 + bandwidth_hz\n"
+            "    return noise_dbm\n",
+        )
+        mod = (
+            "src/repro/pkg/link.py",
+            "from repro.pkg.conv import floor\n"
+            "__all__: list[str] = []\n"
+            "def margin(tx_power_w: float) -> float:\n"
+            "    return tx_power_w - floor(180.0)\n",
+        )
+        assert _ids(lint_sources([mod, conv])) == ["RL-P004"]
+
+    def test_converter_call_name_suffix_classifies_result(self):
+        mod = (
+            "src/repro/pkg/link.py",
+            "from repro.utils.units import dbm_to_w\n"
+            "__all__: list[str] = []\n"
+            "def total(p_dbm: float, q_w: float) -> float:\n"
+            "    p_lin = dbm_to_w(p_dbm)\n"
+            "    return p_lin + q_w\n",
+        )
+        assert lint_sources([mod]) == []
+
+    def test_same_unit_propagated_sum_is_clean(self):
+        mod = (
+            "src/repro/pkg/link.py",
+            "__all__: list[str] = []\n"
+            "def total(a_w: float, b_w: float) -> float:\n"
+            "    first = a_w\n"
+            "    second = b_w\n"
+            "    return first + second\n",
+        )
+        assert lint_sources([mod]) == []
+
+    def test_conflicting_bindings_stay_unclassified(self):
+        mod = (
+            "src/repro/pkg/link.py",
+            "__all__: list[str] = []\n"
+            "def pick(a_w: float, b_dbm: float, flag: bool) -> float:\n"
+            "    value = a_w\n"
+            "    if flag:\n"
+            "        value = b_dbm\n"
+            "    return value + a_w\n",
+        )
+        assert lint_sources([mod]) == []
+
+
+class TestExportSurface:
+    def test_dead_export_fires_in_multi_module_project(self):
+        a = (
+            "src/repro/pkg/a.py",
+            "__all__ = ['used', 'unused']\n\n\ndef used() -> int:\n"
+            "    return 1\n\n\ndef unused() -> int:\n    return 2\n",
+        )
+        b = (
+            "src/repro/pkg/b.py",
+            "from repro.pkg.a import used\n"
+            "__all__: list[str] = []\n"
+            "def f() -> int:\n    return used()\n",
+        )
+        findings = lint_sources([a, b])
+        assert _ids(findings) == ["RL-H006"]
+        assert "unused" in findings[0].message
+
+    def test_package_init_reexports_are_exempt(self):
+        init = (
+            "src/repro/pkg/__init__.py",
+            "from repro.pkg.impl import thing\n\n__all__ = ['thing']\n",
+        )
+        impl = (
+            "src/repro/pkg/impl.py",
+            "__all__ = ['thing']\n\n\ndef thing() -> int:\n    return 1\n",
+        )
+        user = (
+            "src/repro/pkg2/user.py",
+            "from repro.pkg.impl import thing\n"
+            "__all__: list[str] = []\n"
+            "def g() -> int:\n    return thing()\n",
+        )
+        assert lint_sources([init, impl, user]) == []
+
+    def test_underscore_names_are_not_checked_for_consumption(self):
+        a = (
+            "src/repro/pkg/a.py",
+            "__all__ = ['_internal']\n\n\ndef _internal() -> int:\n    return 1\n",
+        )
+        b = (
+            "src/repro/pkg/b.py",
+            "import repro.pkg.a\n"
+            "__all__: list[str] = []\n"
+            "X = repro.pkg.a\n",
+        )
+        assert lint_sources([a, b]) == []
+
+
+class TestImportCycles:
+    def test_three_module_cycle_reports_full_chain(self):
+        mods = [
+            (
+                "src/repro/pkg/a.py",
+                "import repro.pkg.b\n__all__: list[str] = []\n",
+            ),
+            (
+                "src/repro/pkg/b.py",
+                "import repro.pkg.c\n__all__: list[str] = []\n",
+            ),
+            (
+                "src/repro/pkg/c.py",
+                "import repro.pkg.a\n__all__: list[str] = []\n",
+            ),
+        ]
+        findings = lint_sources(mods)
+        assert _ids(findings) == ["RL-H007"]
+        assert "repro.pkg.a -> repro.pkg.b -> repro.pkg.c -> repro.pkg.a" in (
+            findings[0].message
+        )
+
+    def test_type_checking_guard_breaks_the_cycle(self):
+        mods = [
+            (
+                "src/repro/pkg/a.py",
+                "from typing import TYPE_CHECKING\n"
+                "if TYPE_CHECKING:\n"
+                "    import repro.pkg.b\n"
+                "__all__: list[str] = []\n",
+            ),
+            (
+                "src/repro/pkg/b.py",
+                "import repro.pkg.a\n__all__: list[str] = []\n",
+            ),
+        ]
+        assert lint_sources(mods) == []
+
+    def test_lazy_import_breaks_the_cycle(self):
+        mods = [
+            (
+                "src/repro/pkg/a.py",
+                "__all__: list[str] = []\n"
+                "def f() -> int:\n"
+                "    from repro.pkg.b import g\n"
+                "    return g()\n",
+            ),
+            (
+                "src/repro/pkg/b.py",
+                "import repro.pkg.a\n__all__: list[str] = []\n",
+            ),
+        ]
+        assert lint_sources(mods) == []

@@ -3,28 +3,35 @@ stays silent on the idiomatic fix, and honours suppression comments."""
 
 import pytest
 
-from repro.lint import lint_source
+from repro.lint import lint_source, lint_sources
 
 from tests.lint.fixtures import RULE_FIXTURES
 
 _BY_ID = {fixture.rule_id: fixture for fixture in RULE_FIXTURES}
 
 
+def _lint(fixture, source):
+    """Lint one fixture variant together with its companion modules."""
+    if not fixture.extra_files:
+        return lint_source(source, fixture.path)
+    return lint_sources([(fixture.path, source), *fixture.extra_files])
+
+
 @pytest.mark.parametrize("fixture", RULE_FIXTURES, ids=lambda f: f.rule_id)
 class TestRuleFixtures:
     def test_bad_snippet_fires_exactly_this_rule(self, fixture):
-        findings = lint_source(fixture.bad, fixture.path)
+        findings = _lint(fixture, fixture.bad)
         assert findings, f"{fixture.rule_id} did not fire on its bad snippet"
         assert {f.rule_id for f in findings} == {fixture.rule_id}
 
     def test_good_snippet_is_fully_clean(self, fixture):
-        assert lint_source(fixture.good, fixture.path) == []
+        assert _lint(fixture, fixture.good) == []
 
     def test_suppression_comment_silences_the_rule(self, fixture):
-        assert lint_source(fixture.suppressed, fixture.path) == []
+        assert _lint(fixture, fixture.suppressed) == []
 
     def test_findings_carry_location_and_message(self, fixture):
-        finding = lint_source(fixture.bad, fixture.path)[0]
+        finding = _lint(fixture, fixture.bad)[0]
         assert finding.path == fixture.path
         assert finding.line >= 1
         assert finding.message
