@@ -1,0 +1,100 @@
+"""SVC-01 — campaign-service worker-fleet throughput scaling.
+
+Drains the same synthetic sleep campaign through the persistent job
+queue with a one-worker and a two-worker fleet and compares end-to-end
+throughput (trials per second of wall time, measured from fleet start
+to the queue reporting the campaign finished).  Sleep trials are pure
+wait, so a second worker process should come close to doubling
+throughput; the run asserts at least a 1.5x speedup, which leaves room
+for lease/commit overhead and worker start-up.
+
+Results land in ``benchmarks/results/BENCH_service.json``.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from _common import emit, emit_json
+
+from repro.campaign.store import CampaignStore
+from repro.service.queue import JobQueue
+from repro.service.testing import sleep_spec
+from repro.service.worker import run_worker_fleet
+
+TRIALS = 30
+SLEEP_S = 0.1
+WORKER_COUNTS = (1, 2)
+MIN_SPEEDUP = 1.5
+
+
+def drain_with_fleet(worker_count: int) -> dict:
+    """Submit a fresh campaign and time a fleet draining it."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        data_dir = Path(tmp)
+        db, store_root = data_dir / "queue.sqlite3", data_dir / "store"
+        spec = sleep_spec(TRIALS, SLEEP_S, name=f"bench-svc-{worker_count}w")
+        with JobQueue(db, CampaignStore(store_root)) as queue:
+            queue.submit(spec)
+        start = time.perf_counter()
+        fleet = run_worker_fleet(
+            worker_count, db, store_root,
+            max_idle_s=0.5, poll_interval_s=0.02, lease_ttl_s=10.0,
+        )
+        try:
+            with JobQueue(db, CampaignStore(store_root)) as queue:
+                while not queue.campaign_status(spec.name)["finished"]:
+                    time.sleep(0.02)
+                elapsed = time.perf_counter() - start
+                status = queue.campaign_status(spec.name)
+                usage = queue.usage(spec.name)
+        finally:
+            for process in fleet:
+                process.join(timeout=30.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+        assert status["job_counts"]["done"] == TRIALS
+        return {
+            "workers": worker_count,
+            "elapsed_s": elapsed,
+            "throughput_trials_per_s": TRIALS / elapsed,
+            "requeues": usage["requeues"],
+            "cpu_seconds": usage["cpu_seconds"],
+        }
+
+
+def run_experiment() -> dict:
+    runs = {str(count): drain_with_fleet(count) for count in WORKER_COUNTS}
+    speedup = (
+        runs["2"]["throughput_trials_per_s"]
+        / runs["1"]["throughput_trials_per_s"]
+    )
+    return {
+        "trials": TRIALS,
+        "sleep_s": SLEEP_S,
+        "min_speedup": MIN_SPEEDUP,
+        "runs": runs,
+        "speedup_2w_over_1w": speedup,
+    }
+
+
+def bench_service_fleet_scaling(benchmark):
+    payload = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    lines = [
+        f"{run['workers']} worker(s): {run['elapsed_s']:.2f}s "
+        f"({run['throughput_trials_per_s']:.1f} trials/s)"
+        for run in payload["runs"].values()
+    ]
+    lines.append(f"speedup (2w / 1w): {payload['speedup_2w_over_1w']:.2f}x")
+    emit("bench_service", "\n".join(lines))
+    emit_json("service", payload)
+    assert payload["speedup_2w_over_1w"] >= MIN_SPEEDUP, (
+        f"2-worker fleet only {payload['speedup_2w_over_1w']:.2f}x faster "
+        f"than 1 worker (need >= {MIN_SPEEDUP}x)"
+    )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "--benchmark-only"])

@@ -25,6 +25,7 @@ from repro.campaign.executor import (
 )
 from repro.campaign.runner import CampaignResult, TrialRecord, run_campaign
 from repro.campaign.spec import CampaignSpec, Trial, parameter_grid
+from repro.campaign.status import latest_outcomes, status_summary
 from repro.campaign.store import CampaignStore
 from repro.campaign.telemetry import CampaignTelemetry, ProgressReporter
 
@@ -40,6 +41,8 @@ __all__ = [
     "Trial",
     "TrialRecord",
     "TrialTask",
+    "latest_outcomes",
     "parameter_grid",
     "run_campaign",
+    "status_summary",
 ]

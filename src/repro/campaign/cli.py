@@ -84,6 +84,13 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "status", help="summarize recorded per-trial outcomes and timings"
     )
     status_p.add_argument("name", help="campaign name")
+    status_p.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the machine-readable status summary (same shape as "
+        "the service's status endpoint)",
+    )
     _add_cache_dir(status_p)
     status_p.set_defaults(campaign_func=_cmd_status)
 
@@ -133,50 +140,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if result.failed else 0
 
 
-def _latest_outcomes(store: Any, name: str) -> dict[str, dict[str, Any]]:
-    """Latest known state per trial: log entries overlaid by the cache."""
-    latest: dict[str, dict[str, Any]] = {}
-    for entry in store.iter_log(name):
-        trial_id = str(entry.get("trial_id", ""))
-        if trial_id:
-            latest[trial_id] = entry
-    for record in store.cached_records(name):
-        trial_id = str(record.get("trial_id", ""))
-        if trial_id:
-            latest[trial_id] = record
-    return latest
-
-
 def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
     from repro.analysis.tables import format_table
+    from repro.campaign.status import status_summary
     from repro.campaign.store import CampaignStore
 
     store = CampaignStore(args.cache_dir)
-    latest = _latest_outcomes(store, args.name)
-    if not latest:
+    summary = status_summary(store, args.name)
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    if not summary["trials"]:
         print(
             f"no recorded trials for campaign {args.name!r} "
             f"under {store.root}"
         )
         return 0
-    rows = []
-    outcome_counts: dict[str, int] = {}
-    total_wall = 0.0
-    for trial_id in sorted(latest):
-        entry = latest[trial_id]
-        outcome = str(entry.get("outcome", "?"))
-        outcome_counts[outcome] = outcome_counts.get(outcome, 0) + 1
-        wall = float(entry.get("wall_time_s", 0.0))
-        total_wall += wall
-        rows.append(
-            (
-                trial_id,
-                outcome,
-                int(entry.get("attempts", 1)),
-                f"{wall:.2f}",
-                str(entry.get("error") or ""),
-            )
+    rows = [
+        (
+            trial["trial_id"],
+            trial["outcome"],
+            trial["attempts"],
+            f"{trial['wall_time_s']:.2f}",
+            str(trial["error"] or ""),
         )
+        for trial in summary["trials"]
+    ]
     print(
         format_table(
             ["trial", "outcome", "attempts", "wall_s", "error"],
@@ -185,12 +176,13 @@ def _cmd_status(args: argparse.Namespace) -> int:
         )
     )
     counts = ", ".join(
-        f"{count} {outcome}" for outcome, count in sorted(outcome_counts.items())
+        f"{count} {outcome}"
+        for outcome, count in sorted(summary["outcome_counts"].items())
     )
-    mean_wall = total_wall / len(rows)
     print(
-        f"{len(rows)} trial(s): {counts}; "
-        f"{total_wall:.1f}s total ({mean_wall:.2f}s mean)"
+        f"{summary['trial_count']} trial(s): {counts}; "
+        f"{summary['total_wall_s']:.1f}s total "
+        f"({summary['mean_wall_s']:.2f}s mean)"
     )
     return 0
 

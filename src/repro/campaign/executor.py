@@ -26,7 +26,9 @@ already-imported modules.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import os
 import signal
 import threading
 import time
@@ -43,9 +45,47 @@ __all__ = [
     "TransientTrialError",
     "TrialTask",
     "execute_trial",
+    "resolve_worker_count",
 ]
 
 OnResult = Callable[[dict[str, Any]], None]
+
+_LOG = logging.getLogger("repro.campaign.executor")
+
+#: Environment variable overriding the default worker count, shared by
+#: :class:`ParallelExecutor` and the campaign-service worker fleet.
+WORKER_COUNT_ENV = "REPRO_JOBS"
+
+
+def resolve_worker_count(explicit: int | None = None) -> int:
+    """Worker-process count: explicit argument > ``REPRO_JOBS`` > CPU count.
+
+    The chosen count and where it came from are logged, so a campaign's
+    parallelism is never implicit.  Raises :class:`ValueError` for a
+    non-positive explicit count or env override.
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError(f"max_workers must be >= 1, got {explicit}")
+        _LOG.info("using %d worker(s) (explicit)", explicit)
+        return explicit
+    env_value = os.environ.get(WORKER_COUNT_ENV)
+    if env_value is not None:
+        try:
+            count = int(env_value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{WORKER_COUNT_ENV} must be an integer, got {env_value!r}"
+            ) from exc
+        if count < 1:
+            raise ValueError(
+                f"{WORKER_COUNT_ENV} must be >= 1, got {count}"
+            )
+        _LOG.info("using %d worker(s) (from %s)", count, WORKER_COUNT_ENV)
+        return count
+    count = multiprocessing.cpu_count()
+    _LOG.info("using %d worker(s) (cpu count)", count)
+    return count
 
 
 class TransientTrialError(RuntimeError):
@@ -190,9 +230,7 @@ class ParallelExecutor:
     def __init__(
         self, max_workers: int | None = None, max_retries: int = 1
     ) -> None:
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self.max_workers = max_workers or multiprocessing.cpu_count()
+        self.max_workers = resolve_worker_count(max_workers)
         self.max_retries = _check_retries(max_retries)
         if "fork" in multiprocessing.get_all_start_methods():
             self._mp_context = multiprocessing.get_context("fork")

@@ -173,6 +173,8 @@ def run_campaign(
     timeout_s: float | None = None,
     force: bool = False,
     progress: Progress | None = None,
+    backend: str = "local",
+    service_url: str | None = None,
 ) -> CampaignResult:
     """Run a campaign: serve cached trials, execute the delta, persist.
 
@@ -192,7 +194,37 @@ def run_campaign(
         Ignore cached results (fresh executions still get cached).
     progress:
         Callback invoked once per finished or cache-hit trial.
+    backend:
+        ``"local"`` executes in this process tree; ``"service"``
+        submits to a running campaign service (``service_url``) whose
+        worker fleet executes the trials — same result object, same
+        record schema.  The service owns its store and cache, so
+        ``store``/``executor``/``force`` do not apply there.
+    service_url:
+        Base URL of the campaign service (``backend="service"`` only).
     """
+    if backend == "service":
+        if service_url is None:
+            raise ValueError('backend="service" requires service_url')
+        if force:
+            raise ValueError(
+                "force=True is not supported by the service backend; "
+                "bump the spec version to invalidate cached trials"
+            )
+        # Imported lazily: repro.service imports repro.campaign, and a
+        # local-backend run must not require the service stack at all.
+        from repro.service.client import ServiceClient, run_campaign_via_service
+
+        return run_campaign_via_service(
+            spec,
+            ServiceClient(service_url),
+            timeout_s=timeout_s,
+            progress=progress,
+        )
+    if backend != "local":
+        raise ValueError(
+            f'backend must be "local" or "service", got {backend!r}'
+        )
     executor = executor if executor is not None else SerialExecutor()
     telemetry = CampaignTelemetry()
     trials = spec.trials()

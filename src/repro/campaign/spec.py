@@ -156,6 +156,45 @@ class CampaignSpec:
         """Number of trials in the grid."""
         return len(self.grid)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able encoding, round-trippable via :meth:`from_dict`.
+
+        This is the wire format the campaign service accepts: a spec
+        submitted over HTTP is rebuilt with :meth:`from_dict` on the
+        server, so validation (grid uniqueness, name pattern) re-runs
+        at the trust boundary.
+        """
+        return {
+            "name": self.name,
+            "trial": self.trial,
+            "grid": [dict(point) for point in self.grid],
+            "version": self.version,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_dict` output; validates fully."""
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"spec payload must be a mapping, got {type(payload).__name__}"
+            )
+        grid = payload.get("grid")
+        if not isinstance(grid, Sequence) or isinstance(grid, (str, bytes)):
+            raise ValueError("spec payload field 'grid' must be a list of dicts")
+        try:
+            return cls(
+                name=str(payload["name"]),
+                trial=str(payload["trial"]),
+                grid=tuple(dict(point) for point in grid),
+                version=int(payload.get("version", 1)),
+                description=str(payload.get("description", "")),
+            )
+        except KeyError as exc:
+            raise ValueError(f"spec payload is missing field {exc}") from exc
+        except TypeError as exc:
+            raise ValueError(f"malformed spec payload: {exc}") from exc
+
     def limit(self, count: int) -> "CampaignSpec":
         """A copy truncated to the first ``count`` grid points."""
         if count < 1:

@@ -1,0 +1,80 @@
+"""One status serializer for every surface that reports campaign state.
+
+``repro campaign status`` (text and ``--json``) and the campaign
+service's ``GET /v1/campaigns/<name>`` endpoint all render from
+:func:`status_summary`, so a campaign looks the same whether it ran
+in-process or behind the service — and the JSON shape can be asserted
+once in tests instead of per-surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.campaign.store import CampaignStore
+
+__all__ = ["latest_outcomes", "status_summary"]
+
+
+def latest_outcomes(
+    store: CampaignStore, campaign: str
+) -> dict[str, dict[str, Any]]:
+    """Latest known state per trial: log entries overlaid by the cache.
+
+    The JSONL log carries every executed attempt (including failures);
+    the content-addressed cache holds the authoritative completed
+    records.  Overlaying the cache last means a trial that failed and
+    later completed reports ``completed``.
+    """
+    latest: dict[str, dict[str, Any]] = {}
+    for entry in store.iter_log(campaign):
+        trial_id = str(entry.get("trial_id", ""))
+        if trial_id:
+            latest[trial_id] = entry
+    for record in store.cached_records(campaign):
+        trial_id = str(record.get("trial_id", ""))
+        if trial_id:
+            latest[trial_id] = record
+    return latest
+
+
+def _trial_row(trial_id: str, entry: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        "trial_id": trial_id,
+        "outcome": str(entry.get("outcome", "?")),
+        "attempts": int(entry.get("attempts", 1)),
+        "wall_time_s": float(entry.get("wall_time_s", 0.0)),
+        "error": entry.get("error") or None,
+    }
+
+
+def status_summary(store: CampaignStore, campaign: str) -> dict[str, Any]:
+    """JSON-able per-trial outcomes and aggregate counters for a campaign.
+
+    Shape::
+
+        {"campaign": ..., "store": ..., "trial_count": N,
+         "outcome_counts": {"completed": ..., "failed": ...},
+         "total_wall_s": ..., "mean_wall_s": ...,
+         "trials": [{"trial_id", "outcome", "attempts",
+                     "wall_time_s", "error"}, ...]}
+
+    ``trials`` is sorted by trial id; an unknown campaign yields zero
+    trials rather than an error, so pollers can race submission.
+    """
+    latest = latest_outcomes(store, campaign)
+    trials = [_trial_row(trial_id, latest[trial_id]) for trial_id in sorted(latest)]
+    outcome_counts: dict[str, int] = {}
+    total_wall = 0.0
+    for row in trials:
+        outcome_counts[row["outcome"]] = outcome_counts.get(row["outcome"], 0) + 1
+        total_wall += row["wall_time_s"]
+    return {
+        "campaign": campaign,
+        "store": str(store.root),
+        "trial_count": len(trials),
+        "outcome_counts": outcome_counts,
+        "total_wall_s": total_wall,
+        "mean_wall_s": total_wall / len(trials) if trials else 0.0,
+        "trials": trials,
+    }

@@ -96,21 +96,33 @@ class CampaignStore:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     def iter_log(self, campaign: str) -> Iterator[dict[str, Any]]:
-        """Log records oldest-first; unparsable lines are skipped."""
+        """Log records oldest-first; unparsable lines are skipped.
+
+        A crash during :meth:`append_log` can leave a torn final line —
+        truncated JSON, possibly cut mid multi-byte UTF-8 character.
+        Lines are therefore read as bytes and decoded individually, so a
+        torn tail (or any other corrupt line) is skipped instead of
+        aborting the whole iteration with a decode error.
+        """
         path = self.log_path(campaign)
         try:
-            lines = path.read_text(encoding="utf-8").splitlines()
+            handle = path.open("rb")
         except OSError:
             return
-        for line in lines:
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            if isinstance(record, dict):
-                yield record
+        with handle:
+            for raw in handle:
+                try:
+                    line = raw.decode("utf-8")
+                except UnicodeDecodeError:
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
 
     # ------------------------------------------------------------------
     # Maintenance

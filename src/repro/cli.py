@@ -8,6 +8,8 @@ can see the system work before writing any code:
 * ``superposition`` — the Section II phase sweep as a table;
 * ``params`` — the default simulation parameter table;
 * ``campaign`` — the experiment-campaign runner (see ``docs/campaigns.md``);
+* ``service`` — the distributed campaign service: HTTP control plane
+  plus leasing worker fleets (see ``docs/campaigns.md``);
 * ``lint`` — the reprolint static-analysis gate (see ``docs/reprolint.md``).
 """
 
@@ -20,6 +22,7 @@ from typing import Sequence
 
 from repro.campaign.cli import configure_parser as configure_campaign_parser
 from repro.lint.cli import configure_parser as configure_lint_parser
+from repro.service.cli import configure_parser as configure_service_parser
 
 __all__ = ["build_parser", "main"]
 
@@ -110,6 +113,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_service(args: argparse.Namespace) -> int:
+    from repro.service.cli import run_service_command
+
+    return run_service_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -151,6 +160,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     configure_lint_parser(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    service = sub.add_parser(
+        "service", help="distributed campaign service (server/workers)"
+    )
+    configure_service_parser(service)
+    service.set_defaults(func=_cmd_service)
 
     return parser
 

@@ -114,9 +114,11 @@ class NoWallClockSeeding(_DeterminismRule):
     """RL-D003: wall-clock reads in simulation code smuggle real time into
     what must be a purely virtual-time, seed-determined world.
 
-    Scope: :mod:`repro.campaign` is exempt — campaign telemetry measures
-    how long *real* trial executions take, which is exactly a wall-clock
-    concern and never feeds back into simulated time or seeds.
+    Scope: :mod:`repro.campaign` and :mod:`repro.service` are exempt —
+    campaign telemetry measures how long *real* trial executions take,
+    and the service's lease TTLs, heartbeats and usage ledger are
+    wall-clock mechanisms by definition; neither feeds back into
+    simulated time or seeds.
     """
 
     rule_id = "RL-D003"
@@ -124,7 +126,7 @@ class NoWallClockSeeding(_DeterminismRule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return super().applies_to(ctx) and not ctx.has_dir("campaign")
+        return super().applies_to(ctx) and not ctx.has_dir("campaign", "service")
 
     def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
         name = ctx.resolve_call_name(node.func)

@@ -1,0 +1,58 @@
+"""Campaign service: distributed, resumable experiment execution.
+
+The service turns the in-process campaign runner into a deployable
+system with three moving parts sharing one data directory:
+
+* :mod:`repro.service.queue` — a crash-safe SQLite job queue with
+  append-only state transitions (``pending -> leased -> done | failed |
+  quarantined``), lease TTLs, a bounded requeue budget, and a
+  per-campaign usage ledger;
+* :mod:`repro.service.worker` — leasing worker processes that execute
+  trials through the standard :func:`~repro.campaign.executor.execute_trial`
+  path, heartbeat to keep their leases, drain gracefully on SIGTERM and
+  lose nothing to ``kill -9``;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a stdlib
+  HTTP control plane (submit / status / NDJSON event stream / cancel /
+  results / usage) and its client, including the
+  ``run_campaign(..., backend="service")`` drop-in backend.
+
+See ``docs/campaigns.md`` ("Running as a service") for deployment.
+"""
+
+from repro.service.cli import service_paths
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    run_campaign_via_service,
+)
+from repro.service.queue import (
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_REQUEUE_BUDGET,
+    JobQueue,
+    LeasedJob,
+    SpecConflictError,
+    UnknownCampaignError,
+)
+from repro.service.server import CampaignServiceServer, serve_forever
+from repro.service.testing import sleep_spec, sleep_trial, spin_trial
+from repro.service.worker import ServiceWorker, run_worker_fleet
+
+__all__ = [
+    "CampaignServiceServer",
+    "DEFAULT_LEASE_TTL_S",
+    "DEFAULT_REQUEUE_BUDGET",
+    "JobQueue",
+    "LeasedJob",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceWorker",
+    "SpecConflictError",
+    "UnknownCampaignError",
+    "run_campaign_via_service",
+    "run_worker_fleet",
+    "serve_forever",
+    "service_paths",
+    "sleep_spec",
+    "sleep_trial",
+    "spin_trial",
+]

@@ -1,0 +1,256 @@
+"""HTTP client for the campaign service, and the drop-in runner backend.
+
+:class:`ServiceClient` wraps the control-plane API with plain
+``urllib`` — no third-party dependencies — and
+:func:`run_campaign_via_service` turns a submitted campaign back into
+the same :class:`~repro.campaign.runner.CampaignResult` the in-process
+runner returns, so ``run_campaign(spec, backend="service",
+service_url=...)`` is a drop-in replacement: existing benchmarks and
+analysis code work unchanged against a multi-worker deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterator, Mapping
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.campaign.runner import CampaignResult, TrialRecord
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.telemetry import CampaignTelemetry
+
+__all__ = ["ServiceClient", "ServiceError", "run_campaign_via_service"]
+
+Progress = Callable[[Mapping[str, Any]], None]
+
+#: transition ``to_state`` -> record outcome, for progress callbacks.
+_TERMINAL_OUTCOMES = {
+    "done": "completed",
+    "failed": "failed",
+    "quarantined": "failed",
+}
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the campaign service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"service returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal blocking client for one campaign-service base URL."""
+
+    def __init__(self, base_url: str, *, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            raise ServiceError(exc.code, _error_text(exc)) from exc
+
+    def _get(self, path: str) -> Any:
+        return self._request("GET", path)
+
+    def _post(self, path: str, payload: Any = None) -> Any:
+        return self._request("POST", path, payload)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """``GET /healthz``."""
+        return self._get("/healthz")
+
+    def submit(
+        self, spec: CampaignSpec, *, timeout_s: float | None = None
+    ) -> dict[str, Any]:
+        """Submit a campaign spec; idempotent for an identical spec."""
+        payload: dict[str, Any] = {"spec": spec.to_dict()}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return self._post("/v1/campaigns", payload)
+
+    def list_campaigns(self) -> list[dict[str, Any]]:
+        """Status of every campaign the service knows."""
+        return self._get("/v1/campaigns")["campaigns"]
+
+    def status(self, name: str) -> dict[str, Any]:
+        """Queue status + shared store-status summary + usage ledger."""
+        return self._get(f"/v1/campaigns/{name}")
+
+    def results(self, name: str) -> list[dict[str, Any]]:
+        """Final per-trial records of terminal jobs."""
+        return self._get(f"/v1/campaigns/{name}/results")["records"]
+
+    def usage(self, name: str) -> dict[str, Any]:
+        """The campaign's compute-accounting ledger."""
+        return self._get(f"/v1/campaigns/{name}/usage")
+
+    def cancel(self, name: str) -> dict[str, Any]:
+        """Stop leasing the campaign's remaining jobs."""
+        return self._post(f"/v1/campaigns/{name}/cancel")
+
+    def iter_events(
+        self, name: str, *, since: int = 0, follow: bool = True
+    ) -> Iterator[dict[str, Any]]:
+        """Stream the campaign's NDJSON transition log.
+
+        With ``follow`` the server holds the connection open until the
+        campaign finishes; without it, the current backlog is returned
+        and the stream ends.
+        """
+        follow_flag = "1" if follow else "0"
+        path = f"/v1/campaigns/{name}/events?since={since}&follow={follow_flag}"
+        request = Request(self.base_url + path)
+        try:
+            with urlopen(request, timeout=self.timeout_s) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if line:
+                        yield json.loads(line)
+        except HTTPError as exc:
+            raise ServiceError(exc.code, _error_text(exc)) from exc
+
+    def wait(
+        self,
+        name: str,
+        *,
+        progress: Progress | None = None,
+        deadline_s: float | None = None,
+        poll_s: float = 0.5,
+    ) -> dict[str, Any]:
+        """Block until the campaign finishes; returns its final status.
+
+        Progress is driven from the event stream (one callback per
+        terminal transition); a dropped stream falls back to polling
+        and resumes streaming from the last seen sequence number.
+        """
+        start = time.monotonic()
+        last_seq = 0
+        while True:
+            try:
+                for event in self.iter_events(name, since=last_seq):
+                    last_seq = max(last_seq, int(event.get("seq", last_seq)))
+                    if progress is not None:
+                        _fire_progress(progress, event)
+            except (URLError, TimeoutError, ConnectionError, json.JSONDecodeError):
+                time.sleep(poll_s)  # stream dropped; poll and retry
+            status = self.status(name)
+            if status["finished"]:
+                return status
+            if (
+                deadline_s is not None
+                and time.monotonic() - start > deadline_s
+            ):
+                raise TimeoutError(
+                    f"campaign {name!r} not finished after {deadline_s:.0f}s: "
+                    f"{status['job_counts']}"
+                )
+            time.sleep(poll_s)
+
+
+def _error_text(exc: HTTPError) -> str:
+    try:
+        payload = json.loads(exc.read().decode("utf-8"))
+        return str(payload.get("error", payload))
+    except (ValueError, OSError):
+        return str(exc.reason)
+
+
+def _fire_progress(progress: Progress, event: Mapping[str, Any]) -> None:
+    """Invoke a runner-style progress callback for a terminal transition."""
+    outcome = _TERMINAL_OUTCOMES.get(str(event.get("to_state")))
+    if outcome is None:
+        return
+    progress(
+        {
+            "trial_id": event.get("trial_id"),
+            "outcome": outcome,
+            "cached": event.get("detail") == "cache hit",
+            "attempts": 1,
+            "wall_time_s": 0.0,
+            "error": event.get("detail") if outcome == "failed" else None,
+        }
+    )
+
+
+def _record_from_service(
+    trial: Any, record: Mapping[str, Any] | None
+) -> TrialRecord:
+    if record is None:
+        return TrialRecord(
+            trial_id=trial.trial_id,
+            key=trial.key,
+            params=trial.params,
+            outcome="failed",
+            metrics=None,
+            error="trial not executed (campaign cancelled or unfinished)",
+            attempts=0,
+            wall_time_s=0.0,
+            cached=False,
+        )
+    return TrialRecord(
+        trial_id=trial.trial_id,
+        key=trial.key,
+        params=trial.params,
+        outcome=str(record.get("outcome", "failed")),
+        metrics=record.get("metrics"),
+        error=record.get("error"),
+        attempts=int(record.get("attempts") or 0),
+        wall_time_s=float(record.get("wall_time_s", 0.0)),
+        cached=bool(record.get("cached", False)),
+    )
+
+
+def run_campaign_via_service(
+    spec: CampaignSpec,
+    client: ServiceClient,
+    *,
+    timeout_s: float | None = None,
+    progress: Progress | None = None,
+    deadline_s: float | None = None,
+) -> CampaignResult:
+    """Submit, wait, and assemble a :class:`CampaignResult`.
+
+    The returned result has records in spec order with the same record
+    schema as the in-process runner; telemetry counters come from the
+    service's usage ledger (``executed_wall_s`` is the fleet's summed
+    trial wall time — CPU-seconds of compute, not elapsed time here).
+    """
+    client.submit(spec, timeout_s=timeout_s)
+    client.wait(spec.name, progress=progress, deadline_s=deadline_s)
+    by_key = {
+        str(record.get("key")): record for record in client.results(spec.name)
+    }
+    records = [
+        _record_from_service(trial, by_key.get(trial.key))
+        for trial in spec.trials()
+    ]
+    usage = client.usage(spec.name)
+    telemetry = CampaignTelemetry(
+        completed=int(usage.get("trials_completed", 0)),
+        failed=int(usage.get("trials_failed", 0)),
+        cached=int(usage.get("cache_hits", 0)),
+        retried=int(usage.get("requeues", 0)),
+        executed_wall_s=float(usage.get("cpu_seconds", 0.0)),
+    )
+    return CampaignResult(spec, records, telemetry)

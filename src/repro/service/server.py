@@ -1,0 +1,251 @@
+"""Thin stdlib HTTP control plane for the campaign service.
+
+The server is deliberately boring: a :class:`ThreadingHTTPServer` whose
+handler opens a fresh :class:`~repro.service.queue.JobQueue` connection
+per request (SQLite connections are cheap and single-threaded), speaks
+JSON, and never executes trials itself — workers do that, directly
+against the shared queue database.  The API surface::
+
+    GET  /healthz                      liveness + queue-wide job counts
+    POST /v1/campaigns                 submit {"spec": {...}, "timeout_s"?}
+    GET  /v1/campaigns                 status of every campaign
+    GET  /v1/campaigns/<name>          queue + store status and usage
+    GET  /v1/campaigns/<name>/events   NDJSON transition stream (?since=N)
+    POST /v1/campaigns/<name>/cancel   stop leasing the campaign's jobs
+    GET  /v1/campaigns/<name>/results  final per-trial records
+    GET  /v1/campaigns/<name>/usage    compute-accounting ledger
+
+The status endpoint embeds the same
+:func:`repro.campaign.status.status_summary` document that
+``repro campaign status --json`` prints, so every surface reports
+campaign state in one shape.
+
+The control plane is unauthenticated and trusts its callers with
+arbitrary ``module:function`` trial references — bind it to loopback or
+a private network, exactly like the single-machine runner it replaces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.status import status_summary
+from repro.campaign.store import CampaignStore
+from repro.service.queue import (
+    JobQueue,
+    SpecConflictError,
+    UnknownCampaignError,
+)
+
+__all__ = ["CampaignServiceServer", "serve_forever"]
+
+#: Seconds between transition polls while streaming events.
+_EVENT_POLL_S = 0.2
+
+
+class CampaignServiceServer(ThreadingHTTPServer):
+    """HTTP server bound to one service data directory."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        db_path: str | Path,
+        store_root: str | Path,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.db_path = Path(db_path)
+        self.store_root = Path(store_root)
+        # Create the schema (and surface data-dir problems) at startup,
+        # not on the first unlucky request.
+        self.open_queue().close()
+
+    def open_queue(self) -> JobQueue:
+        """A fresh queue connection for one request/thread."""
+        return JobQueue(self.db_path, CampaignStore(self.store_root))
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (host:port as actually bound)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: CampaignServiceServer
+
+    # HTTP/1.0: close-delimited bodies make NDJSON streaming trivial for
+    # stdlib clients; the control plane doesn't need keep-alive.
+    protocol_version = "HTTP/1.0"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # request logging is the deployment's concern, not stderr's
+
+    def _send_json(self, payload: Any, code: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json({"error": message}, code)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body is empty; expected JSON")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._route("POST")
+
+    def _route(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        queue = self.server.open_queue()
+        try:
+            self._dispatch(method, parts, query, queue)
+        except UnknownCampaignError as exc:
+            self._send_error_json(404, str(exc.args[0] if exc.args else exc))
+        except SpecConflictError as exc:
+            self._send_error_json(409, str(exc))
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream; nothing to answer
+        finally:
+            queue.close()
+
+    def _dispatch(
+        self,
+        method: str,
+        parts: list[str],
+        query: dict[str, list[str]],
+        queue: JobQueue,
+    ) -> None:
+        if method == "GET" and parts == ["healthz"]:
+            self._send_json({"ok": True, **queue.sweep_idle()})
+            return
+        if len(parts) < 2 or parts[0] != "v1" or parts[1] != "campaigns":
+            self._send_error_json(404, f"no route for {method} {self.path}")
+            return
+        tail = parts[2:]
+        if method == "POST" and not tail:
+            self._submit(queue)
+            return
+        if method == "GET" and not tail:
+            self._send_json({"campaigns": queue.list_campaigns()})
+            return
+        if not tail:
+            self._send_error_json(405, f"{method} not allowed here")
+            return
+        name = tail[0]
+        action = tail[1] if len(tail) > 1 else None
+        if method == "GET" and action is None:
+            self._status(queue, name)
+        elif method == "GET" and action == "events":
+            self._stream_events(queue, name, query)
+        elif method == "GET" and action == "results":
+            self._send_json({"records": queue.results(name)})
+        elif method == "GET" and action == "usage":
+            self._send_json(queue.usage(name))
+        elif method == "POST" and action == "cancel":
+            self._send_json(queue.cancel(name))
+        else:
+            self._send_error_json(
+                404, f"no route for {method} {self.path}"
+            )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def _submit(self, queue: JobQueue) -> None:
+        payload = self._read_json_body()
+        if not isinstance(payload, dict) or "spec" not in payload:
+            raise ValueError('expected a JSON object with a "spec" field')
+        spec = CampaignSpec.from_dict(payload["spec"])
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            timeout_s = float(timeout_s)
+        status = queue.submit(spec, timeout_s=timeout_s)
+        self._send_json(status, 201)
+
+    def _status(self, queue: JobQueue, name: str) -> None:
+        status = queue.campaign_status(name)
+        store = CampaignStore(self.server.store_root)
+        status["usage"] = queue.usage(name)
+        # The shared serializer: identical to `repro campaign status --json`
+        # run against the service's store directory.
+        status["store_status"] = status_summary(store, name)
+        self._send_json(status)
+
+    def _stream_events(
+        self, queue: JobQueue, name: str, query: dict[str, list[str]]
+    ) -> None:
+        after_seq = int(query.get("since", ["0"])[0])
+        follow = query.get("follow", ["1"])[0] not in ("0", "false")
+        queue.campaign_status(name)  # 404 before headers go out
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        while True:
+            events = queue.events_since(name, after_seq, limit=500)
+            for event in events:
+                line = json.dumps(event, sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                after_seq = event["seq"]
+            self.wfile.flush()
+            if not follow:
+                break
+            if not events:
+                queue.requeue_expired()
+                if queue.campaign_status(name)["finished"]:
+                    break
+                time.sleep(_EVENT_POLL_S)
+
+
+def serve_forever(
+    host: str,
+    port: int,
+    db_path: str | Path,
+    store_root: str | Path,
+    *,
+    ready: threading.Event | None = None,
+) -> CampaignServiceServer:
+    """Run the control plane until interrupted (or from a thread in tests).
+
+    ``ready`` is set once the socket is bound and the queue schema
+    exists — tests and supervisors can wait on it instead of polling.
+    """
+    server = CampaignServiceServer((host, port), db_path, store_root)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    return server

@@ -1,0 +1,47 @@
+"""Synthetic trial kernels for service tests and benchmarks.
+
+Service tests and ``bench_service.py`` need trial kernels that are
+importable by worker *processes* (dotted references), deterministic,
+and cheap — and whose cost is an explicit parameter rather than real
+simulation work, so queue/lease overhead can be measured in isolation.
+These live in the library (not under ``tests/``) because deployed
+workers import them by reference from any working directory.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.campaign.spec import CampaignSpec, parameter_grid
+
+__all__ = ["sleep_spec", "sleep_trial", "spin_trial"]
+
+
+def sleep_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Block for ``sleep_s`` seconds; models an I/O-bound trial."""
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s > 0.0:
+        time.sleep(sleep_s)
+    return {"slept_s": sleep_s, "index": params["index"]}
+
+
+def spin_trial(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Deterministic integer arithmetic for ``spins`` rounds (CPU-bound)."""
+    total = 0
+    for value in range(int(params.get("spins", 1000))):
+        total = (total + value * value) % 1_000_003
+    return {"checksum": total, "index": params["index"]}
+
+
+def sleep_spec(
+    count: int, sleep_s: float, *, name: str = "svc-sleep", version: int = 1
+) -> CampaignSpec:
+    """A ``count``-trial campaign of fixed-cost sleeping trials."""
+    return CampaignSpec(
+        name=name,
+        trial="repro.service.testing:sleep_trial",
+        grid=parameter_grid(index=tuple(range(count)), sleep_s=(sleep_s,)),
+        version=version,
+        description=f"{count} synthetic {sleep_s:.3f}s trials",
+    )

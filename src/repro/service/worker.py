@@ -1,0 +1,273 @@
+"""Leasing worker processes for the campaign service.
+
+A worker is a plain process in a loop: lease a batch of trial jobs with
+a TTL, execute them through the same :func:`execute_trial` path the
+in-process executors use, report completions, repeat.  A background
+heartbeat thread renews the worker's leases at a third of the TTL, so a
+*live* worker never loses jobs to the expiry sweep no matter how long a
+trial runs — while a worker that dies (``kill -9`` included) simply
+stops heartbeating and its jobs re-queue when the TTL lapses.
+
+Robustness contract:
+
+* **SIGTERM drains gracefully** — the worker finishes the jobs it has
+  already leased (completing them beats letting the leases lapse and
+  burning requeue budget), then exits without leasing more.
+* **SIGKILL loses nothing** — leased-but-incomplete jobs return to
+  ``pending`` via :meth:`JobQueue.requeue_expired`; a job the dead
+  worker *did* finish was recorded atomically first, and any in-flight
+  duplicate completion by the replacement worker is a no-op.
+* **Trial crashes stay in the trial** — :func:`execute_trial` converts
+  exceptions and timeouts into ``failed`` reports; only a crash of the
+  worker process itself (OOM-kill, segfault in native code) falls back
+  to the lease-expiry path.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.executor import execute_trial, TrialTask
+from repro.campaign.store import CampaignStore
+from repro.service.queue import (
+    DEFAULT_LEASE_TTL_S,
+    DEFAULT_REQUEUE_BUDGET,
+    JobQueue,
+    LeasedJob,
+)
+
+__all__ = ["ServiceWorker", "run_worker_fleet"]
+
+_LOG = logging.getLogger("repro.service.worker")
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+class ServiceWorker:
+    """One lease/execute/complete loop against a shared job queue.
+
+    Parameters
+    ----------
+    db_path, store_root:
+        The service data files: the SQLite queue and the shared
+        :class:`CampaignStore` root (workers need filesystem access to
+        both — they talk to the queue directly, not over HTTP).
+    batch_size:
+        Jobs leased per round trip.  Leased jobs execute sequentially
+        in this process; run more worker processes for parallelism.
+    lease_ttl_s:
+        Lease validity without a heartbeat — the recovery latency after
+        a worker is killed outright.
+    max_idle_s:
+        Exit after this long with nothing to lease (``None`` = run
+        until stopped), letting batch deployments drain and terminate.
+    """
+
+    def __init__(
+        self,
+        db_path: str | Path,
+        store_root: str | Path,
+        *,
+        worker_id: str | None = None,
+        batch_size: int = 1,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        poll_interval_s: float = 0.2,
+        heartbeat_interval_s: float | None = None,
+        max_idle_s: float | None = None,
+        requeue_budget: int = DEFAULT_REQUEUE_BUDGET,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.db_path = Path(db_path)
+        self.store_root = Path(store_root)
+        self.worker_id = worker_id or _default_worker_id()
+        self.batch_size = batch_size
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        self.heartbeat_interval_s = (
+            heartbeat_interval_s
+            if heartbeat_interval_s is not None
+            else lease_ttl_s / 3.0
+        )
+        self.max_idle_s = max_idle_s
+        self.requeue_budget = requeue_budget
+        self.clock = clock
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def request_stop(self) -> None:
+        """Ask the loop to drain: finish leased jobs, lease no more."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _handler(signum: int, frame: Any) -> None:
+            _LOG.info(
+                "worker %s: received signal %d, draining", self.worker_id, signum
+            )
+            self.request_stop()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    # ------------------------------------------------------------------
+    # Heartbeat
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self, stop: threading.Event) -> None:
+        # Own connection: JobQueue instances are single-threaded.
+        queue = self._open_queue()
+        try:
+            while not stop.wait(self.heartbeat_interval_s):
+                try:
+                    held = queue.heartbeat(
+                        self.worker_id, ttl_s=self.lease_ttl_s
+                    )
+                except Exception:
+                    _LOG.exception(
+                        "worker %s: heartbeat failed", self.worker_id
+                    )
+                    continue
+                if held:
+                    _LOG.debug(
+                        "worker %s: renewed %d lease(s)",
+                        self.worker_id,
+                        len(held),
+                    )
+        finally:
+            queue.close()
+
+    def _open_queue(self) -> JobQueue:
+        return JobQueue(
+            self.db_path,
+            CampaignStore(self.store_root),
+            requeue_budget=self.requeue_budget,
+            clock=self.clock,
+        )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def _execute(self, queue: JobQueue, job: LeasedJob) -> str:
+        task = TrialTask(
+            trial_id=job.trial_id,
+            key=job.key,
+            trial_ref=job.trial_ref,
+            params=job.params,
+            timeout_s=job.timeout_s,
+        )
+        report = execute_trial(task)
+        report["attempts"] = job.attempts
+        return queue.complete(self.worker_id, job.campaign_id, job.key, report)
+
+    def run(self) -> dict[str, int]:
+        """Lease and execute until stopped or idle; returns counters."""
+        queue = self._open_queue()
+        hb_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(hb_stop,),
+            name=f"heartbeat-{self.worker_id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        counters = {"executed": 0, "done": 0, "failed": 0, "requeued": 0}
+        idle_since: float | None = None
+        _LOG.info(
+            "worker %s: starting (batch=%d, ttl=%.1fs)",
+            self.worker_id,
+            self.batch_size,
+            self.lease_ttl_s,
+        )
+        try:
+            while not self._stop.is_set():
+                jobs = queue.lease(
+                    self.worker_id,
+                    limit=self.batch_size,
+                    ttl_s=self.lease_ttl_s,
+                )
+                if not jobs:
+                    now = self.clock()
+                    idle_since = idle_since if idle_since is not None else now
+                    if (
+                        self.max_idle_s is not None
+                        and now - idle_since >= self.max_idle_s
+                    ):
+                        _LOG.info(
+                            "worker %s: idle %.1fs, exiting",
+                            self.worker_id,
+                            now - idle_since,
+                        )
+                        break
+                    time.sleep(self.poll_interval_s)
+                    continue
+                idle_since = None
+                for job in jobs:
+                    # Even mid-drain, finish what we leased: completing
+                    # beats expiring (no requeue budget burned).
+                    state = self._execute(queue, job)
+                    counters["executed"] += 1
+                    if state == "done":
+                        counters["done"] += 1
+                    elif state == "failed":
+                        counters["failed"] += 1
+                    elif state == "pending":
+                        counters["requeued"] += 1
+        finally:
+            hb_stop.set()
+            heartbeat.join(timeout=5.0)
+            queue.close()
+        _LOG.info("worker %s: stopped after %s", self.worker_id, counters)
+        return counters
+
+
+def _fleet_main(
+    db_path: str,
+    store_root: str,
+    worker_kwargs: dict[str, Any],
+) -> None:
+    worker = ServiceWorker(db_path, store_root, **worker_kwargs)
+    worker.install_signal_handlers()
+    worker.run()
+
+
+def run_worker_fleet(
+    count: int,
+    db_path: str | Path,
+    store_root: str | Path,
+    **worker_kwargs: Any,
+) -> list[multiprocessing.Process]:
+    """Start ``count`` worker processes against one queue; returns them.
+
+    Each child installs the graceful-drain signal handlers, so
+    ``terminate()`` (SIGTERM) drains and ``kill()`` (SIGKILL) exercises
+    the lease-expiry recovery path.  The caller owns the processes:
+    join them, or terminate and join on shutdown.
+    """
+    if count < 1:
+        raise ValueError(f"worker count must be >= 1, got {count}")
+    processes = []
+    for index in range(count):
+        kwargs = dict(worker_kwargs)
+        kwargs.setdefault("worker_id", f"{_default_worker_id()}#{index}")
+        process = multiprocessing.Process(
+            target=_fleet_main,
+            args=(str(db_path), str(store_root), kwargs),
+            name=f"repro-service-worker-{index}",
+        )
+        process.start()
+        processes.append(process)
+    return processes

@@ -88,6 +88,28 @@ class TestStatus:
         assert "tiny/0000" in out and "tiny/0003" in out
         assert "4 trial(s): 4 completed" in out
 
+    def test_status_json_uses_shared_serializer(self, tmp_path, capsys):
+        import json
+
+        from repro.campaign.status import status_summary
+        from repro.campaign.store import CampaignStore
+
+        run_cli(
+            "run", "tests.campaign.trials:tiny_spec",
+            "--serial", "--cache-dir", str(tmp_path), "--quiet",
+        )
+        capsys.readouterr()
+        code = run_cli("status", "tiny", "--cache-dir", str(tmp_path), "--json")
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out)
+        assert payload == status_summary(CampaignStore(tmp_path), "tiny")
+        assert payload["trial_count"] == 4
+        assert payload["outcome_counts"] == {"completed": 4}
+        assert [t["trial_id"] for t in payload["trials"]] == [
+            f"tiny/{i:04d}" for i in range(4)
+        ]
+
     def test_status_reports_failures(self, tmp_path, capsys):
         run_cli(
             "run", "tests.campaign.test_cli:failing_spec",

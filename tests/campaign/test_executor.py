@@ -1,5 +1,8 @@
 """Tests for trial execution: capture, retry, timeout, crash isolation."""
 
+import logging
+import multiprocessing
+
 import pytest
 
 from repro.campaign.executor import (
@@ -7,6 +10,7 @@ from repro.campaign.executor import (
     SerialExecutor,
     TrialTask,
     execute_trial,
+    resolve_worker_count,
 )
 
 
@@ -154,3 +158,40 @@ class TestParallelExecutor:
     def test_bad_worker_count_rejected(self):
         with pytest.raises(ValueError, match="max_workers"):
             ParallelExecutor(max_workers=0)
+
+
+class TestResolveWorkerCount:
+    def test_explicit_count_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_worker_count(3) == 3
+
+    def test_env_override_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_worker_count() == 5
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_worker_count() == multiprocessing.cpu_count()
+
+    def test_non_integer_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError, match="REPRO_JOBS must be an integer"):
+            resolve_worker_count()
+
+    def test_non_positive_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError, match="REPRO_JOBS must be >= 1"):
+            resolve_worker_count()
+
+    def test_parallel_executor_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert ParallelExecutor().max_workers == 2
+
+    def test_choice_and_source_are_logged(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        with caplog.at_level(logging.INFO, logger="repro.campaign.executor"):
+            resolve_worker_count()
+            resolve_worker_count(2)
+        messages = [r.getMessage() for r in caplog.records]
+        assert "using 4 worker(s) (from REPRO_JOBS)" in messages
+        assert "using 2 worker(s) (explicit)" in messages

@@ -179,3 +179,22 @@ class TestCampaignResult:
         summary = result.telemetry.summary()
         assert "6 trial(s)" in summary
         assert "6 completed" in summary
+
+
+class TestServiceBackendValidation:
+    # The service path itself is exercised in tests/service; here the
+    # runner's argument contract for backend selection.
+    def test_service_backend_requires_url(self):
+        with pytest.raises(ValueError, match="requires service_url"):
+            run_campaign(ok_spec(), backend="service")
+
+    def test_service_backend_rejects_force(self):
+        with pytest.raises(ValueError, match="force=True is not supported"):
+            run_campaign(
+                ok_spec(), backend="service",
+                service_url="http://127.0.0.1:1", force=True,
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match='backend must be "local" or "service"'):
+            run_campaign(ok_spec(), backend="cloud")

@@ -82,6 +82,31 @@ class TestLog:
     def test_iter_missing_log_is_empty(self, tmp_path):
         assert list(CampaignStore(tmp_path).iter_log("demo")) == []
 
+    def test_iter_tolerates_torn_final_line(self, tmp_path):
+        # A crash mid-append leaves a truncated JSON tail; readers must
+        # keep every complete line and skip the torn one.
+        store = CampaignStore(tmp_path)
+        store.append_log("demo", {"trial_id": "demo/0000"})
+        store.append_log("demo", {"trial_id": "demo/0001"})
+        path = store.log_path("demo")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 12])  # tear into the last record
+        entries = list(store.iter_log("demo"))
+        assert [e["trial_id"] for e in entries] == ["demo/0000"]
+
+    def test_iter_tolerates_truncated_multibyte_tail(self, tmp_path):
+        # Torn mid-UTF-8-sequence: the tail is not even decodable, which
+        # must skip that line, not raise UnicodeDecodeError for the file.
+        store = CampaignStore(tmp_path)
+        store.append_log("demo", {"trial_id": "demo/0000"})
+        path = store.log_path("demo")
+        tail = '{"trial_id": "demo/0001", "note": "éé"}\n'.encode("utf-8")
+        cut = tail.rindex("é".encode("utf-8")) + 1  # inside the 2-byte char
+        with path.open("ab") as handle:
+            handle.write(tail[:cut])
+        entries = list(store.iter_log("demo"))
+        assert [e["trial_id"] for e in entries] == ["demo/0000"]
+
     def test_log_lines_are_json(self, tmp_path):
         store = CampaignStore(tmp_path)
         store.append_log("demo", {"trial_id": "demo/0000", "outcome": "failed"})

@@ -103,6 +103,17 @@ class TestDeterminismVariants:
         )
         assert lint_source(source, "src/repro/campaign/mod.py") == []
 
+    def test_wall_clock_allowed_in_service_code(self):
+        # RL-D003 is also scoped out of repro.service: lease TTLs,
+        # heartbeats and the usage ledger are wall-clock by definition.
+        source = (
+            "import time\n"
+            "__all__ = ['lease_deadline']\n"
+            "def lease_deadline(ttl_s: float) -> float:\n"
+            "    return time.time() + ttl_s\n"
+        )
+        assert lint_source(source, "src/repro/service/mod.py") == []
+
     def test_other_determinism_rules_still_apply_in_campaign_code(self):
         # The campaign exemption is RL-D003 only; global-RNG use in
         # campaign code is still a finding.

@@ -1,0 +1,160 @@
+"""End-to-end service test: real processes, real HTTP, real ``kill -9``.
+
+The acceptance scenario for the campaign service: a server subprocess
+(``repro service serve``), two worker subprocesses (``repro service
+worker``), a 50-trial campaign submitted over HTTP — and one worker
+SIGKILLed mid-run.  The campaign must still complete with exactly one
+stored record per trial and a consistent usage ledger.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.store import CampaignStore
+from repro.service.cli import service_paths
+from repro.service.client import ServiceClient
+from repro.service.testing import sleep_spec
+
+TRIALS = 50
+SLEEP_S = 0.15
+LEASE_TTL_S = 2.0
+
+
+def free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn(argv, repo_root):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "service", *argv],
+        env=env,
+        cwd=repo_root,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_health(client, timeout_s=20.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["ok"]:
+                return
+        except OSError:
+            time.sleep(0.1)
+    raise TimeoutError(f"service at {client.base_url} never became healthy")
+
+
+@pytest.fixture
+def deployment(tmp_path):
+    repo_root = Path(__file__).resolve().parents[2]
+    data_dir = tmp_path / "svc"
+    port = free_port()
+    processes = []
+    server = spawn(
+        ["serve", "--host", "127.0.0.1", "--port", str(port),
+         "--data-dir", str(data_dir)],
+        repo_root,
+    )
+    processes.append(server)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=15.0)
+    try:
+        wait_for_health(client)
+        yield client, data_dir, repo_root, processes
+    finally:
+        for process in processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+
+
+def test_campaign_survives_worker_sigkill(deployment):
+    client, data_dir, repo_root, processes = deployment
+    spec = sleep_spec(TRIALS, SLEEP_S, name="svc-e2e")
+    status = client.submit(spec)
+    assert status["job_counts"]["pending"] == TRIALS
+
+    worker_argv = [
+        "worker", "--data-dir", str(data_dir), "--jobs", "1",
+        "--ttl", str(LEASE_TTL_S), "--poll", "0.05", "--max-idle", "5",
+    ]
+    victim = spawn(worker_argv, repo_root)
+    survivor = spawn(worker_argv, repo_root)
+    processes += [victim, survivor]
+
+    # Kill -9 the first worker only once it is demonstrably mid-run
+    # (it has completed at least one trial, so it holds leases and its
+    # identity is in the record stream): its remaining leased jobs must
+    # re-queue after the TTL and finish on the surviving worker.
+    victim_id = f"{socket.gethostname()}:{victim.pid}"
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        done = [
+            r for r in client.results("svc-e2e")
+            if r.get("worker_id") == victim_id
+        ]
+        if done:
+            break
+        time.sleep(0.05)
+    assert done, f"worker {victim_id} never completed a trial"
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait(timeout=10.0)
+
+    final = client.wait("svc-e2e", deadline_s=120.0)
+    assert final["finished"] is True
+    assert final["job_counts"]["done"] == TRIALS
+    assert final["job_counts"]["failed"] == 0
+    assert final["job_counts"]["quarantined"] == 0
+
+    # Exactly-once: one terminal record per trial, unique keys, and no
+    # duplicate completion entries in the shared JSONL log.
+    records = client.results("svc-e2e")
+    assert len(records) == TRIALS
+    assert all(r["outcome"] == "completed" for r in records)
+    assert len({r["key"] for r in records}) == TRIALS
+
+    _, store_root = service_paths(data_dir)
+    store = CampaignStore(store_root)
+    log_counts = Counter(
+        entry["key"]
+        for entry in store.iter_log("svc-e2e")
+        if entry.get("outcome") == "completed"
+    )
+    assert all(count == 1 for count in log_counts.values())
+    # a kill between queue commit and store append can drop at most the
+    # in-flight record's log line; it can never duplicate one
+    assert len(log_counts) >= TRIALS - 1
+
+    # Usage ledger consistency: every trial executed and completed
+    # exactly once from the queue's perspective, with real CPU time.
+    usage = client.usage("svc-e2e")
+    assert usage["trials_completed"] == TRIALS
+    assert usage["trials_executed"] == TRIALS
+    assert usage["trials_failed"] == 0
+    assert usage["cache_hits"] == 0
+    assert usage["cpu_seconds"] >= TRIALS * SLEEP_S * 0.9
+
+    # Both worker identities appear in the stored records: work really
+    # was distributed, and the survivor picked up the victim's share.
+    workers = {r.get("worker_id") for r in records if r.get("worker_id")}
+    assert len(workers) == 2
+
+    survivor.wait(timeout=60.0)
+    assert survivor.returncode == 0

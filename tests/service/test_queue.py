@@ -1,0 +1,288 @@
+"""Tests for the crash-safe SQLite job queue.
+
+A :class:`FakeClock` drives every lease-expiry scenario, so the tests
+never sleep and never depend on real scheduling latency.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.store import CampaignStore
+from repro.service.queue import (
+    JobQueue,
+    SpecConflictError,
+    UnknownCampaignError,
+)
+from repro.service.testing import sleep_spec
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def report_for(outcome="completed", *, wall=0.5, error=None, retryable=False):
+    return {
+        "outcome": outcome,
+        "metrics": {"y": 1} if outcome == "completed" else None,
+        "error": error,
+        "wall_time_s": wall,
+        "retryable": retryable,
+        "attempts": 1,
+    }
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    with JobQueue(
+        tmp_path / "q.sqlite3", CampaignStore(tmp_path / "store"), clock=clock
+    ) as q:
+        yield q
+
+
+class TestSubmit:
+    def test_submit_enqueues_every_trial(self, queue):
+        status = queue.submit(sleep_spec(4, 0.0))
+        assert status["total_trials"] == 4
+        assert status["job_counts"]["pending"] == 4
+        assert status["finished"] is False
+
+    def test_resubmit_same_spec_is_idempotent(self, queue):
+        queue.submit(sleep_spec(3, 0.0))
+        status = queue.submit(sleep_spec(3, 0.0))
+        assert status["job_counts"]["pending"] == 3
+        assert len(queue.list_campaigns()) == 1
+
+    def test_resubmit_different_spec_conflicts(self, queue):
+        queue.submit(sleep_spec(3, 0.0))
+        with pytest.raises(SpecConflictError, match="different spec"):
+            queue.submit(sleep_spec(4, 0.0))
+
+    def test_cached_trials_prefill_as_done(self, queue):
+        spec = sleep_spec(3, 0.0)
+        trial = spec.trials()[0]
+        queue.store.save(
+            spec.name,
+            trial.key,
+            {
+                "key": trial.key,
+                "trial_id": trial.trial_id,
+                "outcome": "completed",
+                "metrics": {"slept_s": 0.0},
+                "attempts": 1,
+            },
+        )
+        status = queue.submit(spec)
+        assert status["job_counts"] == {
+            "pending": 2, "leased": 0, "done": 1, "failed": 0, "quarantined": 0,
+        }
+        assert queue.usage(spec.name)["cache_hits"] == 1
+        (record,) = [r for r in queue.results(spec.name) if r["cached"]]
+        assert record["trial_id"] == trial.trial_id
+
+    def test_unknown_campaign_raises(self, queue):
+        with pytest.raises(UnknownCampaignError):
+            queue.campaign_status("nope")
+        with pytest.raises(UnknownCampaignError):
+            queue.usage("nope")
+        with pytest.raises(UnknownCampaignError):
+            queue.cancel("nope")
+
+
+class TestLease:
+    def test_lease_claims_in_trial_order(self, queue):
+        queue.submit(sleep_spec(4, 0.0))
+        jobs = queue.lease("w1", limit=2, ttl_s=10)
+        assert [j.trial_id for j in jobs] == ["svc-sleep/0000", "svc-sleep/0001"]
+        assert all(j.attempts == 1 for j in jobs)
+        status = queue.campaign_status("svc-sleep")
+        assert status["job_counts"]["leased"] == 2
+
+    def test_leased_jobs_are_not_releasable(self, queue):
+        queue.submit(sleep_spec(2, 0.0))
+        queue.lease("w1", limit=2, ttl_s=10)
+        assert queue.lease("w2", limit=2, ttl_s=10) == []
+
+    def test_expired_lease_requeues_on_next_lease(self, queue, clock):
+        queue.submit(sleep_spec(1, 0.0))
+        (first,) = queue.lease("w1", ttl_s=5)
+        clock.advance(6.0)
+        (second,) = queue.lease("w2", ttl_s=5)
+        assert second.key == first.key
+        assert second.attempts == 2
+        assert queue.usage("svc-sleep")["requeues"] == 1
+
+    def test_heartbeat_extends_lease(self, queue, clock):
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=5)
+        clock.advance(4.0)
+        held = queue.heartbeat("w1", ttl_s=5)
+        assert held == [(job.campaign_id, job.key)]
+        clock.advance(4.0)  # past the original expiry, within the renewal
+        assert queue.lease("w2", ttl_s=5) == []
+
+    def test_heartbeat_cannot_resurrect_expired_lease(self, queue, clock):
+        queue.submit(sleep_spec(1, 0.0))
+        queue.lease("w1", ttl_s=5)
+        clock.advance(6.0)
+        assert queue.heartbeat("w1", ttl_s=5) == []
+
+    def test_requeue_budget_quarantines_poison_jobs(self, tmp_path, clock):
+        queue = JobQueue(
+            tmp_path / "q2.sqlite3",
+            CampaignStore(tmp_path / "store2"),
+            requeue_budget=1,
+            clock=clock,
+        )
+        queue.submit(sleep_spec(1, 0.0))
+        queue.lease("w1", ttl_s=5)
+        clock.advance(6.0)  # first expiry: requeued (budget 1)
+        queue.lease("w1", ttl_s=5)
+        clock.advance(6.0)  # second expiry: budget spent -> quarantined
+        assert queue.requeue_expired() == 1
+        status = queue.campaign_status("svc-sleep")
+        assert status["job_counts"]["quarantined"] == 1
+        assert status["finished"] is True
+        usage = queue.usage("svc-sleep")
+        assert usage["quarantined"] == 1
+        (record,) = queue.results("svc-sleep")
+        assert record["state"] == "quarantined"
+        assert "requeue budget" in record["error"]
+
+    def test_lease_argument_validation(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        with pytest.raises(ValueError, match="limit"):
+            queue.lease("w1", limit=0)
+        with pytest.raises(ValueError, match="ttl"):
+            queue.lease("w1", ttl_s=0.0)
+
+    def test_negative_requeue_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="requeue_budget"):
+            JobQueue(
+                tmp_path / "q3.sqlite3",
+                CampaignStore(tmp_path / "s3"),
+                requeue_budget=-1,
+            )
+
+
+class TestComplete:
+    def test_completed_trial_lands_in_store(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=10)
+        assert queue.complete("w1", job.campaign_id, job.key, report_for()) == "done"
+        cached = queue.store.load(job.campaign_id, job.key)
+        assert cached["outcome"] == "completed"
+        assert cached["worker_id"] == "w1"
+        assert queue.campaign_status(job.campaign_id)["finished"] is True
+
+    def test_duplicate_completion_is_ignored(self, queue):
+        # A worker that lost its lease but finished anyway must not
+        # produce a second record: first write wins, exactly once.
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=10)
+        queue.complete("w1", job.campaign_id, job.key, report_for())
+        outcome = queue.complete(
+            "w2", job.campaign_id, job.key, report_for(wall=9.9)
+        )
+        assert outcome == "ignored"
+        log = list(queue.store.iter_log(job.campaign_id))
+        assert len(log) == 1
+        assert queue.usage(job.campaign_id)["trials_executed"] == 1
+        (record,) = queue.results(job.campaign_id)
+        assert record["wall_time_s"] == 0.5  # the first report, not the second
+
+    def test_failed_trial_logged_but_not_cached(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=10)
+        outcome = queue.complete(
+            "w1", job.campaign_id, job.key,
+            report_for("failed", error="boom"),
+        )
+        assert outcome == "failed"
+        assert queue.store.load(job.campaign_id, job.key) is None
+        (entry,) = queue.store.iter_log(job.campaign_id)
+        assert entry["outcome"] == "failed"
+        assert queue.usage(job.campaign_id)["trials_failed"] == 1
+
+    def test_retryable_failure_requeues_within_budget(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=10)
+        outcome = queue.complete(
+            "w1", job.campaign_id, job.key,
+            report_for("failed", error="flaky", retryable=True),
+        )
+        assert outcome == "pending"
+        (again,) = queue.lease("w1", ttl_s=10)
+        assert again.key == job.key
+        assert again.attempts == 2
+
+    def test_completion_for_unknown_job_raises(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        with pytest.raises(UnknownCampaignError):
+            queue.complete("w1", "svc-sleep", "f" * 64, report_for())
+
+    def test_usage_ledger_accumulates_cpu_seconds(self, queue):
+        queue.submit(sleep_spec(2, 0.0))
+        for job in queue.lease("w1", limit=2, ttl_s=10):
+            queue.complete("w1", job.campaign_id, job.key, report_for(wall=0.25))
+        usage = queue.usage("svc-sleep")
+        assert usage["trials_executed"] == 2
+        assert usage["trials_completed"] == 2
+        assert usage["cpu_seconds"] == pytest.approx(0.5)
+
+
+class TestControl:
+    def test_cancel_stops_leasing(self, queue):
+        queue.submit(sleep_spec(3, 0.0))
+        status = queue.cancel("svc-sleep")
+        assert status["state"] == "cancelled"
+        assert status["finished"] is True
+        assert queue.lease("w1", limit=3, ttl_s=10) == []
+
+    def test_transitions_stream_is_append_only(self, queue):
+        queue.submit(sleep_spec(2, 0.0))
+        (job, _) = queue.lease("w1", limit=2, ttl_s=10)
+        queue.complete("w1", job.campaign_id, job.key, report_for())
+        events = queue.events_since("svc-sleep")
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        states = [(e["trial_id"], e["to_state"]) for e in events]
+        assert ("svc-sleep/0000", "done") in states
+        tail = queue.events_since("svc-sleep", after_seq=seqs[-2])
+        assert [e["seq"] for e in tail] == seqs[-1:]
+
+    def test_queue_survives_reopen(self, tmp_path, clock):
+        # Same database file, fresh connection: pending work and usage
+        # counters persist across a service restart.
+        db, store = tmp_path / "q.sqlite3", CampaignStore(tmp_path / "store")
+        with JobQueue(db, store, clock=clock) as q:
+            q.submit(sleep_spec(2, 0.0))
+            (job, _) = q.lease("w1", limit=2, ttl_s=5)
+            q.complete("w1", job.campaign_id, job.key, report_for())
+        clock.advance(6.0)
+        with JobQueue(db, store, clock=clock) as q:
+            status = q.campaign_status("svc-sleep")
+            assert status["job_counts"]["done"] == 1
+            (job,) = q.lease("w2", ttl_s=5)  # the expired lease re-queued
+            assert job.attempts == 2
+
+    def test_results_round_trip_json(self, queue):
+        queue.submit(sleep_spec(1, 0.0))
+        (job,) = queue.lease("w1", ttl_s=10)
+        queue.complete("w1", job.campaign_id, job.key, report_for())
+        (record,) = queue.results("svc-sleep")
+        assert json.loads(json.dumps(record)) == record
+        assert record["outcome"] == "completed"
+        assert record["state"] == "done"

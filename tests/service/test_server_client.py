@@ -1,0 +1,179 @@
+"""Tests for the HTTP control plane and its client.
+
+The server runs in a thread on an ephemeral port; workers run
+in-process.  Everything still crosses a real TCP socket, so routing,
+status codes, NDJSON streaming, and the drop-in runner backend are
+exercised end to end without subprocesses.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign.runner import run_campaign
+from repro.campaign.status import status_summary
+from repro.campaign.store import CampaignStore
+from repro.cli import main as repro_main
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import CampaignServiceServer
+from repro.service.testing import sleep_spec
+from repro.service.worker import ServiceWorker
+
+
+@pytest.fixture
+def service(tmp_path):
+    db, store_root = tmp_path / "q.sqlite3", tmp_path / "store"
+    server = CampaignServiceServer(("127.0.0.1", 0), db, store_root)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout_s=10.0)
+    yield client, db, store_root
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def drain(db, store_root, **kwargs):
+    kwargs.setdefault("max_idle_s", 0.2)
+    kwargs.setdefault("poll_interval_s", 0.05)
+    kwargs.setdefault("lease_ttl_s", 5.0)
+    return ServiceWorker(db, store_root, **kwargs).run()
+
+
+class TestEndpoints:
+    def test_health_reports_queue_counts(self, service):
+        client, _, _ = service
+        health = client.health()
+        assert health["ok"] is True
+        assert health["campaigns"] == 0
+
+    def test_submit_then_status(self, service):
+        client, _, _ = service
+        status = client.submit(sleep_spec(3, 0.0))
+        assert status["job_counts"]["pending"] == 3
+        status = client.status("svc-sleep")
+        assert status["total_trials"] == 3
+        assert status["usage"]["trials_executed"] == 0
+        assert status["store_status"]["trial_count"] == 0  # nothing ran yet
+        assert [c["campaign"] for c in client.list_campaigns()] == ["svc-sleep"]
+
+    def test_unknown_campaign_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("nope")
+        assert excinfo.value.status == 404
+
+    def test_spec_conflict_is_409(self, service):
+        client, _, _ = service
+        client.submit(sleep_spec(3, 0.0))
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit(sleep_spec(4, 0.0))
+        assert excinfo.value.status == 409
+
+    def test_bad_submit_body_is_400(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._post("/v1/campaigns", {"not-spec": 1})
+        assert excinfo.value.status == 400
+
+    def test_unrouted_path_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._get("/v2/else")
+        assert excinfo.value.status == 404
+
+    def test_cancel_finishes_campaign(self, service):
+        client, _, _ = service
+        client.submit(sleep_spec(3, 0.0))
+        status = client.cancel("svc-sleep")
+        assert status["state"] == "cancelled"
+        assert client.status("svc-sleep")["finished"] is True
+
+    def test_event_stream_backlog_and_follow(self, service):
+        client, db, store_root = service
+        client.submit(sleep_spec(2, 0.0))
+        drain(db, store_root)
+        backlog = list(client.iter_events("svc-sleep", follow=False))
+        assert [e["to_state"] for e in backlog[:2]] == ["pending", "pending"]
+        # follow-mode ends on its own once the campaign is finished
+        followed = list(client.iter_events("svc-sleep", follow=True))
+        assert followed == backlog
+        resumed = list(
+            client.iter_events("svc-sleep", since=backlog[1]["seq"], follow=False)
+        )
+        assert resumed == backlog[2:]
+
+    def test_results_and_usage_after_drain(self, service):
+        client, db, store_root = service
+        client.submit(sleep_spec(3, 0.0))
+        drain(db, store_root)
+        records = client.results("svc-sleep")
+        assert len(records) == 3
+        assert all(r["outcome"] == "completed" for r in records)
+        usage = client.usage("svc-sleep")
+        assert usage["trials_completed"] == 3
+        assert usage["cache_hits"] == 0
+
+
+class TestSharedStatusSerializer:
+    def test_service_status_matches_campaign_status_json(
+        self, service, capsys
+    ):
+        # One serializer, two surfaces: the service's store_status block
+        # must be byte-identical to `repro campaign status --json` run
+        # against the service's store directory.
+        client, db, store_root = service
+        client.submit(sleep_spec(3, 0.0))
+        drain(db, store_root)
+        via_http = client.status("svc-sleep")["store_status"]
+        code = repro_main(
+            ["campaign", "status", "svc-sleep",
+             "--cache-dir", str(store_root), "--json"]
+        )
+        assert code == 0
+        via_cli = json.loads(capsys.readouterr().out)
+        assert via_cli == via_http
+        assert via_http == status_summary(CampaignStore(store_root), "svc-sleep")
+
+
+class TestRunnerBackend:
+    def test_run_campaign_service_backend_drop_in(self, service):
+        client, db, store_root = service
+        spec = sleep_spec(4, 0.0)
+        worker = ServiceWorker(
+            db, store_root, max_idle_s=3.0, poll_interval_s=0.05,
+            lease_ttl_s=5.0,
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            seen = []
+            result = run_campaign(
+                spec,
+                backend="service",
+                service_url=client.base_url,
+                progress=seen.append,
+            )
+        finally:
+            worker.request_stop()
+            thread.join(timeout=10.0)
+        assert [r.trial_id for r in result.records] == [
+            t.trial_id for t in spec.trials()
+        ]
+        assert len(result.completed) == 4
+        assert result.failed == []
+        assert result.telemetry.completed == 4
+        assert {e["outcome"] for e in seen} == {"completed"}
+        # records carry real metrics from the worker fleet
+        assert result.values("slept_s", sleep_s=0.0) == [0.0] * 4
+
+    def test_resubmitting_finished_campaign_is_idempotent(self, service):
+        client, db, store_root = service
+        spec = sleep_spec(3, 0.0)
+        client.submit(spec)
+        drain(db, store_root)
+        status = client.submit(spec)  # same spec, already done: no-op
+        assert status["finished"] is True
+        assert status["job_counts"]["done"] == 3

@@ -1,0 +1,132 @@
+"""Tests for the leasing service worker (in-process, real clock).
+
+Crash recovery via actual ``kill -9`` lives in ``test_e2e.py``; here the
+drain/heartbeat/failure paths run in threads so they stay fast and
+deterministic enough for CI.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, parameter_grid
+from repro.campaign.store import CampaignStore
+from repro.service.queue import JobQueue
+from repro.service.testing import sleep_spec
+from repro.service.worker import ServiceWorker, run_worker_fleet
+
+
+def failing_spec(count=2):
+    return CampaignSpec(
+        name="svc-fail",
+        trial="tests.campaign.trials:raise_trial",
+        grid=parameter_grid(x=tuple(range(count))),
+    )
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return tmp_path / "q.sqlite3", tmp_path / "store"
+
+
+def open_queue(paths):
+    return JobQueue(paths[0], CampaignStore(paths[1]))
+
+
+class TestRunLoop:
+    def test_drains_campaign_then_idles_out(self, paths):
+        with open_queue(paths) as queue:
+            queue.submit(sleep_spec(5, 0.0))
+        worker = ServiceWorker(
+            *paths, batch_size=2, max_idle_s=0.2, poll_interval_s=0.05,
+            lease_ttl_s=5.0,
+        )
+        counters = worker.run()
+        assert counters == {"executed": 5, "done": 5, "failed": 0, "requeued": 0}
+        with open_queue(paths) as queue:
+            status = queue.campaign_status("svc-sleep")
+            assert status["finished"] is True
+            assert status["job_counts"]["done"] == 5
+            assert len(queue.store.cached_records("svc-sleep")) == 5
+
+    def test_failed_trials_counted_not_cached(self, paths):
+        with open_queue(paths) as queue:
+            queue.submit(failing_spec(2))
+        worker = ServiceWorker(
+            *paths, max_idle_s=0.2, poll_interval_s=0.05, lease_ttl_s=5.0
+        )
+        counters = worker.run()
+        assert counters["failed"] == 2
+        with open_queue(paths) as queue:
+            assert queue.campaign_status("svc-fail")["job_counts"]["failed"] == 2
+            assert queue.store.cached_records("svc-fail") == []
+
+    def test_request_stop_drains_leased_work(self, paths):
+        # Stop is requested while trials are executing: the worker must
+        # finish what it leased (batch of 2) and lease nothing further.
+        with open_queue(paths) as queue:
+            queue.submit(sleep_spec(6, 0.1))
+        worker = ServiceWorker(
+            *paths, batch_size=2, poll_interval_s=0.05, lease_ttl_s=10.0
+        )
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        time.sleep(0.05)  # inside the first batch
+        worker.request_stop()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        with open_queue(paths) as queue:
+            counts = queue.campaign_status("svc-sleep")["job_counts"]
+            assert counts["leased"] == 0  # nothing abandoned mid-lease
+            assert counts["done"] >= 2
+            assert counts["pending"] == 6 - counts["done"]
+
+    def test_heartbeat_outlives_the_lease_ttl(self, paths):
+        # One trial sleeps for several TTLs; the heartbeat thread must
+        # keep renewing so the job is never requeued out from under it.
+        with open_queue(paths) as queue:
+            queue.submit(sleep_spec(1, 0.9, name="svc-slow"))
+        worker = ServiceWorker(
+            *paths, lease_ttl_s=0.4, heartbeat_interval_s=0.1,
+            max_idle_s=0.2, poll_interval_s=0.05,
+        )
+        counters = worker.run()
+        assert counters == {"executed": 1, "done": 1, "failed": 0, "requeued": 0}
+        with open_queue(paths) as queue:
+            assert queue.usage("svc-slow")["requeues"] == 0
+            (record,) = queue.results("svc-slow")
+            assert record["attempts"] == 1
+
+    def test_batch_size_validated(self, paths):
+        with pytest.raises(ValueError, match="batch_size"):
+            ServiceWorker(*paths, batch_size=0)
+
+
+class TestFleet:
+    def test_fleet_count_validated(self, paths):
+        with pytest.raises(ValueError, match="worker count"):
+            run_worker_fleet(0, *paths)
+
+    def test_two_process_fleet_drains_queue(self, paths):
+        with open_queue(paths) as queue:
+            queue.submit(sleep_spec(8, 0.02))
+        fleet = run_worker_fleet(
+            2, *paths, max_idle_s=0.3, poll_interval_s=0.05, lease_ttl_s=5.0
+        )
+        try:
+            for process in fleet:
+                process.join(timeout=30.0)
+            assert all(process.exitcode == 0 for process in fleet)
+        finally:
+            for process in fleet:
+                if process.is_alive():
+                    process.kill()
+                    process.join()
+        with open_queue(paths) as queue:
+            status = queue.campaign_status("svc-sleep")
+            assert status["job_counts"]["done"] == 8
+            workers = {
+                record["worker_id"] for record in queue.results("svc-sleep")
+            }
+            assert len(workers) >= 1  # both may win jobs; at least one did
