@@ -13,6 +13,10 @@ in ``BENCH_lint.json``:
 The warm-cache run must beat the cold serial run (``_SPEEDUP_FLOOR``);
 all three modes must agree finding-for-finding with the serial path,
 so the speed never comes at the cost of a dropped diagnostic.
+
+A fourth timing runs the registry *minus* the concurrency pack
+(RL-C001..C005): the call-graph + CFG layers must not inflate a cold
+run beyond ``_PACK_OVERHEAD_CEILING`` of the pack-free time.
 """
 
 import os
@@ -34,6 +38,12 @@ SRC_TREE = pathlib.Path(__file__).parent.parent / "src" / "repro"
 #: scheduler noise on shared runners.
 _SPEEDUP_FLOOR = 1.3
 
+#: Maximum cold-serial slowdown the concurrency pack may cost relative
+#: to the same registry without RL-C rules.  The call graph and CFGs are
+#: linear passes over ASTs the engine parses anyway, so they must stay a
+#: fraction of total lint time, not a multiple of it.
+_PACK_OVERHEAD_CEILING = 1.5
+
 #: Timed repetitions per mode; the minimum is reported to damp scheduler
 #: noise on shared CI runners.
 _ROUNDS = 3
@@ -41,8 +51,8 @@ _ROUNDS = 3
 _RESULTS: dict[str, float] = {}
 
 
-def _time_lint(cache_factory=None, jobs=1):
-    engine = LintEngine()
+def _time_lint(cache_factory=None, jobs=1, engine=None):
+    engine = engine if engine is not None else LintEngine()
     best = float("inf")
     findings = None
     for round_index in range(_ROUNDS):
@@ -51,6 +61,18 @@ def _time_lint(cache_factory=None, jobs=1):
         findings = engine.lint_paths([SRC_TREE], cache=cache, jobs=jobs)
         best = min(best, time.perf_counter() - start)
     return best, findings
+
+
+def _engine_without_concurrency_pack():
+    from repro.lint.registry import all_project_rules, all_rules
+
+    return LintEngine(
+        rules=[c for c in all_rules() if not c.rule_id.startswith("RL-C")],
+        project_rules=[
+            c for c in all_project_rules()
+            if not c.rule_id.startswith("RL-C")
+        ],
+    )
 
 
 def bench_lint_modes(tmp_path, benchmark):
@@ -79,14 +101,25 @@ def bench_lint_modes(tmp_path, benchmark):
     assert as_rows(parallel_findings) == as_rows(serial_findings)
     assert as_rows(warm_findings) == as_rows(serial_findings)
 
+    base_s, _base_findings = _time_lint(
+        engine=_engine_without_concurrency_pack()
+    )
+
     _RESULTS["cold serial"] = serial_s
     _RESULTS[f"cold parallel (jobs={jobs})"] = parallel_s
     _RESULTS["warm cached"] = warm_s
+    _RESULTS["cold serial (no RL-C pack)"] = base_s
 
     speedup = serial_s / warm_s
     assert speedup >= _SPEEDUP_FLOOR, (
         f"warm-cache lint only {speedup:.2f}x faster than cold serial, "
         f"below the {_SPEEDUP_FLOOR:.1f}x floor"
+    )
+
+    pack_overhead = serial_s / base_s
+    assert pack_overhead <= _PACK_OVERHEAD_CEILING, (
+        f"concurrency pack costs {pack_overhead:.2f}x of a pack-free "
+        f"cold run, above the {_PACK_OVERHEAD_CEILING:.1f}x ceiling"
     )
 
     rows = [
@@ -112,6 +145,8 @@ def bench_lint_modes(tmp_path, benchmark):
             "rounds": _ROUNDS,
             "speedup_warm_vs_cold_serial": speedup,
             "speedup_floor": _SPEEDUP_FLOOR,
+            "concurrency_pack_overhead": pack_overhead,
+            "concurrency_pack_overhead_ceiling": _PACK_OVERHEAD_CEILING,
             "findings": len(serial_findings),
         },
     )

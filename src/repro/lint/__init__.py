@@ -15,7 +15,16 @@ An AST-based lint engine with rule packs tailored to this codebase:
   ``__all__`` in public modules (and only real, consumed names in it),
   no builtin shadowing in signatures, no top-level import cycles.
 
-Per-file rules see one module; *project* rules (:mod:`repro.lint.flow`)
+* **concurrency / resource safety** (``RL-C...``): sqlite connections
+  crossing threads, unguarded shared writes, non-reentrant calls in
+  signal handlers, CFG may-leak of handles/connections/sockets, and
+  thread-join / ``acquire``-``try/finally`` discipline — built on a
+  project-wide call graph with thread/signal/process entry-point
+  reachability (:mod:`repro.lint.callgraph`) and per-function CFGs
+  (:mod:`repro.lint.cfg`).
+
+Per-file rules see one module; *project* rules (:mod:`repro.lint.flow`,
+:mod:`repro.lint.rules.concurrency`)
 see the whole tree through :class:`repro.lint.project.ProjectModel`.
 Run it as ``python -m repro lint [paths]`` or programmatically via
 :func:`lint_paths` / :func:`lint_source` / :func:`lint_sources`.
@@ -30,8 +39,17 @@ renderer for code scanning, and count-based baselines
 
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.cache import LintCache
+from repro.lint.callgraph import CallGraph, EntryPoint, conflict
+from repro.lint.cfg import CFG, CFGNode, build_cfg
 from repro.lint.engine import LintEngine, lint_paths, lint_source, lint_sources
 from repro.lint.findings import Finding
+from repro.lint.flow import (
+    CrossModuleUnitMix,
+    ExportSurfaceIntegrity,
+    ExternalSeedTaint,
+    NoImportCycles,
+    RawGeneratorCrossesModules,
+)
 from repro.lint.project import ProjectModel
 from repro.lint.registry import (
     ProjectRule,
@@ -50,15 +68,26 @@ from repro.lint.reporting import (
 )
 
 __all__ = [
+    "CFG",
+    "CFGNode",
+    "CallGraph",
+    "CrossModuleUnitMix",
+    "EntryPoint",
+    "ExportSurfaceIntegrity",
+    "ExternalSeedTaint",
     "Finding",
     "LintCache",
     "LintEngine",
+    "NoImportCycles",
     "ProjectModel",
     "ProjectRule",
+    "RawGeneratorCrossesModules",
     "Rule",
     "all_project_rules",
     "all_rules",
     "apply_baseline",
+    "build_cfg",
+    "conflict",
     "get_rule",
     "lint_paths",
     "lint_source",

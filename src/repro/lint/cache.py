@@ -9,9 +9,14 @@ path-sensitive (``em/`` vs ``analysis/`` classify differently), so the
 same bytes can legitimately produce different findings at different
 locations.
 
-Only the per-file pass is cached: the cross-module passes in
-:mod:`repro.lint.flow` depend on every module at once, so they re-run on
-each invocation (they are a small fraction of a cold lint).
+The cross-module passes (:mod:`repro.lint.flow`, the concurrency pack's
+call-graph rules) depend on every module at once, so their results are
+cached as one *project-level* entry keyed on the digests of **all**
+``(path, source)`` pairs plus the ruleset signature — editing any one
+file (or adding/removing one) changes the key and re-runs the whole
+cross-module analysis, which is exactly the invalidation the call graph
+needs: a new ``Thread(target=...)`` in module A can change findings
+reported against module B.
 
 The cache mirrors the campaign store's crash-tolerance posture: a
 corrupt or truncated entry is treated as a miss and rewritten, never an
@@ -97,6 +102,74 @@ class LintCache:
                 [f.line, f.col, f.rule_id, f.message] for f in findings
             ],
         }
+        self._write(entry, payload)
+
+    # ------------------------------------------------------------------
+    # Project-level (cross-module) results
+    # ------------------------------------------------------------------
+    def _project_entry_path(self, items: Sequence[tuple[str, str]]) -> Path:
+        """Cache entry for a whole-project pass over ``(path, source)``.
+
+        The key hashes *every* module's path and content digest, so any
+        cross-file edit — the inputs of the import graph and call graph —
+        produces a different key and a clean miss.
+        """
+        hasher = hashlib.sha256(b"project\0")
+        for path, source in sorted(items):
+            hasher.update(path.encode("utf-8"))
+            hasher.update(b"\0")
+            hasher.update(source_digest(source).encode("utf-8"))
+            hasher.update(b"\0")
+        hasher.update(self.signature.encode("utf-8"))
+        return self.root / f"{hasher.hexdigest()}.json"
+
+    def get_project(
+        self, items: Sequence[tuple[str, str]]
+    ) -> list[Finding] | None:
+        """Cached cross-module findings for the project; ``None`` on miss."""
+        entry = self._project_entry_path(items)
+        try:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _FORMAT_VERSION
+        ):
+            self.misses += 1
+            return None
+        try:
+            findings = [
+                Finding(
+                    path=str(path),
+                    line=int(line),
+                    col=int(col),
+                    rule_id=str(rule_id),
+                    message=str(message),
+                )
+                for path, line, col, rule_id, message in payload["findings"]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put_project(
+        self, items: Sequence[tuple[str, str]], findings: Sequence[Finding]
+    ) -> None:
+        """Store the cross-module findings for the project snapshot."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                [f.path, f.line, f.col, f.rule_id, f.message]
+                for f in findings
+            ],
+        }
+        self._write(self._project_entry_path(items), payload)
+
+    def _write(self, entry: Path, payload: dict) -> None:
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             # Atomic replace so a concurrent reader never sees a torn entry.

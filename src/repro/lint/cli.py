@@ -54,6 +54,22 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         ".reprolint-baseline.json) from the current findings and exit 0",
     )
     parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="run only these rules (comma-separated ids or prefixes, "
+        "e.g. --select RL-C001,RL-C002 or --select RL-C; repeatable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        default=None,
+        metavar="RULES",
+        help="skip these rules (comma-separated ids or prefixes; "
+        "repeatable, applied after --select)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -70,6 +86,30 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="enable the content-addressed per-file result cache "
         "(default dir when the flag is given bare: .reprolint-cache)",
     )
+
+
+def _expand_selectors(values: list[str], known_ids: set[str]) -> set[str]:
+    """Expand ``--select``/``--ignore`` selectors into rule ids.
+
+    Each selector is an exact rule id or a prefix (``RL-C`` selects the
+    whole concurrency pack).  A selector matching no registered rule is
+    a usage error (:class:`ValueError`): a typo must not silently lint
+    nothing.
+    """
+    selected: set[str] = set()
+    for chunk in values:
+        for selector in chunk.split(","):
+            selector = selector.strip()
+            if not selector:
+                continue
+            matched = {rid for rid in known_ids if rid.startswith(selector)}
+            if not matched:
+                raise ValueError(
+                    f"no rule matches selector {selector!r} "
+                    "(see --list-rules)"
+                )
+            selected |= matched
+    return selected
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -101,12 +141,45 @@ def run_lint(args: argparse.Namespace) -> int:
             print(f"{rule.rule_id}  {rule.title}")
         return 0
 
+    rule_classes = all_rules()
+    project_classes = all_project_rules()
+    known_ids = {cls.rule_id for cls in (*rule_classes, *project_classes)}
+    try:
+        selected = (
+            _expand_selectors(args.select, known_ids)
+            if args.select is not None
+            else set(known_ids)
+        )
+        ignored = (
+            _expand_selectors(args.ignore, known_ids)
+            if args.ignore is not None
+            else set()
+        )
+    except ValueError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
+        return 2
+    filtered = args.select is not None or args.ignore is not None
+    active_ids = selected - ignored
+
+    if filtered:
+        engine = LintEngine(
+            rules=[c for c in rule_classes if c.rule_id in active_ids],
+            project_rules=[
+                c for c in project_classes if c.rule_id in active_ids
+            ],
+        )
+        # The cache signature covers exactly the selection, so filtered
+        # and full runs never reuse each other's entries.
+        signature = ruleset_signature(active_ids)
+    else:
+        engine = LintEngine()
+        signature = ruleset_signature()
+
     cache = None
     if args.cache_dir is not None:
-        cache = LintCache(args.cache_dir, ruleset_signature())
+        cache = LintCache(args.cache_dir, signature)
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
 
-    engine = LintEngine()
     try:
         findings = engine.lint_paths(args.paths, cache=cache, jobs=jobs)
     except FileNotFoundError as exc:

@@ -55,7 +55,9 @@ __all__ = [
 PARSE_ERROR_ID = "RL-E001"
 
 _SUPPRESS_PATTERN = re.compile(
-    r"#\s*reprolint:\s*disable(?P<next>-next)?=(?P<ids>[A-Za-z0-9_,\- ]+)"
+    r"#\s*reprolint:\s*"
+    r"(?:disable(?P<next>-next)?=(?P<ids>[A-Za-z0-9_,\- ]+)"
+    r"|ignore(?P<bracket_next>-next)?\[(?P<bracket_ids>[A-Za-z0-9_,\- ]+)\])"
 )
 
 _SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
@@ -64,12 +66,13 @@ _SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
 def collect_suppressions(source: str) -> dict[int, set[str]]:
     """Map line number -> rule ids suppressed on that line.
 
-    ``# reprolint: disable=RL-XXXX[,RL-YYYY]`` suppresses on the comment's
-    own line; ``disable-next=`` suppresses on the following line (for
-    statements too long to carry a trailing comment).  The special token
-    ``all`` suppresses every rule.  Comments are found with
-    :mod:`tokenize`, so a ``#`` inside a string literal is never mistaken
-    for a suppression.
+    ``# reprolint: disable=RL-XXXX[,RL-YYYY]`` and its bracketed alias
+    ``# reprolint: ignore[RL-XXXX,RL-YYYY]`` suppress on the comment's
+    own line; ``disable-next=`` / ``ignore-next[...]`` suppress on the
+    following line (for statements too long to carry a trailing
+    comment).  The special token ``all`` suppresses every rule.
+    Comments are found with :mod:`tokenize`, so a ``#`` inside a string
+    literal is never mistaken for a suppression.
     """
     suppressions: dict[int, set[str]] = {}
     try:
@@ -80,13 +83,17 @@ def collect_suppressions(source: str) -> dict[int, set[str]]:
             match = _SUPPRESS_PATTERN.search(tok.string)
             if match is None:
                 continue
+            raw_ids = match.group("ids") or match.group("bracket_ids")
             ids = {
                 part.strip()
-                for part in match.group("ids").split(",")
+                for part in raw_ids.split(",")
                 if part.strip()
             }
             if ids:
-                line = tok.start[0] + (1 if match.group("next") else 0)
+                is_next = bool(
+                    match.group("next") or match.group("bracket_next")
+                )
+                line = tok.start[0] + (1 if is_next else 0)
                 suppressions.setdefault(line, set()).update(ids)
     except tokenize.TokenError:
         # Unterminated constructs: the ast parse will report the real error.
@@ -468,7 +475,18 @@ class LintEngine:
                 for path, source in pending:
                     cache.put(path, source, by_path.get(path, []))
             findings.extend(computed)
-        findings.extend(self._run_project_rules(items))
+        # The cross-module pass is cached as one project-level entry
+        # keyed on every module's content (see LintCache.get_project):
+        # an edit to any file re-runs the import-graph/call-graph rules,
+        # which is exactly the cross-file invalidation they require.
+        project_findings = (
+            cache.get_project(items) if cache is not None else None
+        )
+        if project_findings is None:
+            project_findings = self._run_project_rules(items)
+            if cache is not None:
+                cache.put_project(items, project_findings)
+        findings.extend(project_findings)
         return sort_findings(findings)
 
     def lint_file(self, path: str | Path) -> list[Finding]:

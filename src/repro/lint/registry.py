@@ -22,7 +22,7 @@ from __future__ import annotations
 import ast
 import hashlib
 import re
-from typing import TYPE_CHECKING, ClassVar, Iterator, Type
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.lint.engine import ModuleContext
@@ -42,7 +42,8 @@ __all__ = [
 
 #: Bumped whenever rule semantics change, so content-addressed cache
 #: entries written by an older rule set are never reused.
-RULESET_VERSION = "2"
+#: 3: concurrency pack (RL-C001..C005) + ``ignore[...]`` suppressions.
+RULESET_VERSION = "3"
 
 _RULE_ID_PATTERN = re.compile(r"^RL-[A-Z]\d{3}$")
 
@@ -152,13 +153,19 @@ def get_rule(rule_id: str) -> Type[Rule] | Type[ProjectRule]:
     return _PROJECT_REGISTRY[rule_id]
 
 
-def ruleset_signature() -> str:
-    """Stable digest of the registered rule ids + :data:`RULESET_VERSION`.
+def ruleset_signature(rule_ids: "Iterable[str] | None" = None) -> str:
+    """Stable digest of the rule ids in play + :data:`RULESET_VERSION`.
 
     Cache entries are keyed on this, so adding/removing a rule or bumping
-    the version invalidates every cached per-file result at once.
+    the version invalidates every cached per-file result at once.  With
+    ``rule_ids`` (e.g. from ``--select``/``--ignore`` filtering) the
+    digest covers exactly that selection, so a filtered run never reuses
+    a full run's cached findings or vice versa.
     """
-    ids = [cls.rule_id for cls in all_rules()]
-    ids += [cls.rule_id for cls in all_project_rules()]
+    if rule_ids is None:
+        ids = [cls.rule_id for cls in all_rules()]
+        ids += [cls.rule_id for cls in all_project_rules()]
+    else:
+        ids = list(rule_ids)
     blob = ",".join(sorted(ids)) + "|" + RULESET_VERSION
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]

@@ -160,14 +160,20 @@ class JobQueue:
         self.clock = clock
         self.db_path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(self.db_path, timeout=30.0)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute("PRAGMA busy_timeout=30000")
-        # executescript manages its own transaction; DDL is idempotent.
-        self._conn.executescript(_SCHEMA)
-        self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+        try:
+            self._conn.row_factory = sqlite3.Row
+            self._conn.isolation_level = None  # explicit BEGIN/COMMIT below
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            # executescript manages its own transaction; DDL is idempotent.
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(f"PRAGMA user_version={_SCHEMA_VERSION}")
+        except BaseException:
+            # A corrupt or incompatible database must not leak the
+            # just-opened connection (WAL files would stay pinned).
+            self._conn.close()
+            raise
 
     def close(self) -> None:
         """Release the underlying SQLite connection."""

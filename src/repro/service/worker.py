@@ -104,6 +104,7 @@ class ServiceWorker:
         self.requeue_budget = requeue_budget
         self.clock = clock
         self._stop = threading.Event()
+        self._drain_signal: int | None = None
 
     # ------------------------------------------------------------------
     # Control
@@ -116,9 +117,10 @@ class ServiceWorker:
         """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
 
         def _handler(signum: int, frame: Any) -> None:
-            _LOG.info(
-                "worker %s: received signal %d, draining", self.worker_id, signum
-            )
+            # Logging takes a lock and is not async-signal-safe; only
+            # record the signal and set the stop event here.  The main
+            # loop reports the drain once it observes it (RL-C003).
+            self._drain_signal = signum
             self.request_stop()
 
         signal.signal(signal.SIGTERM, _handler)
@@ -230,6 +232,12 @@ class ServiceWorker:
             hb_stop.set()
             heartbeat.join(timeout=5.0)
             queue.close()
+        if self._drain_signal is not None:
+            _LOG.info(
+                "worker %s: received signal %d, drained",
+                self.worker_id,
+                self._drain_signal,
+            )
         _LOG.info("worker %s: stopped after %s", self.worker_id, counters)
         return counters
 

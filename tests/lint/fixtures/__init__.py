@@ -715,3 +715,10 @@ RULE_FIXTURES: tuple[RuleFixture, ...] = (
         ),
     ),
 )
+
+# The concurrency pack's fixtures live in their own module (the snippets
+# are structurally larger); the import sits below the table because the
+# module imports RuleFixture/_src back from this package.
+from tests.lint.fixtures.concurrency import CONCURRENCY_FIXTURES  # noqa: E402
+
+RULE_FIXTURES = RULE_FIXTURES + CONCURRENCY_FIXTURES

@@ -1,0 +1,300 @@
+"""Per-rule fixtures for the concurrency pack (RL-C001..RL-C005).
+
+Separate from the main table because these snippets are structurally
+bigger (a race needs a class, a thread entry, and both sides of the
+boundary to exist) and because several ``suppressed`` variants exercise
+the bracketed ``# reprolint: ignore[...]`` suppression alias.
+"""
+
+from __future__ import annotations
+
+from tests.lint.fixtures import RuleFixture, _src
+
+CONCURRENCY_FIXTURES: tuple[RuleFixture, ...] = (
+    RuleFixture(
+        rule_id="RL-C001",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import sqlite3
+            import threading
+
+            __all__ = ["Worker"]
+
+
+            class Worker:
+                def __init__(self, path: str) -> None:
+                    self.conn = sqlite3.connect(path)
+                    self._thread = threading.Thread(target=self._loop, daemon=True)
+                    self._thread.start()
+
+                def _loop(self) -> None:
+                    self.conn.execute("SELECT 1")
+
+                def summary(self) -> int:
+                    cur = self.conn.execute("SELECT COUNT(*) FROM t")
+                    return int(cur.fetchone()[0])
+            """
+        ),
+        good=_src(
+            """
+            import sqlite3
+            import threading
+
+            __all__ = ["Worker"]
+
+
+            class Worker:
+                def __init__(self, path: str) -> None:
+                    self.path = path
+                    self._thread = threading.Thread(target=self._loop, daemon=True)
+                    self._thread.start()
+
+                def _loop(self) -> None:
+                    conn = sqlite3.connect(self.path)
+                    try:
+                        conn.execute("SELECT 1")
+                    finally:
+                        conn.close()
+
+                def summary(self) -> int:
+                    conn = sqlite3.connect(self.path)
+                    try:
+                        cur = conn.execute("SELECT COUNT(*) FROM t")
+                        return int(cur.fetchone()[0])
+                    finally:
+                        conn.close()
+            """
+        ),
+        suppressed=_src(
+            """
+            import sqlite3
+            import threading
+
+            __all__ = ["Worker"]
+
+
+            class Worker:
+                def __init__(self, path: str) -> None:
+                    self.conn = sqlite3.connect(path)  # reprolint: ignore[RL-C001]
+                    self._thread = threading.Thread(target=self._loop, daemon=True)
+                    self._thread.start()
+
+                def _loop(self) -> None:
+                    self.conn.execute("SELECT 1")
+
+                def summary(self) -> int:
+                    cur = self.conn.execute("SELECT COUNT(*) FROM t")
+                    return int(cur.fetchone()[0])
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-C002",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import threading
+
+            __all__ = ["Counter"]
+
+
+            class Counter:
+                def __init__(self) -> None:
+                    self.total = 0
+                    self._thread = threading.Thread(target=self._tick, daemon=True)
+                    self._thread.start()
+
+                def _tick(self) -> None:
+                    self.total += 1
+
+                def read(self) -> int:
+                    return self.total
+            """
+        ),
+        good=_src(
+            """
+            import threading
+
+            __all__ = ["Counter"]
+
+
+            class Counter:
+                def __init__(self) -> None:
+                    self.total = 0
+                    self._lock = threading.Lock()
+                    self._thread = threading.Thread(target=self._tick, daemon=True)
+                    self._thread.start()
+
+                def _tick(self) -> None:
+                    with self._lock:
+                        self.total += 1
+
+                def read(self) -> int:
+                    with self._lock:
+                        return self.total
+            """
+        ),
+        suppressed=_src(
+            """
+            import threading
+
+            __all__ = ["Counter"]
+
+
+            class Counter:
+                def __init__(self) -> None:
+                    self.total = 0
+                    self._thread = threading.Thread(target=self._tick, daemon=True)
+                    self._thread.start()
+
+                def _tick(self) -> None:
+                    self.total += 1  # reprolint: ignore[RL-C002]
+
+                def read(self) -> int:
+                    return self.total
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-C003",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import logging
+            import signal
+
+            __all__ = ["install"]
+
+            _LOG = logging.getLogger(__name__)
+
+
+            def _handler(signum: int, frame: object) -> None:
+                _LOG.warning("received signal %d", signum)
+
+
+            def install() -> None:
+                signal.signal(signal.SIGTERM, _handler)
+            """
+        ),
+        good=_src(
+            """
+            import signal
+            import threading
+
+            __all__ = ["STOP", "install"]
+
+            STOP = threading.Event()
+
+
+            def _handler(signum: int, frame: object) -> None:
+                STOP.set()
+
+
+            def install() -> None:
+                signal.signal(signal.SIGTERM, _handler)
+            """
+        ),
+        suppressed=_src(
+            """
+            import logging
+            import signal
+
+            __all__ = ["install"]
+
+            _LOG = logging.getLogger(__name__)
+
+
+            def _handler(signum: int, frame: object) -> None:
+                _LOG.warning("received signal %d", signum)  # reprolint: ignore[RL-C003]
+
+
+            def install() -> None:
+                signal.signal(signal.SIGTERM, _handler)
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-C004",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            __all__ = ["read_header"]
+
+
+            def read_header(path: str) -> str:
+                handle = open(path, "r", encoding="utf-8")
+                first = handle.readline()
+                if not first:
+                    return ""
+                handle.close()
+                return first
+            """
+        ),
+        good=_src(
+            """
+            __all__ = ["read_header"]
+
+
+            def read_header(path: str) -> str:
+                with open(path, "r", encoding="utf-8") as handle:
+                    return handle.readline()
+            """
+        ),
+        suppressed=_src(
+            """
+            __all__ = ["read_header"]
+
+
+            def read_header(path: str) -> str:
+                handle = open(path, "r", encoding="utf-8")  # reprolint: disable=RL-C004
+                first = handle.readline()
+                if not first:
+                    return ""
+                handle.close()
+                return first
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-C005",
+        path="src/repro/sim/snippet.py",
+        bad=_src(
+            """
+            import threading
+
+            __all__ = ["run_once"]
+
+
+            def run_once(work) -> None:
+                worker = threading.Thread(target=work)
+                worker.start()
+            """
+        ),
+        good=_src(
+            """
+            import threading
+
+            __all__ = ["run_once"]
+
+
+            def run_once(work) -> None:
+                worker = threading.Thread(target=work)
+                worker.start()
+                worker.join()
+            """
+        ),
+        suppressed=_src(
+            """
+            import threading
+
+            __all__ = ["run_once"]
+
+
+            def run_once(work) -> None:
+                worker = threading.Thread(target=work)  # reprolint: ignore[RL-C005]
+                worker.start()
+            """
+        ),
+    ),
+)

@@ -69,8 +69,8 @@ class TestEngineCacheIntegration:
         assert cache.hits >= 1
 
     def test_project_findings_survive_warm_runs(self, tmp_path):
-        # Cross-module passes are never cached; a dead export must be
-        # reported on the warm run too.
+        # The warm run serves the cross-module pass from the project
+        # entry; a dead export must be reported on it too.
         a = tmp_path / "src" / "repro" / "pkg" / "a.py"
         a.parent.mkdir(parents=True)
         a.write_text(
@@ -89,6 +89,63 @@ class TestEngineCacheIntegration:
         warm = engine.lint_paths([a.parent], cache=cache)
         assert [f.rule_id for f in cold] == ["RL-H006"]
         assert [f.format() for f in warm] == [f.format() for f in cold]
+
+    def test_project_entry_round_trip(self, tmp_path):
+        cache = _cache(tmp_path)
+        items = [("src/repro/a.py", "a = 1\n"), ("src/repro/b.py", "b = 2\n")]
+        finding = Finding(
+            path="src/repro/a.py", line=1, col=0,
+            rule_id="RL-X001", message="cross-module msg",
+        )
+        assert cache.get_project(items) is None
+        cache.put_project(items, [finding])
+        assert cache.get_project(items) == [finding]
+
+    def test_project_key_ignores_item_order(self, tmp_path):
+        cache = _cache(tmp_path)
+        items = [("src/repro/a.py", "a = 1\n"), ("src/repro/b.py", "b = 2\n")]
+        cache.put_project(items, [])
+        assert cache.get_project(list(reversed(items))) == []
+
+    def test_editing_any_file_invalidates_the_project_entry(self, tmp_path):
+        # The project key hashes every module's content: a cross-file
+        # edit (an input of the import/call graphs) must be a miss even
+        # for findings anchored in an untouched file.
+        cache = _cache(tmp_path)
+        items = [("src/repro/a.py", "a = 1\n"), ("src/repro/b.py", "b = 2\n")]
+        cache.put_project(items, [])
+        edited = [("src/repro/a.py", "a = 1\n"), ("src/repro/b.py", "b = 3\n")]
+        assert cache.get_project(edited) is None
+
+    def test_adding_a_file_invalidates_the_project_entry(self, tmp_path):
+        cache = _cache(tmp_path)
+        items = [("src/repro/a.py", "a = 1\n")]
+        cache.put_project(items, [])
+        grown = items + [("src/repro/b.py", "b = 2\n")]
+        assert cache.get_project(grown) is None
+
+    def test_cross_file_edit_recomputes_project_findings(self, tmp_path):
+        # End-to-end: removing the import from b.py turns a.py's export
+        # dead; the warm engine run must surface the new RL-H006 even
+        # though a.py itself is byte-identical.
+        a = tmp_path / "src" / "repro" / "pkg" / "a.py"
+        a.parent.mkdir(parents=True)
+        a.write_text(
+            "__all__ = ['helper']\n\n\ndef helper() -> int:\n    return 1\n"
+        )
+        b = a.with_name("b.py")
+        b.write_text(
+            "from repro.pkg.a import helper\n"
+            "__all__: list[str] = []\n"
+            "def f() -> int:\n    return helper()\n"
+        )
+        engine = LintEngine()
+        cache = _cache(tmp_path)
+        before = engine.lint_paths([a.parent], cache=cache)
+        assert "RL-H006" not in {f.rule_id for f in before}
+        b.write_text("__all__: list[str] = []\n")
+        after = engine.lint_paths([a.parent], cache=cache)
+        assert "RL-H006" in {f.rule_id for f in after}
 
     def test_cache_entries_are_json_documents(self, tmp_path):
         cache = _cache(tmp_path)

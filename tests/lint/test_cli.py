@@ -89,3 +89,65 @@ class TestLintCommand:
         bad.write_text("{not json")
         assert main(["lint", "--baseline", str(bad), path]) == 2
         assert "baseline" in capsys.readouterr().err
+
+
+class TestRuleSelection:
+    # Trips RL-H001 (mutable default) and RL-H003 (missing __all__).
+    DIRTY = "def f(acc=[]):\n    return acc\n"
+
+    def test_select_runs_only_the_named_rule(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        assert main(["lint", "--select", "RL-H001", path]) == 1
+        out = capsys.readouterr().out
+        assert "RL-H001" in out
+        assert "RL-H003" not in out
+
+    def test_select_prefix_expands_to_the_pack(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        assert main(["lint", "--select", "RL-H", path]) == 1
+        out = capsys.readouterr().out
+        assert "RL-H001" in out
+        assert "RL-H003" in out
+
+    def test_ignore_drops_the_named_rule(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        assert main(["lint", "--ignore", "RL-H003", path]) == 1
+        out = capsys.readouterr().out
+        assert "RL-H001" in out
+        assert "RL-H003" not in out
+
+    def test_ignore_applies_after_select(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        assert (
+            main(["lint", "--select", "RL-H", "--ignore", "RL-H001", path])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "RL-H001" not in out
+        assert "RL-H003" in out
+
+    def test_selecting_everything_away_is_clean(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        assert (
+            main(["lint", "--select", "RL-H001", "--ignore", "RL-H001", path])
+            == 0
+        )
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_comma_separated_and_repeated_selectors(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "dirty.py", self.DIRTY)
+        code = main(
+            ["lint", "--select", "RL-H001,RL-H003", "--select", "RL-D", path]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RL-H001" in out
+        assert "RL-H003" in out
+
+    def test_unknown_selector_exits_two_on_stderr(self, tmp_path, capsys):
+        path = _write_pkg(tmp_path, "clean.py", "__all__ = []\n")
+        assert main(["lint", "--select", "RL-ZZZ", path]) == 2
+        captured = capsys.readouterr()
+        assert "RL-ZZZ" in captured.err
+        assert "--list-rules" in captured.err
+        assert captured.out == ""

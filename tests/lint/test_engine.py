@@ -31,6 +31,25 @@ class TestSuppressionParsing:
         sup = collect_suppressions("x = 1  # reprolint: disable=all\n")
         assert sup == {1: {"all"}}
 
+    def test_bracketed_ignore_alias(self):
+        sup = collect_suppressions("x = 1  # reprolint: ignore[RL-D001]\n")
+        assert sup == {1: {"RL-D001"}}
+
+    def test_bracketed_ignore_with_multiple_rules(self):
+        sup = collect_suppressions(
+            "x = 1  # reprolint: ignore[RL-D001, RL-H002]\n"
+        )
+        assert sup == {1: {"RL-D001", "RL-H002"}}
+
+    def test_bracketed_ignore_next_targets_following_line(self):
+        sup = collect_suppressions("# reprolint: ignore-next[RL-P001]\nx = 1\n")
+        assert sup == {2: {"RL-P001"}}
+
+    def test_unbracketed_ignore_is_not_a_suppression(self):
+        # Only the bracketed form is valid for the ``ignore`` spelling.
+        sup = collect_suppressions("x = 1  # reprolint: ignore=RL-D001\n")
+        assert sup == {}
+
     def test_hash_inside_string_is_not_a_suppression(self):
         sup = collect_suppressions('x = "# reprolint: disable=RL-D001"\n')
         assert sup == {}
@@ -184,14 +203,14 @@ class TestRegistry:
         ids = [rule.rule_id for rule in all_rules()]
         assert ids == sorted(ids)
         assert len(ids) == len(set(ids))
-        assert len(ids) == 12
+        assert len(ids) == 14
 
     def test_combined_registry_counts_project_rules(self):
         from repro.lint.registry import all_project_rules
 
         project_ids = [rule.rule_id for rule in all_project_rules()]
         assert project_ids == sorted(project_ids)
-        assert len(project_ids) == 5
+        assert len(project_ids) == 8
         per_file_ids = {rule.rule_id for rule in all_rules()}
         assert per_file_ids.isdisjoint(project_ids)
 

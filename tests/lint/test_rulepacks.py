@@ -208,3 +208,167 @@ class TestHygieneVariants:
         ids = [f.rule_id for f in findings]
         assert sorted(ids) == ["RL-H001", "RL-H002", "RL-H003", "RL-H004"]
         assert [f.line for f in findings] == sorted(f.line for f in findings)
+
+
+class TestConcurrencyVariants:
+    def test_check_same_thread_false_exempts_cross_thread_conn(self):
+        # Opting out of sqlite's own thread check is an explicit claim
+        # that the caller serialises access; RL-C001 must respect it.
+        source = (
+            "import sqlite3\n"
+            "import threading\n"
+            "__all__ = ['Worker']\n"
+            "class Worker:\n"
+            "    def __init__(self, path: str) -> None:\n"
+            "        self.conn = sqlite3.connect(path, check_same_thread=False)\n"
+            "        self._t = threading.Thread(target=self._loop, daemon=True)\n"
+            "        self._t.start()\n"
+            "    def _loop(self) -> None:\n"
+            "        self.conn.execute('SELECT 1')\n"
+            "    def summary(self) -> None:\n"
+            "        self.conn.execute('SELECT 2')\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C001" not in {f.rule_id for f in findings}
+
+    def test_conn_used_from_one_side_only_is_clean(self):
+        source = (
+            "import sqlite3\n"
+            "import threading\n"
+            "__all__ = ['Worker']\n"
+            "class Worker:\n"
+            "    def __init__(self, path: str) -> None:\n"
+            "        self.conn = sqlite3.connect(path)\n"
+            "        self._t = threading.Thread(target=self._loop, daemon=True)\n"
+            "        self._t.start()\n"
+            "    def _loop(self) -> None:\n"
+            "        pass\n"
+            "    def summary(self) -> None:\n"
+            "        self.conn.execute('SELECT 2')\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C001" not in {f.rule_id for f in findings}
+
+    def test_writes_in_init_are_happens_before_exempt(self):
+        source = (
+            "import threading\n"
+            "__all__ = ['Counter']\n"
+            "class Counter:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.total = 0\n"
+            "        self._t = threading.Thread(target=self._tick)\n"
+            "        self._t.start()\n"
+            "    def _tick(self) -> None:\n"
+            "        print(self.total)\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C002" not in {f.rule_id for f in findings}
+
+    def test_no_thread_entry_means_no_race(self):
+        source = (
+            "__all__ = ['Counter']\n"
+            "class Counter:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.total = 0\n"
+            "    def tick(self) -> None:\n"
+            "        self.total += 1\n"
+        )
+        assert lint_source(source, "src/repro/sim/mod.py") == []
+
+    def test_daemon_thread_is_exempt_from_join_check(self):
+        source = (
+            "import threading\n"
+            "__all__ = ['run']\n"
+            "def run(work) -> None:\n"
+            "    t = threading.Thread(target=work, daemon=True)\n"
+            "    t.start()\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C005" not in {f.rule_id for f in findings}
+
+    def test_escaped_thread_is_exempt_from_join_check(self):
+        # Returning the handle transfers the join obligation to the
+        # caller; the rule only flags locally-dropped threads.
+        source = (
+            "import threading\n"
+            "__all__ = ['spawn']\n"
+            "def spawn(work):\n"
+            "    t = threading.Thread(target=work)\n"
+            "    t.start()\n"
+            "    return t\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C005" not in {f.rule_id for f in findings}
+
+    def test_acquire_with_try_finally_release_is_clean(self):
+        source = (
+            "import threading\n"
+            "__all__ = ['bump']\n"
+            "_LOCK = threading.Lock()\n"
+            "_N = 0\n"
+            "def bump() -> None:\n"
+            "    global _N\n"
+            "    _LOCK.acquire()\n"
+            "    try:\n"
+            "        _N += 1\n"
+            "    finally:\n"
+            "        _LOCK.release()\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C005" not in {f.rule_id for f in findings}
+
+    def test_bare_acquire_without_finally_fires(self):
+        source = (
+            "import threading\n"
+            "__all__ = ['bump']\n"
+            "_LOCK = threading.Lock()\n"
+            "_N = 0\n"
+            "def bump() -> None:\n"
+            "    global _N\n"
+            "    _LOCK.acquire()\n"
+            "    _N += 1\n"
+            "    _LOCK.release()\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C005" in {f.rule_id for f in findings}
+
+    def test_resource_returned_to_caller_is_not_a_leak(self):
+        source = (
+            "__all__ = ['open_log']\n"
+            "def open_log(path: str):\n"
+            "    handle = open(path, 'a', encoding='utf-8')\n"
+            "    return handle\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C004" not in {f.rule_id for f in findings}
+
+    def test_signal_handler_setting_an_event_is_safe(self):
+        source = (
+            "import signal\n"
+            "import threading\n"
+            "__all__ = ['STOP', 'install']\n"
+            "STOP = threading.Event()\n"
+            "def _handler(signum, frame) -> None:\n"
+            "    STOP.set()\n"
+            "def install() -> None:\n"
+            "    signal.signal(signal.SIGTERM, _handler)\n"
+        )
+        assert lint_source(source, "src/repro/sim/mod.py") == []
+
+    def test_unsafe_call_reached_through_helper_fires(self):
+        # The handler itself is clean; the logging call sits one edge
+        # away — context propagation must carry the signal label there.
+        source = (
+            "import logging\n"
+            "import signal\n"
+            "__all__ = ['install']\n"
+            "_LOG = logging.getLogger(__name__)\n"
+            "def _note() -> None:\n"
+            "    _LOG.warning('stopping')\n"
+            "def _handler(signum, frame) -> None:\n"
+            "    _note()\n"
+            "def install() -> None:\n"
+            "    signal.signal(signal.SIGTERM, _handler)\n"
+        )
+        findings = lint_source(source, "src/repro/sim/mod.py")
+        assert "RL-C003" in {f.rule_id for f in findings}
