@@ -8,9 +8,13 @@
   attacker (plans with the paper's algorithm, interleaves genuine cover
   charging), planner-swappable variants for the baselines, and the
   blatant attacker the detectors exist to catch.
+* :mod:`repro.attack.command_spoof` — the control-channel attacker that
+  truncates legitimate sessions with forged stop commands while logging
+  them in full.
 """
 
 from repro.attack.attacker import BlatantAttacker, CsaAttacker, PlannedAttacker
+from repro.attack.command_spoof import CommandSpoofAttacker
 from repro.attack.knowledge import NoisyEstimator, derive_targets_with_error
 from repro.attack.spoofing import SpoofReport, execute_spoof
 from repro.attack.stealth import (
@@ -20,6 +24,7 @@ from repro.attack.stealth import (
 
 __all__ = [
     "BlatantAttacker",
+    "CommandSpoofAttacker",
     "CsaAttacker",
     "NoisyEstimator",
     "PlannedAttacker",

@@ -46,6 +46,7 @@ from repro.sim.events import (
     ServiceCompleted,
     TraceEvent,
 )
+from repro.utils.rng import coerce_rng
 from repro.utils.validation import check_non_negative, check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -100,6 +101,16 @@ class PlannedAttacker(MissionController):
         How many sigmas of rate-estimation error the stealth margins are
         widened to absorb (only meaningful with an estimator).  0 is the
         naive attacker whose margins assume perfect prediction.
+    spoof_probability:
+        Probability that a planned victim visit actually spoofs; with
+        probability ``1 - spoof_probability`` the attacker charges the
+        victim *genuinely* instead (and may re-target it later).  The
+        partial/intermittent attacker trades campaign speed for a thinner
+        anomaly trail.  1.0 (the default) is the paper's always-spoof
+        attacker and draws no randomness at all.
+    seed:
+        RNG for the intermittent-spoofing coin flips (its own stream, so
+        enabling them perturbs no other stream).
     """
 
     def __init__(
@@ -112,6 +123,8 @@ class PlannedAttacker(MissionController):
         recharge_below_frac: float = 0.15,
         estimator=None,
         error_safety_sigma: float = 0.0,
+        spoof_probability: float = 1.0,
+        seed: int | np.random.Generator = 0,
     ) -> None:
         self.planner = planner or CsaPlanner()
         self.stealth = stealth or StealthPolicy()
@@ -129,6 +142,10 @@ class PlannedAttacker(MissionController):
         self.error_safety_sigma = check_non_negative(
             "error_safety_sigma", error_safety_sigma
         )
+        self.spoof_probability = check_probability(
+            "spoof_probability", spoof_probability
+        )
+        self._spoof_rng = coerce_rng(seed, "intermittent-spoof")
 
         self._route: deque[TideTarget] = deque()
         self._latest_starts: deque[float] = deque()
@@ -289,9 +306,21 @@ class PlannedAttacker(MissionController):
                 return IdleAction(until=depart_by)
             self._pop_head()
             self._in_flight = head.node_id
+            mode = ChargeMode.SPOOF
+            # The draw is guarded so the always-spoof attacker (the
+            # default, used by every existing experiment) consumes no
+            # randomness and stays byte-identical.
+            if (
+                self.spoof_probability < 1.0
+                and float(self._spoof_rng.random()) >= self.spoof_probability
+            ):
+                # Intermittent spoofing: genuinely charge this victim
+                # for the same session shape.  It is not marked spoofed,
+                # so a later replanning round may target it again.
+                mode = ChargeMode.GENUINE
             return ServeAction(
                 node_id=head.node_id,
-                mode=ChargeMode.SPOOF,
+                mode=mode,
                 not_before=start_at,
                 duration_s=head.service_duration,
             )

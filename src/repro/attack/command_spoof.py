@@ -1,0 +1,95 @@
+"""The control-channel command-spoofing (denial-of-charge) attacker.
+
+Where CSA forges the *energy transfer* (radiating a null that fools the
+victim's presence indicator), this attacker forges the *control channel*:
+every session it runs is a perfectly legitimate genuine charge, but on
+its key-node victims it injects a RemoteStop-style command that ends the
+session early — while the session log still claims the full service.
+This is the WRSN mapping of the OCPP remote-termination attacks studied
+against EV charging infrastructure.
+
+The victim harvests (and believes) only the delivered fraction, so its
+telemetry *disagrees* with the claim — but by less than the trajectory
+detector's per-event tolerance when ``stop_fraction`` is chosen high
+enough.  Each victim stays chronically under-charged, re-requests sooner,
+and drifts toward exhaustion across repeated truncated sessions, while
+every individual session looks merely imprecise.  The per-session
+divergence the periodic detectors shrug off is exactly what the digital
+twin's CUSUM accumulates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.mc.charger import ChargeMode
+from repro.mc.scheduling import Scheduler
+from repro.sim.actions import Action, CommandSpoofAction, ServeAction
+from repro.sim.benign import BenignController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import WrsnSimulation
+
+__all__ = ["CommandSpoofAttacker"]
+
+
+class CommandSpoofAttacker(BenignController):
+    """An honest-looking charger that truncates its key-node sessions.
+
+    Behaves exactly like :class:`~repro.sim.benign.BenignController`
+    (same scheduler, same recharge policy, genuinely serves everyone) —
+    except that a serve aimed at a key node is silently converted into a
+    :class:`~repro.sim.actions.CommandSpoofAction` stopping at
+    ``stop_fraction`` of the duty duration.
+
+    Parameters
+    ----------
+    key_count:
+        Number of key nodes to annotate and target.
+    stop_fraction:
+        Fraction of each victim session actually delivered, in
+        ``(0, 1]``.  The default 0.8 leaves a 20% per-session telemetry
+        shortfall — under the trajectory detector's 25% tolerance.
+    scheduler, recharge_below_frac:
+        Forwarded to :class:`BenignController`.
+    """
+
+    def __init__(
+        self,
+        key_count: int = 15,
+        stop_fraction: float = 0.8,
+        scheduler: Scheduler | None = None,
+        recharge_below_frac: float = 0.15,
+    ) -> None:
+        super().__init__(
+            scheduler=scheduler, recharge_below_frac=recharge_below_frac
+        )
+        if key_count < 1:
+            raise ValueError(f"key_count must be >= 1, got {key_count}")
+        if not 0.0 < stop_fraction <= 1.0:
+            raise ValueError(
+                f"stop_fraction must be in (0, 1], got {stop_fraction!r}"
+            )
+        self.key_count = key_count
+        self.stop_fraction = stop_fraction
+
+    @property
+    def name(self) -> str:
+        return f"attacker[CommandSpoof:{self.stop_fraction:g}]"
+
+    def on_start(self, sim: "WrsnSimulation") -> None:
+        sim.network.refresh_key_nodes(self.key_count)
+
+    def next_action(self, sim: "WrsnSimulation") -> Action | None:
+        action = super().next_action(sim)
+        if (
+            isinstance(action, ServeAction)
+            and action.mode == ChargeMode.GENUINE
+            and sim.network.nodes[action.node_id].is_key
+        ):
+            return CommandSpoofAction(
+                node_id=action.node_id,
+                stop_fraction=self.stop_fraction,
+                not_before=action.not_before,
+            )
+        return action

@@ -34,6 +34,7 @@ __all__ = [
     "exp04_trial",
     "exp07_spec",
     "exp07_trial",
+    "exp13_spec",
     "ext04_spec",
     "ext04_trial",
     "resolve_spec",
@@ -243,11 +244,20 @@ def ext04_spec() -> Any:
     )
 
 
+def exp13_spec() -> Any:
+    """EXP-13: twin vs periodic audits across the scenario matrix."""
+    # Imported lazily: the scenario registry sits above the campaign layer.
+    from repro.scenarios.trials import scenario_matrix_spec
+
+    return scenario_matrix_spec()
+
+
 #: Spec builders the CLI can run by name.
 BUILTIN_CAMPAIGNS: dict[str, Callable[[], Any]] = {
     "exp03": exp03_spec,
     "exp04": exp04_spec,
     "exp07": exp07_spec,
+    "exp13": exp13_spec,
     "ext04": ext04_spec,
 }
 

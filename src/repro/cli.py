@@ -3,7 +3,9 @@
 Thin wrappers over the library's main entry points so a downstream user
 can see the system work before writing any code:
 
-* ``quickstart`` — one attack campaign with the full detector suite;
+* ``quickstart`` — one attack campaign with the full detector suite
+  (``--twin`` adds the streaming digital-twin detector);
+* ``scenarios`` — list/show/run the declarative scenario registry;
 * ``testbed`` — the bench campaign and the headline-claim verdict;
 * ``superposition`` — the Section II phase sweep as a table;
 * ``params`` — the default simulation parameter table;
@@ -28,21 +30,14 @@ __all__ = ["build_parser", "main"]
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> int:
-    from repro import CsaAttacker, ScenarioConfig, WrsnSimulation
+    from repro import ScenarioConfig
     from repro.analysis.metrics import attack_metrics
-    from repro.detection import default_detector_suite
+    from repro.sim.runner import run_attack
 
     cfg = ScenarioConfig(
         node_count=args.nodes, key_count=args.key_nodes, horizon_days=args.days
     )
-    sim = WrsnSimulation(
-        cfg.build_network(seed=args.seed),
-        cfg.build_charger(),
-        CsaAttacker(key_count=cfg.key_count),
-        detectors=default_detector_suite(args.seed),
-        horizon_s=cfg.horizon_s,
-    )
-    metrics = attack_metrics(sim.run())
+    metrics = attack_metrics(run_attack(cfg, args.seed, twin=args.twin))
     print(
         f"exhausted {metrics.exhausted_key_count}/{metrics.key_count} key nodes "
         f"({metrics.exhausted_key_ratio:.0%}) over {args.days:.0f} days"
@@ -53,6 +48,42 @@ def _cmd_quickstart(args: argparse.Namespace) -> int:
         print(f"DETECTED at t = {metrics.detection_time_s / 3600:.1f} h")
     else:
         print("detected: no")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.scenarios import all_specs, get_scenario
+
+    if args.scenarios_command == "list":
+        specs = all_specs()
+        if args.json:
+            print(json.dumps([s.to_dict() for s in specs], indent=2))
+            return 0
+        width = max(len(s.name) for s in specs)
+        for spec in specs:
+            tags = f"  [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{spec.name:<{width}}  {spec.description}{tags}")
+        return 0
+
+    spec = get_scenario(args.name)
+    if args.scenarios_command == "show":
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+
+    # scenarios run
+    from repro.scenarios import scenario_trial
+
+    params: dict[str, object] = {"scenario": args.name, "seed": args.seed}
+    if args.nodes is not None:
+        params["node_count"] = args.nodes
+    if args.key_nodes is not None:
+        params["key_count"] = args.key_nodes
+    if args.days is not None:
+        params["horizon_days"] = args.days
+    out = scenario_trial(params)
+    print(json.dumps(out, indent=2))
     return 0
 
 
@@ -135,7 +166,30 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--key-nodes", type=int, default=10)
     quick.add_argument("--days", type=float, default=42.0)
     quick.add_argument("--seed", type=int, default=1)
+    quick.add_argument(
+        "--twin",
+        action="store_true",
+        help="deploy the streaming digital-twin detector alongside the suite",
+    )
     quick.set_defaults(func=_cmd_quickstart)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list/show/run the declarative scenario registry"
+    )
+    scen_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+    scen_list = scen_sub.add_parser("list", help="list registered scenarios")
+    scen_list.add_argument("--json", action="store_true")
+    scen_list.set_defaults(func=_cmd_scenarios)
+    scen_show = scen_sub.add_parser("show", help="show one scenario as JSON")
+    scen_show.add_argument("name")
+    scen_show.set_defaults(func=_cmd_scenarios)
+    scen_run = scen_sub.add_parser("run", help="run one scenario trial")
+    scen_run.add_argument("name")
+    scen_run.add_argument("--seed", type=int, default=1)
+    scen_run.add_argument("--nodes", type=int, default=None)
+    scen_run.add_argument("--key-nodes", type=int, default=None)
+    scen_run.add_argument("--days", type=float, default=None)
+    scen_run.set_defaults(func=_cmd_scenarios)
 
     bench = sub.add_parser("testbed", help="run the bench campaign")
     bench.add_argument("--trials", type=int, default=20)

@@ -28,8 +28,10 @@ from repro.detection.auditors import (
 from repro.detection.countermeasures import ChargeVerificationDefense
 from repro.detection.metrics import (
     DetectionSummary,
+    LatencySummary,
     detection_rate,
     summarize_detections,
+    summarize_latencies,
 )
 from repro.detection.monitors import Detector
 
@@ -38,10 +40,12 @@ __all__ = [
     "DeathAfterChargeAuditor",
     "DetectionSummary",
     "Detector",
+    "LatencySummary",
     "NeglectMonitor",
     "RandomVoltageAuditor",
     "TrajectoryAnomalyDetector",
     "default_detector_suite",
     "detection_rate",
     "summarize_detections",
+    "summarize_latencies",
 ]

@@ -1,11 +1,29 @@
-"""Detection-side metrics across repeated trials."""
+"""Detection-side metrics across repeated trials.
+
+Detection *latency* needs care in the never-detected case: a run the
+detector never catches has no latency — reporting it as ``0`` would
+flatter the detector and ``inf`` would poison every mean.  The latency
+summaries here treat undetected runs as **right-censored** at the
+observation horizon and say so explicitly: detected-only statistics and
+censored statistics are separate fields, never conflated.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from statistics import median
 from typing import Iterable, Sequence
 
-__all__ = ["DetectionSummary", "detection_rate", "summarize_detections"]
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "DetectionSummary",
+    "LatencySummary",
+    "detection_rate",
+    "summarize_detections",
+    "summarize_latencies",
+]
 
 
 @dataclass(frozen=True)
@@ -67,4 +85,83 @@ def summarize_detections(
         rate=len(hits) / trials,
         mean_time_to_detection_s=mean_time,
         by_detector=by_detector,
+    )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Detection-latency statistics with explicit censoring.
+
+    Attributes
+    ----------
+    trials:
+        Number of runs observed.
+    detected:
+        Runs with a latency (the detector fired).
+    censored:
+        Runs without one — censored at ``censored_at_s``, *not* counted
+        as latency 0 or infinity.
+    rate:
+        ``detected / trials``.
+    censored_at_s:
+        The observation horizon undetected runs are censored at.
+    median_latency_s, mean_latency_s:
+        Over **detected runs only**; ``None`` when nothing was detected.
+    median_censored_latency_s:
+        Median with every undetected run counted at the censoring
+        horizon — the conservative cross-detector comparison statistic
+        (a detector that never fires scores the full horizon, a fast one
+        scores its real latency).
+    """
+
+    trials: int
+    detected: int
+    censored: int
+    rate: float
+    censored_at_s: float
+    median_latency_s: float | None
+    mean_latency_s: float | None
+    median_censored_latency_s: float
+
+
+def summarize_latencies(
+    latencies: Sequence[float | None], censored_at_s: float
+) -> LatencySummary:
+    """Summarise per-run detection latencies with right-censoring.
+
+    Parameters
+    ----------
+    latencies:
+        One entry per run: seconds from attack start to first alarm, or
+        ``None`` for a run the detector never caught.
+    censored_at_s:
+        The horizon each undetected run was observed until (its latency
+        is known only to exceed this).
+    """
+    trials = len(latencies)
+    if trials == 0:
+        raise ValueError("no trials to summarise")
+    censored_at_s = check_positive("censored_at_s", censored_at_s)
+    if not math.isfinite(censored_at_s):
+        raise ValueError(f"censored_at_s must be finite, got {censored_at_s!r}")
+    hits: list[float] = []
+    for value in latencies:
+        if value is None:
+            continue
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"latencies must be finite and >= 0 (or None if undetected), "
+                f"got {value!r}"
+            )
+        hits.append(value)
+    censored = trials - len(hits)
+    return LatencySummary(
+        trials=trials,
+        detected=len(hits),
+        censored=censored,
+        rate=len(hits) / trials,
+        censored_at_s=censored_at_s,
+        median_latency_s=median(hits) if hits else None,
+        mean_latency_s=sum(hits) / len(hits) if hits else None,
+        median_censored_latency_s=median(hits + [censored_at_s] * censored),
     )

@@ -293,6 +293,7 @@ class MobileCharger:
         node_id: int,
         duration_s: float,
         mode: ChargeMode,
+        claimed_duration_s: float | None = None,
     ) -> ChargingService:
         """Radiate at the current position for ``duration_s`` seconds.
 
@@ -301,8 +302,18 @@ class MobileCharger:
         genuine-rate harvest for the duration under GENUINE and SPOOF,
         because its presence indicator cannot tell those apart; zero under
         PRETEND, where the indicator never trips.
+
+        ``claimed_duration_s`` lets a command-spoofing charger log a
+        different (longer) session than it actually ran: the claim sent to
+        the base station covers the claimed duration at genuine rate, while
+        delivery, belief and emission cover only the real one.  ``None``
+        claims the real duration (the honest default).
         """
         check_non_negative("duration_s", duration_s)
+        if claimed_duration_s is None:
+            claimed_duration_s = duration_s
+        else:
+            check_non_negative("claimed_duration_s", claimed_duration_s)
         emission = self.hardware.emission_for(mode) * duration_s
         if emission > self.energy_j + 1e-9:
             raise RuntimeError(
@@ -324,7 +335,7 @@ class MobileCharger:
             mode=mode,
             delivered_j=delivered,
             believed_j=believed,
-            claimed_j=self.hardware.genuine_rate_w * duration_s,
+            claimed_j=self.hardware.genuine_rate_w * claimed_duration_s,
             emission_j=emission,
         )
         self.services.append(record)

@@ -1,0 +1,149 @@
+"""The named scenario registry.
+
+One flat namespace of :class:`~repro.scenarios.spec.ScenarioSpec` objects,
+so every entry point — CLI, campaigns, benchmarks, tests — resolves a
+scenario the same way: by name.  Built-in scenarios cover the attack
+surface the paper and its extensions study:
+
+* ``benign`` — honest charger, the false-positive reference.
+* ``csa-baseline`` — the paper's charging-spoofing attack.
+* ``csa-intermittent`` — partial/intermittent spoofing (each planned
+  spoof flips a biased coin; misses are served genuinely).
+* ``command-spoof`` — control-channel RemoteStop forgery: legitimate
+  sessions truncated early but logged in full (OCPP-style).
+* ``*-on-demand`` variants — the same attacks under probabilistic
+  (exponential) request arrivals instead of deterministic
+  threshold-crossing requests, derived by composition.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = [
+    "all_specs",
+    "get_scenario",
+    "register_scenario",
+    "scenario_names",
+    "unregister_scenario",
+]
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (rejecting silent shadowing)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass replace=True to override it deliberately"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (mainly for tests registering temporary specs)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name, with a helpful error on a miss."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> list[ScenarioSpec]:
+    """Every registered spec, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+
+BENIGN = register_scenario(
+    ScenarioSpec(
+        name="benign",
+        description="Honest charger; the false-positive-rate reference run.",
+        controller="benign",
+        tags=("reference",),
+    )
+)
+
+CSA_BASELINE = register_scenario(
+    ScenarioSpec(
+        name="csa-baseline",
+        description="The paper's charging-spoofing attack (always spoofs).",
+        controller="csa",
+        tags=("attack", "csa"),
+    )
+)
+
+CSA_INTERMITTENT = register_scenario(
+    CSA_BASELINE.derive(
+        name="csa-intermittent",
+        description=(
+            "Partial spoofing: each planned spoof lands with probability "
+            "0.6, otherwise the victim is genuinely charged."
+        ),
+        controller_params={"spoof_probability": 0.6},
+        tags=("attack", "csa", "stealth"),
+    )
+)
+
+COMMAND_SPOOF = register_scenario(
+    ScenarioSpec(
+        name="command-spoof",
+        description=(
+            "Control-channel RemoteStop forgery: key-node sessions stopped "
+            "at 80% but logged in full (OCPP-style denial of charge)."
+        ),
+        controller="command-spoof",
+        controller_params={"stop_fraction": 0.8},
+        tags=("attack", "control-channel"),
+    )
+)
+
+#: Probabilistic on-demand arrivals: nodes wait an exponential extra
+#: delay after crossing the request threshold before asking for service.
+_ON_DEMAND = {"request_delay_mean_s": 1800.0}
+
+BENIGN_ON_DEMAND = register_scenario(
+    BENIGN.derive(
+        name="benign-on-demand",
+        description="Honest charger under probabilistic request arrivals.",
+        config_overrides=_ON_DEMAND,
+        tags=("reference", "on-demand"),
+    )
+)
+
+CSA_ON_DEMAND = register_scenario(
+    CSA_BASELINE.derive(
+        name="csa-on-demand",
+        description="CSA under probabilistic (exponential) request arrivals.",
+        config_overrides=_ON_DEMAND,
+        tags=("attack", "csa", "on-demand"),
+    )
+)
+
+COMMAND_SPOOF_ON_DEMAND = register_scenario(
+    COMMAND_SPOOF.derive(
+        name="command-spoof-on-demand",
+        description=(
+            "RemoteStop forgery under probabilistic request arrivals."
+        ),
+        config_overrides=_ON_DEMAND,
+        tags=("attack", "control-channel", "on-demand"),
+    )
+)

@@ -4,18 +4,22 @@
 * :mod:`repro.sim.events` — the event and trace-record taxonomy.
 * :mod:`repro.sim.actions` — actions a mission controller can order and
   the controller interface itself.
+* :mod:`repro.sim.arrivals` — probabilistic request-arrival models.
 * :mod:`repro.sim.benign` — the honest charging controller.
+* :mod:`repro.sim.hooks` — passive observers of the live event loop.
 * :mod:`repro.sim.trace` — structured trace recording.
 * :mod:`repro.sim.wrsn_sim` — the simulation orchestrator.
 * :mod:`repro.sim.scenario` — named default parameter sets.
 """
 
 from repro.sim.actions import (
+    CommandSpoofAction,
     IdleAction,
     MissionController,
     RechargeAction,
     ServeAction,
 )
+from repro.sim.arrivals import ArrivalModel, ExponentialArrivals
 from repro.sim.benign import BenignController
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
@@ -27,15 +31,19 @@ from repro.sim.events import (
     ServiceCompleted,
     TraceEvent,
 )
+from repro.sim.hooks import SimulationHook
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.trace import SimulationTrace
 from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
 
 __all__ = [
+    "ArrivalModel",
     "AuditPerformed",
     "BenignController",
+    "CommandSpoofAction",
     "DetectionRaised",
     "EventQueue",
+    "ExponentialArrivals",
     "IdleAction",
     "MissionController",
     "NodeDied",
@@ -45,6 +53,7 @@ __all__ = [
     "ServeAction",
     "ServiceAborted",
     "ServiceCompleted",
+    "SimulationHook",
     "SimulationResult",
     "SimulationTrace",
     "TraceEvent",

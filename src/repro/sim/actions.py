@@ -8,6 +8,9 @@ something happens):
 * :class:`ServeAction` — drive to a node and radiate at it, genuinely or
   spoofed, optionally waiting for a ``not_before`` instant (the attacker
   waits for stealth windows to open).
+* :class:`CommandSpoofAction` — begin a legitimate genuine serve, then
+  cut it short with a forged control-channel stop while logging the full
+  session (the OCPP RemoteStop attack mapped onto this simulator).
 * :class:`RechargeAction` — return to the depot and refill.
 * :class:`IdleAction` — explicitly do nothing until a given time.
 """
@@ -24,7 +27,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.sim.events import TraceEvent
     from repro.sim.wrsn_sim import WrsnSimulation
 
-__all__ = ["Action", "IdleAction", "MissionController", "RechargeAction", "ServeAction"]
+__all__ = [
+    "Action",
+    "CommandSpoofAction",
+    "IdleAction",
+    "MissionController",
+    "RechargeAction",
+    "ServeAction",
+]
 
 
 @dataclass(frozen=True)
@@ -53,6 +63,41 @@ class ServeAction:
 
 
 @dataclass(frozen=True)
+class CommandSpoofAction:
+    """Serve ``node_id`` genuinely but terminate the session early.
+
+    Models a control-channel command-spoofing (denial-of-charge) attack:
+    the charging session starts as a legitimate genuine serve, a forged
+    RemoteStop-style command ends it at ``stop_fraction`` of the duty
+    duration, and the session log still claims the *full* service.  The
+    victim harvests (and believes) only the delivered fraction, so it
+    stays chronically under-charged and re-requests sooner — while the
+    base station's books show a completed recharge.
+
+    Parameters
+    ----------
+    node_id:
+        The node to visit.
+    stop_fraction:
+        Fraction of the legitimate duty duration actually served, in
+        ``(0, 1]``.  ``1.0`` degenerates to an honest genuine serve
+        (still claimed in full, i.e. truthfully).
+    not_before:
+        Earliest allowed service start, as for :class:`ServeAction`.
+    """
+
+    node_id: int
+    stop_fraction: float = 0.5
+    not_before: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.stop_fraction <= 1.0:
+            raise ValueError(
+                f"stop_fraction must be in (0, 1], got {self.stop_fraction!r}"
+            )
+
+
+@dataclass(frozen=True)
 class RechargeAction:
     """Return to the depot and refill the charger's battery."""
 
@@ -64,7 +109,7 @@ class IdleAction:
     until: float
 
 
-Action = Union[ServeAction, RechargeAction, IdleAction]
+Action = Union[ServeAction, CommandSpoofAction, RechargeAction, IdleAction]
 
 
 class MissionController(ABC):

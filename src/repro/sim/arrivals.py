@@ -1,0 +1,59 @@
+"""Probabilistic on-demand request arrivals.
+
+The seed model issues a charging request at the exact instant a node's
+believed energy crosses its request threshold — a deterministic,
+zero-latency control plane.  Real on-demand WRSN deployments (the
+multi-MCV line of work) see stochastic lag between the crossing and the
+base station learning about it: duty-cycled radios, MAC contention,
+multi-hop forwarding.  An :class:`ArrivalModel` injects that lag: when a
+node crosses its threshold the simulation asks the model for a delay and
+issues the request that much later (unless a charge intervenes first).
+
+``None`` — no model — preserves the seed behaviour bit-for-bit, so every
+existing experiment is unaffected unless a scenario opts in.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.rng import coerce_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["ArrivalModel", "ExponentialArrivals"]
+
+
+class ArrivalModel(ABC):
+    """Maps a threshold crossing to a request-issuance delay."""
+
+    @abstractmethod
+    def delay_s(self, node_id: int, time: float) -> float:
+        """Seconds between the crossing at ``time`` and the request.
+
+        Must be non-negative.  Called exactly once per crossing, so
+        implementations may consume randomness freely; the same crossing
+        is never re-asked (the simulation caches the due time).
+        """
+
+
+class ExponentialArrivals(ArrivalModel):
+    """Exponentially distributed reporting lag, i.i.d. per crossing.
+
+    The memoryless choice for contention/duty-cycle delay.  Draws come
+    from the model's own RNG stream so enabling arrivals perturbs no
+    other stream's sequence.
+    """
+
+    def __init__(
+        self, mean_delay_s: float, rng: int | np.random.Generator = 0
+    ) -> None:
+        self.mean_delay_s = check_positive("mean_delay_s", mean_delay_s)
+        self._rng = coerce_rng(rng, "arrivals")
+
+    def delay_s(self, node_id: int, time: float) -> float:
+        return float(self._rng.exponential(self.mean_delay_s))
+
+    def __repr__(self) -> str:
+        return f"ExponentialArrivals(mean_delay_s={self.mean_delay_s!r})"

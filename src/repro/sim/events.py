@@ -50,6 +50,8 @@ class ServiceCompleted(TraceEvent):
     station (always the genuine amount — malicious chargers lie);
     ``believed_energy_after_j`` is the victim's own post-service telemetry
     reading, the quantity the base station can cross-check claims against.
+    ``early_stopped`` marks command-spoofed sessions: the serve was cut
+    short by a forged stop command while the log claims the full duration.
     """
 
     node_id: int
@@ -63,6 +65,7 @@ class ServiceCompleted(TraceEvent):
     believed_energy_after_j: float = 0.0
     battery_capacity_j: float = 0.0
     charger_index: int = 0
+    early_stopped: bool = False
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,48 @@
+"""Simulation hooks: live observers of the event loop.
+
+A hook rides along inside :class:`~repro.sim.wrsn_sim.WrsnSimulation` and
+is notified *as the run unfolds* — at run start, after every trace record,
+and at run end.  This is the supported way to stream observations out of
+the engine (the digital-twin feed in :mod:`repro.twin` is the canonical
+consumer); before hooks existed, online consumers had to mine the trace
+after the fact, which cannot express "react at time t with only the
+information available at time t".
+
+Hooks are passive: they must not mutate the simulation.  Anything a hook
+needs to *influence* the run (raising alarms, halting) goes through the
+:class:`~repro.detection.monitors.Detector` interface instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.events import TraceEvent
+    from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+
+__all__ = ["SimulationHook"]
+
+
+class SimulationHook:
+    """Base class for engine observers; every callback defaults to no-op.
+
+    Callbacks fire in hook-registration order, and for any one trace
+    event a hook runs *before* the detectors observe it — so a detector
+    built on a hook-fed stream (the twin) always sees the observation it
+    is about to judge.
+    """
+
+    def on_run_start(self, sim: "WrsnSimulation") -> None:
+        """The run is about to enter its event loop.
+
+        Controllers have been started (key nodes annotated) and the
+        network's initial consumption rates are final; no event has been
+        processed yet.
+        """
+
+    def on_trace_event(self, event: "TraceEvent", sim: "WrsnSimulation") -> None:
+        """One record was just appended to the trace."""
+
+    def on_run_end(self, sim: "WrsnSimulation", result: "SimulationResult") -> None:
+        """The run finished; ``result`` is what :meth:`run` will return."""

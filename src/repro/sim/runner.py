@@ -8,9 +8,12 @@ processes (and downstream users) can import it.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.attack.attacker import CsaAttacker
 from repro.detection.auditors import default_detector_suite
 from repro.sim.actions import MissionController
+from repro.sim.hooks import SimulationHook
 from repro.sim.scenario import ScenarioConfig
 from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
 
@@ -23,13 +26,18 @@ def run_attack(
     controller: MissionController | None = None,
     detectors: bool = True,
     audit_interval_s: float | None = None,
+    twin: bool = False,
+    hooks: Sequence[SimulationHook] = (),
+    stop_on_detection: bool = False,
 ) -> SimulationResult:
     """One attack (or benign) simulation with the standard wiring.
 
     Parameters
     ----------
     cfg:
-        Scenario parameters; network and charger are built fresh.
+        Scenario parameters; network and charger are built fresh.  When
+        ``cfg.request_delay_mean_s > 0`` the corresponding probabilistic
+        arrival model is built and wired in automatically.
     seed:
         Topology/traffic/detector randomness.
     controller:
@@ -40,6 +48,15 @@ def run_attack(
         Whether to deploy the default base-station detector suite.
     audit_interval_s:
         Optional override for the voltage auditor's mean audit interval.
+    twin:
+        Deploy a streaming :class:`~repro.twin.detector.TwinDetector`
+        alongside the other detectors (works with ``detectors=False``
+        too, giving a twin-only defence), with its observation feed
+        published from the live engine.
+    hooks:
+        Extra :class:`~repro.sim.hooks.SimulationHook` observers.
+    stop_on_detection:
+        Halt the run at the first alarm (detection-latency experiments).
     """
     network = cfg.build_network(seed=seed)
     charger = cfg.build_charger()
@@ -50,7 +67,23 @@ def run_attack(
         if detectors
         else []
     )
+    all_hooks = list(hooks)
+    if twin:
+        # Imported lazily: sim is a lower layer than twin.
+        from repro.twin.detector import TwinDetector
+        from repro.twin.feed import SimStreamPublisher
+
+        twin_detector = TwinDetector()
+        suite = suite + [twin_detector]
+        all_hooks.append(SimStreamPublisher(twin_detector.stream))
     sim = WrsnSimulation(
-        network, charger, controller, detectors=suite, horizon_s=cfg.horizon_s
+        network,
+        charger,
+        controller,
+        detectors=suite,
+        horizon_s=cfg.horizon_s,
+        hooks=all_hooks,
+        arrival_model=cfg.build_arrival_model(seed),
+        stop_on_detection=stop_on_detection,
     )
     return sim.run()

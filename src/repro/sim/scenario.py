@@ -17,6 +17,7 @@ from repro.network.energy import RadioEnergyModel
 from repro.network.network import Network
 from repro.network.topology import Deployment, deploy_clustered, deploy_uniform
 from repro.network.traffic import TrafficModel
+from repro.sim.arrivals import ArrivalModel, ExponentialArrivals
 from repro.utils.geometry import Point
 from repro.utils.rng import RngFactory
 
@@ -57,6 +58,11 @@ class ScenarioConfig:
     # Attack / experiment
     key_count: int = 15
     horizon_days: float = 45.0
+
+    # Control plane: mean reporting lag between a node crossing its
+    # request threshold and the base station receiving the request.
+    # 0.0 (the seed default) keeps arrivals instantaneous/deterministic.
+    request_delay_mean_s: float = 0.0
 
     def with_(self, **changes) -> "ScenarioConfig":
         """A copy of this config with the given fields replaced."""
@@ -123,6 +129,20 @@ class ScenarioConfig:
             travel_cost_j_per_m=self.mc_travel_cost_j_per_m,
             hardware=hardware or default_charging_hardware(),
             depot_recharge_s=self.mc_depot_recharge_s,
+        )
+
+    def build_arrival_model(self, seed: int) -> ArrivalModel | None:
+        """The request-arrival model for this config, or ``None``.
+
+        ``None`` (when ``request_delay_mean_s == 0``) means instantaneous
+        arrivals — the seed behaviour, bit-for-bit.  The model draws from
+        its own dedicated RNG stream so enabling it perturbs no other
+        stream under the same seed.
+        """
+        if self.request_delay_mean_s <= 0.0:
+            return None
+        return ExponentialArrivals(
+            self.request_delay_mean_s, RngFactory(seed).stream("arrivals")
         )
 
     def parameter_rows(self) -> Sequence[tuple[str, str]]:

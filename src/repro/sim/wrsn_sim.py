@@ -33,11 +33,13 @@ from repro.mc.charger import ChargeMode, MobileCharger
 from repro.network.network import Network
 from repro.network.requests import ChargingRequest, predict_request
 from repro.sim.actions import (
+    CommandSpoofAction,
     IdleAction,
     MissionController,
     RechargeAction,
     ServeAction,
 )
+from repro.sim.arrivals import ArrivalModel
 from repro.sim.engine import EventQueue
 from repro.sim.events import (
     DepotRecharged,
@@ -47,7 +49,9 @@ from repro.sim.events import (
     RoutingRecomputed,
     ServiceAborted,
     ServiceCompleted,
+    TraceEvent,
 )
+from repro.sim.hooks import SimulationHook
 from repro.sim.trace import SimulationTrace
 from repro.utils.validation import check_positive
 
@@ -120,6 +124,16 @@ class WrsnSimulation:
         Additional ``(charger, controller)`` pairs forming a fleet.
         Every controller receives its charger via its ``charger``
         attribute before ``on_start``.
+    hooks:
+        Passive :class:`~repro.sim.hooks.SimulationHook` observers,
+        notified of every trace record as it is emitted (before the
+        detectors see it) plus run start/end.  The digital-twin feed in
+        :mod:`repro.twin` is the canonical hook.
+    arrival_model:
+        Optional :class:`~repro.sim.arrivals.ArrivalModel` adding
+        stochastic lag between a node's threshold crossing and its
+        request reaching the base station.  ``None`` (default) keeps the
+        seed's instantaneous arrivals bit-for-bit.
     """
 
     def __init__(
@@ -131,11 +145,15 @@ class WrsnSimulation:
         horizon_s: float = 45.0 * 86_400.0,
         stop_on_detection: bool = False,
         extra_units: Sequence[tuple[MobileCharger, MissionController]] = (),
+        hooks: Sequence[SimulationHook] = (),
+        arrival_model: ArrivalModel | None = None,
     ) -> None:
         self.network = network
         self.detectors = list(detectors)
         self.horizon_s = check_positive("horizon_s", horizon_s)
         self.stop_on_detection = stop_on_detection
+        self.hooks = list(hooks)
+        self.arrival_model = arrival_model
 
         self._units: list[tuple[MobileCharger, MissionController]] = [
             (charger, controller)
@@ -153,6 +171,7 @@ class WrsnSimulation:
         self._queue = EventQueue()
         self._pending: dict[int, ChargingRequest] = {}
         self._claimed: dict[int, int] = {}  # node id -> claiming unit
+        self._request_due: dict[int, float] = {}  # delayed-arrival due times
         self._spoofed: set[int] = set()
         n = len(self._units)
         self._mc_idle = [True] * n
@@ -209,16 +228,24 @@ class WrsnSimulation:
         key = ("node", node_id)
         self._queue.invalidate(key)
         if not node.alive:
+            self._request_due.pop(node_id, None)
             return
         if (
             node_id not in self._pending
             and self.network.routing_tree.is_connected(node_id)
         ):
-            request_time = node.predicted_request_time()
-            if request_time != float("inf"):
-                self._queue.schedule(
-                    max(request_time, self.now), "request", node_id, key
-                )
+            due = self._request_due.get(node_id)
+            if due is not None:
+                # A crossing already happened and its reporting delay is
+                # running; re-aim at the stored due time (self-healing
+                # under version-stamp invalidation).
+                self._queue.schedule(max(due, self.now), "request", node_id, key)
+            else:
+                request_time = node.predicted_request_time()
+                if request_time != float("inf"):
+                    self._queue.schedule(
+                        max(request_time, self.now), "request", node_id, key
+                    )
         death_time = node.predicted_death_time()
         if death_time != float("inf"):
             self._queue.schedule(max(death_time, self.now), "death", node_id, key)
@@ -240,10 +267,22 @@ class WrsnSimulation:
         for _mc, ctrl in self._units:
             ctrl.on_event(event, self)
 
+    def _emit(self, event: TraceEvent) -> None:
+        """Record a trace event and stream it to every hook.
+
+        Hooks run immediately after the record is appended — before any
+        detector observes the event — so a hook-fed detector (the twin)
+        always has the observation in hand when it is asked to judge it.
+        """
+        self.trace.record(event)
+        for hook in self.hooks:
+            hook.on_trace_event(event, self)
+
     def _process_death(self, node_id: int) -> None:
         node = self.network.nodes[node_id]
         self._pending.pop(node_id, None)
         self._claimed.pop(node_id, None)
+        self._request_due.pop(node_id, None)
         self.network.recompute_consumption()
         stranded = len(self.network.stranded_ids())
         event = NodeDied(
@@ -253,8 +292,8 @@ class WrsnSimulation:
             was_spoofed=node_id in self._spoofed,
             stranded_count=stranded,
         )
-        self.trace.record(event)
-        self.trace.record(
+        self._emit(event)
+        self._emit(
             RoutingRecomputed(
                 time=self.now,
                 alive_count=len(self.network.alive_ids()),
@@ -270,7 +309,7 @@ class WrsnSimulation:
     def _maybe_detect(self, detection: DetectionRaised | None) -> None:
         if detection is None:
             return
-        self.trace.record(detection)
+        self._emit(detection)
         self.detections.append(detection)
         if self.stop_on_detection:
             self._halted = True
@@ -304,8 +343,28 @@ class WrsnSimulation:
         if not node.alive or node_id in self._pending:
             return
         if node.believed_energy_j > node.request_threshold_j + _EPS:
-            self._reschedule_node(node_id)  # prediction drifted; re-aim
+            # Prediction drifted (or a charge arrived while a reporting
+            # delay was running): the crossing is moot — forget any
+            # pending due time and re-aim at the next real crossing.
+            self._request_due.pop(node_id, None)
+            self._reschedule_node(node_id)
             return
+        if self.arrival_model is not None and node_id not in self._request_due:
+            delay = self.arrival_model.delay_s(node_id, self.now)
+            if delay < 0.0:
+                raise ValueError(
+                    f"arrival model returned negative delay {delay!r} "
+                    f"for node {node_id}"
+                )
+            if delay > 0.0:
+                self._request_due[node_id] = self.now + delay
+                self._reschedule_node(node_id)
+                return
+        due = self._request_due.get(node_id)
+        if due is not None and due > self.now + _EPS:
+            self._reschedule_node(node_id)  # popped early; re-aim at due
+            return
+        self._request_due.pop(node_id, None)
         request = predict_request(node)
         if request is None:
             return
@@ -317,7 +376,7 @@ class WrsnSimulation:
             energy_needed_j=request.energy_needed_j,
             is_key=node.is_key,
         )
-        self.trace.record(event)
+        self._emit(event)
         for detector in self.detectors:
             self._maybe_detect(detector.observe_request(event, self))
         self._notify_controllers(event)
@@ -338,9 +397,7 @@ class WrsnSimulation:
         except RuntimeError as exc:
             # The charger ran itself dry mid-plan; it is now a brick in
             # the field.  Record and stop driving it.
-            self.trace.record(
-                ServiceAborted(time=self.now, node_id=-1, reason=str(exc))
-            )
+            self._emit(ServiceAborted(time=self.now, node_id=-1, reason=str(exc)))
             self._stranded_units.add(unit)
 
     def _execute(self, unit: int, action) -> None:
@@ -360,7 +417,7 @@ class WrsnSimulation:
             mc.travel_to(mc.depot)
             done = mc.clock + mc.depot_recharge_s
             self._queue.schedule(done, "recharge_done", (unit, energy_before))
-        elif isinstance(action, ServeAction):
+        elif isinstance(action, (ServeAction, CommandSpoofAction)):
             self._mc_idle[unit] = False
             self._mc_busy[unit] = True
             self._claimed[action.node_id] = unit
@@ -375,7 +432,9 @@ class WrsnSimulation:
         if self._claimed.get(node_id) == unit:
             del self._claimed[node_id]
 
-    def _handle_service_start(self, unit: int, action: ServeAction) -> None:
+    def _handle_service_start(
+        self, unit: int, action: ServeAction | CommandSpoofAction
+    ) -> None:
         if unit in self._stranded_units:
             return
         mc, controller = self._units[unit]
@@ -388,36 +447,56 @@ class WrsnSimulation:
                 node_id=action.node_id,
                 reason="target died before service began",
             )
-            self.trace.record(event)
+            self._emit(event)
             controller.on_event(event, self)
             self._mc_busy[unit] = False
             self._queue.schedule(self.now, "mc_free", unit)
             return
-        if action.duration_s is not None:
-            duration = action.duration_s
-        elif action.mode == ChargeMode.GENUINE:
+        early_stopped = False
+        if isinstance(action, CommandSpoofAction):
+            # The session begins as a legitimate genuine serve sized to
+            # the true deficit; the forged stop command ends it at
+            # ``stop_fraction`` of the duty, and the charger logs the
+            # *full* session anyway.
+            mode = ChargeMode.GENUINE
             deficit = node.battery_capacity_j - node.energy_j
-            duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+            duty = mc.hardware.service_duration_for(max(deficit, 0.0))
+            duration = duty * action.stop_fraction
+            claimed_duration = duty
+            early_stopped = action.stop_fraction < 1.0
         else:
-            deficit = node.battery_capacity_j - node.believed_energy_j
-            duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+            mode = action.mode
+            claimed_duration = None
+            if action.duration_s is not None:
+                duration = action.duration_s
+            elif action.mode == ChargeMode.GENUINE:
+                deficit = node.battery_capacity_j - node.energy_j
+                duration = mc.hardware.service_duration_for(max(deficit, 0.0))
+            else:
+                deficit = node.battery_capacity_j - node.believed_energy_j
+                duration = mc.hardware.service_duration_for(max(deficit, 0.0))
         try:
-            record = mc.perform_service(action.node_id, duration, action.mode)
+            record = mc.perform_service(
+                action.node_id, duration, mode, claimed_duration_s=claimed_duration
+            )
         except RuntimeError as exc:
             self._release_claim(unit, action.node_id)
-            self.trace.record(
+            self._emit(
                 ServiceAborted(time=self.now, node_id=action.node_id, reason=str(exc))
             )
             self._stranded_units.add(unit)
             return
-        self._queue.schedule(record.end_time, "service_end", (unit, record))
+        self._queue.schedule(
+            record.end_time, "service_end", (unit, record, early_stopped)
+        )
 
-    def _handle_service_end(self, unit: int, record) -> None:
+    def _handle_service_end(self, unit: int, record, early_stopped: bool = False) -> None:
         node = self.network.nodes[record.node_id]
         node.receive_charge(record.delivered_j, record.believed_j)
-        if record.mode in (ChargeMode.SPOOF, ChargeMode.PRETEND):
+        if record.mode in (ChargeMode.SPOOF, ChargeMode.PRETEND) or early_stopped:
             self._spoofed.add(record.node_id)
         self._pending.pop(record.node_id, None)
+        self._request_due.pop(record.node_id, None)
         self._release_claim(unit, record.node_id)
         self._reschedule_node(record.node_id)
         event = ServiceCompleted(
@@ -433,8 +512,9 @@ class WrsnSimulation:
             believed_energy_after_j=node.believed_energy_j,
             battery_capacity_j=node.battery_capacity_j,
             charger_index=unit,
+            early_stopped=early_stopped,
         )
-        self.trace.record(event)
+        self._emit(event)
         for detector in self.detectors:
             self._maybe_detect(detector.observe_service(event, self))
         self._notify_controllers(event)
@@ -445,7 +525,7 @@ class WrsnSimulation:
         mc, _controller = self._units[unit]
         mc.wait_until(self.now)
         mc.energy_j = mc.battery_capacity_j
-        self.trace.record(
+        self._emit(
             DepotRecharged(
                 time=self.now, energy_before_j=energy_before, charger_index=unit
             )
@@ -456,7 +536,7 @@ class WrsnSimulation:
     def _handle_audit(self, detector: Detector) -> None:
         outcome = detector.perform_audit(self.now, self)
         if outcome.audit is not None:
-            self.trace.record(outcome.audit)
+            self._emit(outcome.audit)
         self._maybe_detect(outcome.detection)
         next_time = detector.next_audit_time(self.now)
         if next_time is not None and next_time <= self.horizon_s:
@@ -474,6 +554,8 @@ class WrsnSimulation:
         for _mc, controller in self._units:
             controller.on_start(self)
         initial_key_ids = frozenset(self.network.key_ids())
+        for hook in self.hooks:
+            hook.on_run_start(self)
         self._reschedule_all_nodes()
         for detector in self.detectors:
             first = detector.next_audit_time(0.0)
@@ -513,7 +595,7 @@ class WrsnSimulation:
         if not self._halted:
             self._advance(self.horizon_s)
 
-        return SimulationResult(
+        result = SimulationResult(
             trace=self.trace,
             network=self.network,
             charger=self.charger,
@@ -527,3 +609,6 @@ class WrsnSimulation:
             charger_stranded=bool(self._stranded_units),
             chargers=self.chargers,
         )
+        for hook in self.hooks:
+            hook.on_run_end(self, result)
+        return result

@@ -1,0 +1,67 @@
+"""Online digital twin for streaming charging-fraud detection.
+
+The periodic auditors in :mod:`repro.detection` sample the network at
+scheduled instants; between audits the attacker operates unobserved.
+This package is the escalation: a **digital twin** of the network's
+energy state that consumes a live observation stream from the engine
+(claims, telemetry, requests, deaths, routing updates) and continuously
+scores the divergence between what the charger's books predict and what
+the network actually reports.
+
+Layers, bottom-up:
+
+* :mod:`repro.twin.stream` — the ordered observation channel and record
+  taxonomy (out-of-order publishing is a hard error).
+* :mod:`repro.twin.predictor` — claims-driven replica of every node's
+  energy trajectory on the vectorized
+  :class:`~repro.network.energy_ledger.EnergyLedger`.
+* :mod:`repro.twin.anomaly` — EWMA smoothing + one-sided CUSUM change
+  detection over normalized residuals.
+* :mod:`repro.twin.detector` — :class:`TwinDetector`, plugging the twin
+  into the standard :class:`~repro.detection.monitors.Detector` suite.
+* :mod:`repro.twin.feed` — :class:`SimStreamPublisher`, the
+  :class:`~repro.sim.hooks.SimulationHook` that feeds the stream from a
+  live run.
+
+Typical wiring (what ``run_attack(..., twin=True)`` does)::
+
+    twin = TwinDetector()
+    sim = WrsnSimulation(
+        network, charger, controller,
+        detectors=[*default_detector_suite(), twin],
+        hooks=[SimStreamPublisher(twin.stream)],
+    )
+"""
+
+from repro.twin.anomaly import AnomalyScore, AnomalyScorer
+from repro.twin.detector import TwinDetector
+from repro.twin.feed import SimStreamPublisher
+from repro.twin.predictor import TwinPredictor
+from repro.twin.stream import (
+    AuditObservation,
+    ChargeCommitment,
+    ConsumptionUpdate,
+    DeathObservation,
+    NetworkSnapshot,
+    Observation,
+    ObservationStream,
+    RequestObservation,
+    StreamOrderError,
+)
+
+__all__ = [
+    "AnomalyScore",
+    "AnomalyScorer",
+    "AuditObservation",
+    "ChargeCommitment",
+    "ConsumptionUpdate",
+    "DeathObservation",
+    "NetworkSnapshot",
+    "Observation",
+    "ObservationStream",
+    "RequestObservation",
+    "SimStreamPublisher",
+    "StreamOrderError",
+    "TwinDetector",
+    "TwinPredictor",
+]

@@ -1,0 +1,115 @@
+"""Engine-to-stream bridge: a SimulationHook that publishes observations.
+
+:class:`SimStreamPublisher` is the production source for the twin's
+observation stream.  It rides inside the simulation as a passive
+:class:`~repro.sim.hooks.SimulationHook`, translating each trace record
+into the observation a real base station would receive at that instant —
+no post-hoc trace mining, no information the control plane would not
+actually have online.
+
+The mapping:
+
+========================  =====================================
+trace record              observation published
+========================  =====================================
+(run start)               :class:`NetworkSnapshot`
+``ServiceCompleted``      :class:`ChargeCommitment`
+``RequestIssued``         :class:`RequestObservation`
+``NodeDied``              :class:`DeathObservation`
+``RoutingRecomputed``     :class:`ConsumptionUpdate`
+``AuditPerformed``        :class:`AuditObservation`
+========================  =====================================
+
+Everything else (depot recharges, aborts, detections) carries no energy
+information and is not forwarded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.events import (
+    AuditPerformed,
+    NodeDied,
+    RequestIssued,
+    RoutingRecomputed,
+    ServiceCompleted,
+    TraceEvent,
+)
+from repro.sim.hooks import SimulationHook
+from repro.twin.stream import (
+    AuditObservation,
+    ChargeCommitment,
+    ConsumptionUpdate,
+    DeathObservation,
+    NetworkSnapshot,
+    ObservationStream,
+    RequestObservation,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.wrsn_sim import SimulationResult, WrsnSimulation
+
+__all__ = ["SimStreamPublisher"]
+
+
+class SimStreamPublisher(SimulationHook):
+    """Publishes the engine's observable surface onto a stream."""
+
+    def __init__(self, stream: ObservationStream) -> None:
+        self.stream = stream
+
+    def on_run_start(self, sim: "WrsnSimulation") -> None:
+        ledger = sim.network.ledger
+        self.stream.publish(
+            NetworkSnapshot(
+                time=sim.now,
+                capacity_j=tuple(float(v) for v in ledger.capacity_j),
+                believed_j=tuple(float(v) for v in ledger.believed_j),
+                consumption_w=tuple(float(v) for v in ledger.consumption_w),
+                alive=tuple(bool(v) for v in ledger.alive),
+            )
+        )
+
+    def on_trace_event(self, event: TraceEvent, sim: "WrsnSimulation") -> None:
+        if isinstance(event, ServiceCompleted):
+            self.stream.publish(
+                ChargeCommitment(
+                    time=event.time,
+                    node_id=event.node_id,
+                    claimed_j=event.claimed_j,
+                    telemetry_energy_j=event.believed_energy_after_j,
+                    capacity_j=event.battery_capacity_j,
+                )
+            )
+        elif isinstance(event, RequestIssued):
+            self.stream.publish(
+                RequestObservation(
+                    time=event.time,
+                    node_id=event.node_id,
+                    energy_needed_j=event.energy_needed_j,
+                )
+            )
+        elif isinstance(event, NodeDied):
+            self.stream.publish(
+                DeathObservation(time=event.time, node_id=event.node_id)
+            )
+        elif isinstance(event, RoutingRecomputed):
+            # The routing change has already landed in the live ledger;
+            # publish the fresh rates as the control plane would.
+            self.stream.publish(
+                ConsumptionUpdate(
+                    time=event.time,
+                    consumption_w=tuple(
+                        float(v) for v in sim.network.ledger.consumption_w
+                    ),
+                )
+            )
+        elif isinstance(event, AuditPerformed):
+            self.stream.publish(
+                AuditObservation(
+                    time=event.time,
+                    node_id=event.node_id,
+                    true_energy_j=event.true_energy_j,
+                )
+            )

@@ -1,0 +1,153 @@
+"""The twin's physics core: predicted per-node energy trajectories.
+
+A :class:`TwinPredictor` is the base station's model of what every node's
+battery *should* contain if the charger's claims were true.  It reuses the
+simulator's vectorized :class:`~repro.network.energy_ledger.EnergyLedger`
+— the same piecewise-linear drain semantics, the same IEEE-754 operation
+order — seeded from the run-start snapshot and driven forward by the
+observation stream: consumption updates set the draw rates, charge
+commitments credit the *claimed* energy, and time advances in one fused
+array pass per observation instant.
+
+Because the predictor credits claims rather than deliveries, its
+trajectories diverge from reality exactly where the charger lied — that
+divergence is the anomaly signal scored in :mod:`repro.twin.anomaly`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.network.energy_ledger import EnergyLedger
+from repro.twin.stream import NetworkSnapshot
+
+__all__ = ["TwinPredictor"]
+
+
+class TwinPredictor:
+    """Claims-driven replica of the whole network's energy state."""
+
+    def __init__(self) -> None:
+        self._ledger: EnergyLedger | None = None
+
+    @property
+    def started(self) -> bool:
+        """Whether a snapshot has initialised the predictor."""
+        return self._ledger is not None
+
+    @property
+    def ledger(self) -> EnergyLedger:
+        """The underlying ledger (raises before :meth:`start`)."""
+        if self._ledger is None:
+            raise RuntimeError("TwinPredictor not started: no snapshot received")
+        return self._ledger
+
+    # ------------------------------------------------------------------
+    # Stream-driven state transitions
+    # ------------------------------------------------------------------
+    def start(self, snapshot: NetworkSnapshot) -> None:
+        """Initialise the twin from the run-start snapshot."""
+        count = len(snapshot.capacity_j)
+        if count == 0:
+            # Degenerate but legal: a twin watching an empty network has
+            # nothing to predict and stays inert.
+            self._ledger = None
+            return
+        ledger = EnergyLedger(count)
+        ledger.capacity_j[:] = snapshot.capacity_j
+        ledger.energy_j[:] = snapshot.believed_j
+        ledger.believed_j[:] = snapshot.believed_j
+        ledger.consumption_w[:] = snapshot.consumption_w
+        ledger.clock[:] = snapshot.time
+        alive = np.asarray(snapshot.alive, dtype=bool)
+        ledger.alive[:] = alive
+        ledger.energy_j[~alive] = 0.0
+        ledger.believed_j[~alive] = 0.0
+        self._ledger = ledger
+
+    def advance_to(self, time: float) -> list[int]:
+        """Drain every predicted trajectory to ``time``; ids that depleted.
+
+        A returned id means the twin *predicts* that node is dead — the
+        real node may well be alive (or vice versa); reconciling the two
+        is the scorer's job, not the predictor's.
+        """
+        if self._ledger is None:
+            return []
+        return self._ledger.advance_all_to(time)
+
+    def apply_charge(self, node_id: int, claimed_j: float) -> float:
+        """Credit a claimed service; returns the predicted energy after.
+
+        The twin believes the books: the full claim is credited (clamped
+        at capacity), exactly as the base station's accounting would.
+        """
+        if self._ledger is None:
+            return 0.0
+        self._ledger.charge_slot(node_id, claimed_j, claimed_j)
+        return float(self._ledger.energy_j[node_id])
+
+    def set_consumption(self, rates_w: Sequence[float]) -> None:
+        """Adopt fresh per-node draw estimates (after a routing change)."""
+        if self._ledger is None:
+            return
+        if len(rates_w) != len(self._ledger):
+            raise ValueError(
+                f"consumption update covers {len(rates_w)} nodes but the "
+                f"twin tracks {len(self._ledger)}"
+            )
+        self._ledger.consumption_w[:] = rates_w
+        # Dead slots draw nothing, whatever the update says.
+        self._ledger.consumption_w[~self._ledger.alive] = 0.0
+
+    def mark_dead(self, node_id: int, time: float) -> float:
+        """Reconcile an observed death; returns the stranded prediction.
+
+        The return value is the energy the twin still predicted the node
+        to hold at its observed death — zero when model and reality agree,
+        large when the node died on paper-full batteries (the CSA
+        signature).  The slot is then retired.
+        """
+        if self._ledger is None:
+            return 0.0
+        ledger = self._ledger
+        residual = float(ledger.energy_j[node_id]) if ledger.alive[node_id] else 0.0
+        ledger.energy_j[node_id] = 0.0
+        ledger.believed_j[node_id] = 0.0
+        ledger.consumption_w[node_id] = 0.0
+        if ledger.alive[node_id]:
+            ledger.death_time[node_id] = time
+            ledger.alive[node_id] = False
+        return residual
+
+    def calibrate(self, node_id: int, true_energy_j: float) -> None:
+        """Overwrite one prediction with an audited ground-truth reading."""
+        if self._ledger is None or not self._ledger.alive[node_id]:
+            return
+        capacity = float(self._ledger.capacity_j[node_id])
+        value = min(capacity, max(0.0, true_energy_j))
+        self._ledger.energy_j[node_id] = value
+        self._ledger.believed_j[node_id] = value
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def predicted_energy_j(self, node_id: int) -> float:
+        """Current predicted residual energy of one node."""
+        if self._ledger is None:
+            return 0.0
+        return float(self._ledger.energy_j[node_id])
+
+    def capacity_j(self, node_id: int) -> float:
+        """Battery capacity of one node (0 before start)."""
+        if self._ledger is None:
+            return 0.0
+        return float(self._ledger.capacity_j[node_id])
+
+    def predicted_energies(self) -> np.ndarray:
+        """Copy of the whole predicted-energy vector (empty before start)."""
+        if self._ledger is None:
+            return np.empty(0, dtype=float)
+        return self._ledger.energy_j.copy()

@@ -1,0 +1,165 @@
+"""The observation stream: what the base station can see, as it happens.
+
+The digital twin never touches simulator ground truth.  Everything it
+knows arrives through an :class:`ObservationStream` — an ordered,
+push-based channel of :class:`Observation` records mirroring exactly the
+information a real WRSN base station receives online: the charger's
+service claims, nodes' own telemetry, request and death reports, routing
+(consumption) updates, and the occasional spot-audit result.
+
+The stream enforces time order at the door: publishing an observation
+older than the newest already published raises :class:`StreamOrderError`
+immediately, with both timestamps in the message.  Silent reordering
+would corrupt every downstream trajectory, so it is a hard error rather
+than a best-effort sort.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = [
+    "AuditObservation",
+    "ChargeCommitment",
+    "ConsumptionUpdate",
+    "DeathObservation",
+    "NetworkSnapshot",
+    "Observation",
+    "ObservationStream",
+    "RequestObservation",
+    "StreamOrderError",
+]
+
+#: Slack allowed on the monotone-time check, matching the engine's clock
+#: tolerance: equal timestamps are common (several observations per event
+#: instant) and must pass.
+_ORDER_TOL = 1e-9
+
+
+class StreamOrderError(ValueError):
+    """An observation arrived with a timestamp older than the stream head."""
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Base record: every observation carries its emission time."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class NetworkSnapshot(Observation):
+    """Initial per-node state, indexed by node id (= slot).
+
+    Published once at run start; ``believed_j`` doubles as the twin's
+    starting energy estimate because at deployment time the base station
+    has no better information than the nodes' own readings.
+    """
+
+    capacity_j: tuple[float, ...]
+    believed_j: tuple[float, ...]
+    consumption_w: tuple[float, ...]
+    alive: tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class ChargeCommitment(Observation):
+    """The charger claims a completed service; the victim reports back.
+
+    ``claimed_j`` is the charger's report (malicious chargers lie);
+    ``telemetry_energy_j`` is the victim's own post-service believed
+    residual — the one cross-check the base station gets for free.
+    """
+
+    node_id: int
+    claimed_j: float
+    telemetry_energy_j: float
+    capacity_j: float
+
+
+@dataclass(frozen=True)
+class RequestObservation(Observation):
+    """A node reported crossing its request threshold."""
+
+    node_id: int
+    energy_needed_j: float
+
+
+@dataclass(frozen=True)
+class DeathObservation(Observation):
+    """A node stopped reporting: its battery is empty."""
+
+    node_id: int
+
+
+@dataclass(frozen=True)
+class ConsumptionUpdate(Observation):
+    """Fresh per-node draw estimates after a routing change."""
+
+    consumption_w: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class AuditObservation(Observation):
+    """A spot audit measured one node's *true* residual energy."""
+
+    node_id: int
+    true_energy_j: float
+
+
+class ObservationStream:
+    """Ordered push channel from the engine to online consumers.
+
+    Subscribers are called synchronously, in subscription order, for each
+    published observation.  The stream keeps no backlog — a consumer that
+    subscribes late misses earlier observations by design (it models a
+    monitor that was switched on late).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Callable[[Observation], None]] = []
+        self._last_time: float | None = None
+        self._count = 0
+
+    @property
+    def last_time(self) -> float | None:
+        """Timestamp of the newest published observation (``None`` if empty)."""
+        return self._last_time
+
+    @property
+    def count(self) -> int:
+        """Number of observations published so far."""
+        return self._count
+
+    def subscribe(self, callback: Callable[[Observation], None]) -> None:
+        """Register a consumer; it receives every subsequent observation."""
+        self._subscribers.append(callback)
+
+    def publish(self, observation: Observation) -> None:
+        """Validate time order and fan the observation out to subscribers.
+
+        Raises
+        ------
+        StreamOrderError
+            If the observation's timestamp is non-finite or precedes the
+            newest already-published observation.
+        """
+        time = observation.time
+        if not math.isfinite(time):
+            raise StreamOrderError(
+                f"observation timestamp must be finite, got {time!r} "
+                f"({type(observation).__name__})"
+            )
+        if self._last_time is not None and time < self._last_time - _ORDER_TOL:
+            raise StreamOrderError(
+                f"out-of-order observation: {type(observation).__name__} at "
+                f"t={time!r} arrived after the stream head at "
+                f"t={self._last_time!r}; observations must be published in "
+                f"non-decreasing time order"
+            )
+        self._last_time = time if self._last_time is None else max(self._last_time, time)
+        self._count += 1
+        for callback in self._subscribers:
+            callback(observation)

@@ -37,3 +37,61 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize_detections([])
+
+
+class TestSummarizeLatencies:
+    def test_mixed_detected_and_censored(self):
+        from repro.detection.metrics import summarize_latencies
+
+        summary = summarize_latencies([100.0, None, 300.0, None],
+                                      censored_at_s=1000.0)
+        assert summary.trials == 4
+        assert summary.detected == 2
+        assert summary.censored == 2
+        assert summary.rate == pytest.approx(0.5)
+        assert summary.censored_at_s == 1000.0
+        assert summary.median_latency_s == pytest.approx(200.0)
+        assert summary.mean_latency_s == pytest.approx(200.0)
+        # Censored runs enter the censored median AT the horizon — never
+        # as zero, never as infinity, never silently dropped.
+        assert summary.median_censored_latency_s == pytest.approx(650.0)
+
+    def test_never_detected_is_not_latency_zero(self):
+        from repro.detection.metrics import summarize_latencies
+
+        summary = summarize_latencies([None, None, None], censored_at_s=500.0)
+        assert summary.detected == 0
+        assert summary.rate == 0.0
+        # Detected-only statistics are undefined, not zero.
+        assert summary.median_latency_s is None
+        assert summary.mean_latency_s is None
+        # The censored median pins every run at the horizon.
+        assert summary.median_censored_latency_s == pytest.approx(500.0)
+
+    def test_all_detected(self):
+        from repro.detection.metrics import summarize_latencies
+
+        summary = summarize_latencies([10.0, 30.0, 20.0], censored_at_s=100.0)
+        assert summary.censored == 0
+        assert summary.median_latency_s == pytest.approx(20.0)
+        assert summary.median_censored_latency_s == pytest.approx(20.0)
+
+    def test_empty_rejected(self):
+        from repro.detection.metrics import summarize_latencies
+
+        with pytest.raises(ValueError):
+            summarize_latencies([], censored_at_s=100.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0, float("inf"), float("nan")])
+    def test_horizon_validated(self, bad):
+        from repro.detection.metrics import summarize_latencies
+
+        with pytest.raises(ValueError):
+            summarize_latencies([10.0], censored_at_s=bad)
+
+    @pytest.mark.parametrize("bad", [-1.0, float("inf"), float("nan")])
+    def test_latency_values_validated(self, bad):
+        from repro.detection.metrics import summarize_latencies
+
+        with pytest.raises(ValueError):
+            summarize_latencies([bad], censored_at_s=100.0)

@@ -1,0 +1,115 @@
+"""Tests for the scenario trial kernel and campaign integration.
+
+The acceptance bar: every registered scenario runs end-to-end through
+``run_campaign`` on BOTH execution backends — the local process pool and
+the distributed service (queue + leasing worker + HTTP control plane).
+"""
+
+import threading
+
+import pytest
+
+from repro.campaign.executor import ParallelExecutor, SerialExecutor
+from repro.campaign.runner import run_campaign
+from repro.scenarios import scenario_matrix_spec, scenario_names, scenario_trial
+from repro.scenarios.trials import DEFAULT_MATRIX
+
+#: Tiny but complete: every scenario, one seed, small network.
+SMOKE = dict(seeds=(1,), node_count=30, key_count=3, horizon_days=5.0)
+
+
+class TestKernel:
+    def test_single_trial_returns_json_metrics(self):
+        import json
+
+        out = scenario_trial(
+            {"scenario": "csa-baseline", "seed": 1, "node_count": 30,
+             "key_count": 3, "horizon_days": 5.0}
+        )
+        json.dumps(out)  # must be JSON-able for the campaign store
+        assert out["scenario"] == "csa-baseline"
+        assert out["horizon_s"] == pytest.approx(5.0 * 86400.0)
+        assert "twin_latency_s" in out
+        assert "periodic_latency_s" in out
+
+    def test_unknown_scenario_fails_fast(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_trial({"scenario": "nonesuch", "seed": 1})
+
+    def test_matrix_covers_every_registered_scenario(self):
+        assert set(DEFAULT_MATRIX) == set(scenario_names())
+
+    def test_spec_builder_validates_names_eagerly(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_matrix_spec(["nonesuch"])
+
+    def test_spec_grid_is_the_cross_product(self):
+        spec = scenario_matrix_spec(["benign", "csa-baseline"], seeds=(1, 2))
+        assert len(spec.trials()) == 4
+        assert spec.trial == "repro.scenarios.trials:scenario_trial"
+
+
+class TestProcessPoolBackend:
+    def test_all_scenarios_run_via_process_pool(self, tmp_path):
+        from repro.campaign.store import CampaignStore
+
+        spec = scenario_matrix_spec(**SMOKE)
+        result = run_campaign(
+            spec,
+            store=CampaignStore(tmp_path),
+            executor=ParallelExecutor(),
+        )
+        assert result.failed == []
+        assert len(result.completed) == len(DEFAULT_MATRIX)
+        for name in DEFAULT_MATRIX:
+            (ratio,) = result.values("exhausted_key_ratio", scenario=name)
+            assert 0.0 <= ratio <= 1.0
+
+    def test_serial_executor_matches(self, tmp_path):
+        from repro.campaign.store import CampaignStore
+
+        spec = scenario_matrix_spec(
+            ["benign", "csa-baseline"], seeds=(1,), node_count=30,
+            key_count=3, horizon_days=5.0,
+        )
+        result = run_campaign(
+            spec, store=CampaignStore(tmp_path), executor=SerialExecutor()
+        )
+        assert result.failed == []
+        assert len(result.completed) == 2
+
+
+class TestServiceBackend:
+    def test_all_scenarios_run_via_service(self, tmp_path):
+        from repro.service.server import CampaignServiceServer
+        from repro.service.worker import ServiceWorker
+
+        db, store_root = tmp_path / "q.sqlite3", tmp_path / "store"
+        server = CampaignServiceServer(("127.0.0.1", 0), db, store_root)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        port = server.server_address[1]
+        worker = ServiceWorker(
+            db, store_root, max_idle_s=5.0, poll_interval_s=0.05,
+            lease_ttl_s=30.0,
+        )
+        worker_thread = threading.Thread(target=worker.run)
+        worker_thread.start()
+        try:
+            spec = scenario_matrix_spec(**SMOKE)
+            result = run_campaign(
+                spec,
+                backend="service",
+                service_url=f"http://127.0.0.1:{port}",
+            )
+        finally:
+            worker.request_stop()
+            worker_thread.join(timeout=30.0)
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+        assert result.failed == []
+        assert len(result.completed) == len(DEFAULT_MATRIX)
+        assert {r.params["scenario"] for r in result.completed} == set(
+            DEFAULT_MATRIX
+        )

@@ -1,0 +1,108 @@
+"""Tests for probabilistic request-arrival models and their engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import ArrivalModel, ExponentialArrivals
+from repro.sim.benign import BenignController
+from repro.sim.events import RequestIssued
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=30, key_count=3, horizon_days=10.0)
+
+
+def run(cfg, seed=5, arrival_model=None):
+    return WrsnSimulation(
+        cfg.build_network(seed=seed),
+        cfg.build_charger(),
+        BenignController(),
+        horizon_s=cfg.horizon_s,
+        arrival_model=arrival_model,
+    ).run()
+
+
+class TestExponentialArrivals:
+    def test_mean_delay_validated(self):
+        with pytest.raises(ValueError):
+            ExponentialArrivals(0.0)
+
+    def test_deterministic_per_seed(self):
+        a = ExponentialArrivals(600.0, rng=4)
+        b = ExponentialArrivals(600.0, rng=4)
+        draws_a = [a.delay_s(0, float(t)) for t in range(50)]
+        draws_b = [b.delay_s(0, float(t)) for t in range(50)]
+        assert draws_a == draws_b
+        assert all(d > 0.0 for d in draws_a)
+
+    def test_different_seeds_differ(self):
+        a = ExponentialArrivals(600.0, rng=1)
+        b = ExponentialArrivals(600.0, rng=2)
+        assert [a.delay_s(0, 0.0) for _ in range(5)] != [
+            b.delay_s(0, 0.0) for _ in range(5)
+        ]
+
+    def test_sample_mean_near_parameter(self):
+        model = ExponentialArrivals(600.0, rng=0)
+        draws = [model.delay_s(0, 0.0) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(600.0, rel=0.1)
+
+
+class TestScenarioWiring:
+    def test_zero_delay_builds_no_model(self):
+        assert CFG.build_arrival_model(seed=1) is None
+
+    def test_positive_delay_builds_model(self):
+        cfg = CFG.with_(request_delay_mean_s=600.0)
+        model = cfg.build_arrival_model(seed=1)
+        assert isinstance(model, ExponentialArrivals)
+        assert model.mean_delay_s == 600.0
+
+    def test_arrival_model_seed_follows_trial_seed(self):
+        cfg = CFG.with_(request_delay_mean_s=600.0)
+        a = cfg.build_arrival_model(seed=1)
+        b = cfg.build_arrival_model(seed=1)
+        c = cfg.build_arrival_model(seed=2)
+        assert a.delay_s(0, 0.0) == b.delay_s(0, 0.0)
+        assert a.delay_s(0, 1.0) != c.delay_s(0, 1.0)
+
+
+class TestEngineIntegration:
+    def test_no_model_is_byte_identical_to_before(self):
+        # arrival_model=None must leave the event sequence untouched.
+        base = run(CFG)
+        again = run(CFG)
+        assert [(type(e).__name__, e.time) for e in list(base.trace)] == [
+            (type(e).__name__, e.time) for e in list(again.trace)
+        ]
+
+    def test_delayed_arrivals_shift_requests_later(self):
+        cfg = CFG.with_(request_delay_mean_s=3600.0)
+        undelayed = run(CFG)
+        delayed = run(cfg, arrival_model=cfg.build_arrival_model(5))
+        t_first = undelayed.trace.of_type(RequestIssued)[0].time
+        t_first_delayed = delayed.trace.of_type(RequestIssued)[0].time
+        assert t_first_delayed > t_first
+
+    def test_delayed_run_is_deterministic(self):
+        cfg = CFG.with_(request_delay_mean_s=1800.0)
+        a = run(cfg, arrival_model=cfg.build_arrival_model(5))
+        b = run(cfg, arrival_model=cfg.build_arrival_model(5))
+        assert [(type(e).__name__, e.time) for e in list(a.trace)] == [
+            (type(e).__name__, e.time) for e in list(b.trace)
+        ]
+
+    def test_trace_stays_time_ordered_under_delays(self):
+        cfg = CFG.with_(request_delay_mean_s=1800.0)
+        result = run(cfg, arrival_model=cfg.build_arrival_model(5))
+        times = [e.time for e in list(result.trace)]
+        assert times == sorted(times)
+        assert result.trace.of_type(RequestIssued)  # still functioning
+
+    def test_negative_delay_rejected_mid_run(self):
+        class Broken(ArrivalModel):
+            def delay_s(self, node_id: int, time: float) -> float:
+                return -1.0
+
+        with pytest.raises(ValueError, match="delay"):
+            run(CFG, arrival_model=Broken())

@@ -1,0 +1,113 @@
+"""Tests for control-channel command spoofing: action, engine, attacker."""
+
+import pytest
+
+from repro.attack.command_spoof import CommandSpoofAttacker
+from repro.mc.charger import ChargeMode
+from repro.sim.actions import CommandSpoofAction
+from repro.sim.benign import BenignController
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=40, key_count=4, horizon_days=20.0)
+
+
+def run(controller, cfg=CFG, seed=7):
+    return WrsnSimulation(
+        cfg.build_network(seed=seed),
+        cfg.build_charger(),
+        controller,
+        horizon_s=cfg.horizon_s,
+    ).run()
+
+
+class TestAction:
+    @pytest.mark.parametrize("bad", [0.0, -0.2, 1.2])
+    def test_stop_fraction_validated(self, bad):
+        with pytest.raises(ValueError, match="stop_fraction"):
+            CommandSpoofAction(node_id=1, stop_fraction=bad)
+
+    def test_full_fraction_allowed(self):
+        action = CommandSpoofAction(node_id=1, stop_fraction=1.0)
+        assert action.stop_fraction == 1.0
+
+
+class TestAttackerValidation:
+    def test_key_count_validated(self):
+        with pytest.raises(ValueError, match="key_count"):
+            CommandSpoofAttacker(key_count=0)
+
+    def test_stop_fraction_validated(self):
+        with pytest.raises(ValueError, match="stop_fraction"):
+            CommandSpoofAttacker(stop_fraction=0.0)
+
+    def test_name_carries_fraction(self):
+        assert CommandSpoofAttacker(stop_fraction=0.8).name == (
+            "attacker[CommandSpoof:0.8]"
+        )
+
+
+class TestEngine:
+    def test_truncated_sessions_claim_full_duty(self):
+        result = run(CommandSpoofAttacker(key_count=CFG.key_count,
+                                          stop_fraction=0.5))
+        truncated = [s for s in result.trace.services() if s.early_stopped]
+        assert truncated, "expected at least one command-spoofed session"
+        for s in truncated:
+            assert s.mode == ChargeMode.GENUINE
+            assert s.is_key
+            # The session log claims the full duty; the victim harvested
+            # (and believes) only the delivered fraction.
+            assert s.delivered_j == pytest.approx(0.5 * s.claimed_j)
+            assert s.delivered_j == pytest.approx(s.believed_j)
+
+    def test_truncated_sessions_look_genuine_in_the_books(self):
+        # The whole point of the attack: every session is a GENUINE-mode
+        # charge in the accounting, so mode-based metrics see nothing.
+        from repro.analysis.metrics import attack_metrics
+
+        result = run(CommandSpoofAttacker(key_count=CFG.key_count,
+                                          stop_fraction=0.5))
+        assert any(s.early_stopped for s in result.trace.services())
+        metrics = attack_metrics(result)
+        assert metrics.spoof_services == 0
+        assert metrics.genuine_services == len(result.trace.services())
+
+    def test_non_key_sessions_untouched(self):
+        result = run(CommandSpoofAttacker(key_count=CFG.key_count,
+                                          stop_fraction=0.5))
+        for s in result.trace.services():
+            if not s.is_key:
+                assert not s.early_stopped
+                assert s.delivered_j == pytest.approx(s.claimed_j)
+
+    def test_full_fraction_behaves_like_benign(self):
+        # stop_fraction=1.0 delivers the whole duty: the trace must be
+        # identical to the honest controller's, except sessions are not
+        # flagged (no truncation happened).
+        spoofed = run(CommandSpoofAttacker(key_count=CFG.key_count,
+                                           stop_fraction=1.0))
+        honest = run(BenignController())
+        assert [
+            (s.time, s.node_id, s.delivered_j)
+            for s in spoofed.trace.services()
+        ] == [
+            (s.time, s.node_id, s.delivered_j)
+            for s in honest.trace.services()
+        ]
+
+    def test_ordinary_detectors_miss_the_sub_tolerance_shortfall(self):
+        from repro.detection.auditors import default_detector_suite
+
+        cfg = ScenarioConfig(node_count=40, key_count=4, horizon_days=20.0)
+        result = WrsnSimulation(
+            cfg.build_network(seed=7),
+            cfg.build_charger(),
+            CommandSpoofAttacker(key_count=cfg.key_count, stop_fraction=0.8),
+            detectors=default_detector_suite(7),
+            horizon_s=cfg.horizon_s,
+        ).run()
+        assert any(s.early_stopped for s in result.trace.services())
+        trajectory = [d for d in result.detections
+                      if "trajectory" in d.detector]
+        assert trajectory == []

@@ -1,0 +1,103 @@
+"""Tests for simulation hooks: lifecycle, completeness, ordering."""
+
+from repro.detection.monitors import Detector
+from repro.sim.benign import BenignController
+from repro.sim.hooks import SimulationHook
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.wrsn_sim import WrsnSimulation
+
+CFG = ScenarioConfig(node_count=30, key_count=3, horizon_days=10.0)
+
+
+class RecordingHook(SimulationHook):
+    def __init__(self):
+        self.started = []
+        self.events = []
+        self.ended = []
+
+    def on_run_start(self, sim):
+        self.started.append(sim.now)
+
+    def on_trace_event(self, event, sim):
+        self.events.append(event)
+
+    def on_run_end(self, sim, result):
+        self.ended.append(result)
+
+
+class ObservationOrderDetector(Detector):
+    """Records event identity at observe-time, to compare with hook order."""
+
+    name = "order-probe"
+
+    def __init__(self, hook):
+        super().__init__()
+        self.hook = hook
+        self.hook_had_event_first = []
+
+    def _check(self, event):
+        # By the ordering guarantee, the hook has already seen this very
+        # event when the detector observes it.
+        self.hook_had_event_first.append(
+            bool(self.hook.events) and self.hook.events[-1] is event
+        )
+
+    def observe_request(self, event, sim):
+        self._check(event)
+        return None
+
+    def observe_service(self, event, sim):
+        self._check(event)
+        return None
+
+    def observe_death(self, event, sim):
+        self._check(event)
+        return None
+
+
+def build_sim(hooks=(), detectors=(), seed=5):
+    return WrsnSimulation(
+        CFG.build_network(seed=seed),
+        CFG.build_charger(),
+        BenignController(),
+        detectors=list(detectors),
+        horizon_s=CFG.horizon_s,
+        hooks=hooks,
+    )
+
+
+class TestLifecycle:
+    def test_start_and_end_called_once(self):
+        hook = RecordingHook()
+        result = build_sim(hooks=[hook]).run()
+        assert hook.started == [0.0]
+        assert hook.ended == [result]
+
+    def test_hook_sees_every_trace_record_in_order(self):
+        hook = RecordingHook()
+        result = build_sim(hooks=[hook]).run()
+        assert hook.events == list(result.trace)
+
+    def test_multiple_hooks_all_fire(self):
+        a, b = RecordingHook(), RecordingHook()
+        build_sim(hooks=[a, b]).run()
+        assert a.events == b.events
+        assert len(a.events) > 0
+
+    def test_no_hooks_is_the_default(self):
+        result = build_sim().run()
+        assert len(list(result.trace)) > 0
+
+    def test_base_hook_methods_are_no_ops(self):
+        # The base class must be safely subclassable with any subset of
+        # methods overridden.
+        build_sim(hooks=[SimulationHook()]).run()
+
+
+class TestOrderingGuarantee:
+    def test_hooks_run_before_detectors_for_each_event(self):
+        hook = RecordingHook()
+        probe = ObservationOrderDetector(hook)
+        build_sim(hooks=[hook], detectors=[probe]).run()
+        assert probe.hook_had_event_first  # probe saw events at all
+        assert all(probe.hook_had_event_first)

@@ -55,3 +55,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mean exhausted ratio" in out
         assert code in (0, 1)
+
+
+class TestScenariosCommand:
+    def test_list_prints_every_scenario(self, capsys):
+        from repro.scenarios import scenario_names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in payload} >= {
+            "benign", "csa-baseline", "command-spoof",
+        }
+
+    def test_show_emits_spec_json(self, capsys):
+        import json
+
+        assert main(["scenarios", "show", "command-spoof"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["controller"] == "command-spoof"
+        assert payload["controller_params"] == {"stop_fraction": 0.8}
+
+    def test_show_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            main(["scenarios", "show", "nonesuch"])
+
+    def test_run_small_scenario(self, capsys):
+        import json
+
+        code = main(
+            ["scenarios", "run", "benign", "--nodes", "30",
+             "--key-nodes", "3", "--days", "5", "--seed", "2"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "benign"
+        assert payload["detected"] is False
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+
+class TestQuickstartTwin:
+    def test_twin_flag_parses(self):
+        args = build_parser().parse_args(["quickstart", "--twin"])
+        assert args.twin is True
+        assert build_parser().parse_args(["quickstart"]).twin is False
+
+    def test_quickstart_twin_small_run(self, capsys):
+        code = main(
+            ["quickstart", "--nodes", "40", "--key-nodes", "4",
+             "--days", "10", "--seed", "3", "--twin"]
+        )
+        assert code == 0
+        assert "detected" in capsys.readouterr().out.lower()

@@ -1,0 +1,73 @@
+"""Tests for the EWMA + CUSUM anomaly scorer."""
+
+import math
+
+import pytest
+
+from repro.twin.anomaly import AnomalyScorer
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_ewma_lambda_range(self, bad):
+        with pytest.raises(ValueError, match="ewma_lambda"):
+            AnomalyScorer(ewma_lambda=bad)
+
+    @pytest.mark.parametrize("bad", [-0.01, math.nan, math.inf])
+    def test_cusum_k_validated(self, bad):
+        with pytest.raises(ValueError, match="cusum_k"):
+            AnomalyScorer(cusum_k=bad)
+
+    def test_cusum_h_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AnomalyScorer(cusum_h=0.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, math.nan, math.inf])
+    def test_residual_validated(self, bad):
+        scorer = AnomalyScorer()
+        with pytest.raises(ValueError, match="residual"):
+            scorer.update(0.0, bad)
+
+
+class TestStatistics:
+    def test_ewma_recurrence(self):
+        scorer = AnomalyScorer(ewma_lambda=0.5, cusum_h=100.0)
+        s1 = scorer.update(0.0, 1.0)
+        assert s1.ewma == pytest.approx(0.5)
+        s2 = scorer.update(1.0, 0.0)
+        assert s2.ewma == pytest.approx(0.25)
+
+    def test_cusum_absorbs_slack_below_k(self):
+        scorer = AnomalyScorer(cusum_k=0.05, cusum_h=0.25)
+        for t in range(100):
+            score = scorer.update(float(t), 0.04)  # forever below k
+        assert score.cusum == 0.0
+        assert not score.alarmed
+
+    def test_cusum_accumulates_drip_above_k(self):
+        # A sub-threshold drip (0.1 per observation, k=0.05) must alarm
+        # after ceil(h / (r - k)) = 5 observations.
+        scorer = AnomalyScorer(cusum_k=0.05, cusum_h=0.25)
+        alarms = [scorer.update(float(t), 0.1).alarmed for t in range(6)]
+        assert alarms == [False, False, False, False, True, True]
+
+    def test_single_large_residual_alarms_immediately(self):
+        scorer = AnomalyScorer()
+        score = scorer.update(0.0, 0.8)  # a CSA death residual
+        assert score.alarmed
+        assert score.cusum == pytest.approx(0.75)
+
+    def test_alarm_latches(self):
+        scorer = AnomalyScorer()
+        assert scorer.update(0.0, 1.0).alarmed
+        # Quiet residuals afterwards do not clear the alarm.
+        later = scorer.update(1.0, 0.0)
+        assert later.alarmed
+        assert scorer.alarmed
+
+    def test_score_carries_inputs(self):
+        scorer = AnomalyScorer()
+        score = scorer.update(12.5, 0.3, node_id=7, kind="death")
+        assert (score.time, score.node_id, score.kind, score.residual) == (
+            12.5, 7, "death", 0.3,
+        )

@@ -1,0 +1,195 @@
+"""Tests for the twin predictor, including parity with the real ledger."""
+
+import numpy as np
+import pytest
+
+from repro.network.energy_ledger import EnergyLedger
+from repro.twin.predictor import TwinPredictor
+from repro.twin.stream import NetworkSnapshot
+
+
+def snapshot(time=0.0, capacities=(100.0,), energies=None, rates=(0.5,),
+             alive=None):
+    energies = tuple(energies) if energies is not None else tuple(capacities)
+    alive = tuple(alive) if alive is not None else (True,) * len(capacities)
+    return NetworkSnapshot(
+        time=time,
+        capacity_j=tuple(capacities),
+        believed_j=energies,
+        consumption_w=tuple(rates),
+        alive=alive,
+    )
+
+
+class TestLedgerParity:
+    """The predictor must reproduce EnergyLedger.advance_all_to exactly."""
+
+    def test_scripted_schedule_matches_reference_ledger(self):
+        rng = np.random.default_rng(42)
+        n = 8
+        capacities = rng.uniform(50.0, 200.0, n)
+        fractions = rng.uniform(0.3, 1.0, n)
+        rates = rng.uniform(0.01, 0.2, n)
+
+        reference = EnergyLedger(n)
+        for i in range(n):
+            reference.init_slot(i, float(capacities[i]), float(fractions[i]))
+        reference.consumption_w[:] = rates
+
+        predictor = TwinPredictor()
+        predictor.start(
+            NetworkSnapshot(
+                time=0.0,
+                capacity_j=tuple(float(c) for c in capacities),
+                believed_j=tuple(float(e) for e in reference.believed_j),
+                consumption_w=tuple(float(r) for r in rates),
+                alive=(True,) * n,
+            )
+        )
+
+        now = 0.0
+        for _ in range(50):
+            now += float(rng.uniform(1.0, 300.0))
+            reference.advance_all_to(now)
+            predictor.advance_to(now)
+            if rng.random() < 0.4:
+                slot = int(rng.integers(n))
+                amount = float(rng.uniform(1.0, 80.0))
+                reference.charge_slot(slot, amount, amount)
+                predictor.apply_charge(slot, amount)
+
+        np.testing.assert_array_equal(
+            predictor.predicted_energies(), reference.energy_j
+        )
+        np.testing.assert_array_equal(
+            predictor.ledger.alive, reference.alive
+        )
+
+    def test_honest_run_ground_truth_parity(self):
+        # End-to-end: a benign simulation publishes its real feed; with no
+        # lies anywhere, the twin's prediction must track the network's
+        # believed (= true) energies to float tolerance.
+        from repro.sim.benign import BenignController
+        from repro.sim.scenario import ScenarioConfig
+        from repro.sim.wrsn_sim import WrsnSimulation
+        from repro.twin.detector import TwinDetector
+        from repro.twin.feed import SimStreamPublisher
+
+        cfg = ScenarioConfig(node_count=30, key_count=3, horizon_days=10.0)
+        network = cfg.build_network(seed=5)
+        twin = TwinDetector()
+        sim = WrsnSimulation(
+            network,
+            cfg.build_charger(),
+            BenignController(),
+            detectors=[twin],
+            horizon_s=cfg.horizon_s,
+            hooks=[SimStreamPublisher(twin.stream)],
+        )
+        result = sim.run()
+
+        final = result.ended_at
+        twin.predictor.advance_to(final)
+        network.advance_to(final)
+        np.testing.assert_allclose(
+            twin.predictor.predicted_energies(),
+            network.ledger.believed_j,
+            rtol=1e-9,
+            atol=1e-6,
+        )
+        assert not twin.detected
+
+
+class TestEdgeCases:
+    def test_empty_snapshot_stays_inert(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(), rates=(), alive=()))
+        assert not predictor.started
+        assert predictor.advance_to(100.0) == []
+        assert predictor.predicted_energies().size == 0
+        assert predictor.apply_charge(0, 5.0) == 0.0
+        assert predictor.mark_dead(0, 1.0) == 0.0
+
+    def test_not_started_is_inert(self):
+        predictor = TwinPredictor()
+        assert not predictor.started
+        assert predictor.advance_to(10.0) == []
+        assert predictor.predicted_energy_j(0) == 0.0
+        assert predictor.capacity_j(0) == 0.0
+        with pytest.raises(RuntimeError):
+            predictor.ledger
+
+    def test_single_node_drain_and_death(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0,), rates=(1.0,)))
+        assert predictor.advance_to(40.0) == []
+        assert predictor.predicted_energy_j(0) == pytest.approx(60.0)
+        assert predictor.advance_to(100.0) == [0]  # drained dry
+        assert predictor.predicted_energy_j(0) == 0.0
+
+    def test_mark_dead_mid_stream_returns_stranded_energy(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0, 100.0), rates=(1.0, 0.5),
+                                 energies=(100.0, 80.0)))
+        predictor.advance_to(20.0)
+        stranded = predictor.mark_dead(0, 20.0)
+        assert stranded == pytest.approx(80.0)
+        # The slot is retired: no further drain, charge has no effect.
+        predictor.advance_to(50.0)
+        assert predictor.predicted_energy_j(0) == 0.0
+        assert not predictor.ledger.alive[0]
+        # Dead nodes cannot revive in the replica either.
+        predictor.apply_charge(0, 50.0)
+        assert predictor.predicted_energy_j(0) == 0.0
+        # The second node kept draining normally throughout.
+        assert predictor.predicted_energy_j(1) == pytest.approx(80.0 - 0.5 * 50.0)
+
+    def test_second_death_report_is_idempotent(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0,), rates=(1.0,)))
+        predictor.advance_to(10.0)
+        assert predictor.mark_dead(0, 10.0) == pytest.approx(90.0)
+        assert predictor.mark_dead(0, 11.0) == 0.0
+
+    def test_dead_snapshot_slots_start_retired(self):
+        predictor = TwinPredictor()
+        predictor.start(
+            snapshot(capacities=(100.0, 100.0), rates=(1.0, 1.0),
+                     alive=(True, False))
+        )
+        assert predictor.predicted_energy_j(1) == 0.0
+        predictor.advance_to(30.0)
+        assert predictor.predicted_energy_j(0) == pytest.approx(70.0)
+        assert predictor.predicted_energy_j(1) == 0.0
+
+    def test_charge_clamps_at_capacity(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0,), energies=(90.0,),
+                                 rates=(0.0,)))
+        after = predictor.apply_charge(0, 50.0)
+        assert after == pytest.approx(100.0)
+
+    def test_calibrate_clamps_and_skips_dead(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0, 100.0), rates=(0.0, 0.0)))
+        predictor.calibrate(0, 250.0)
+        assert predictor.predicted_energy_j(0) == pytest.approx(100.0)
+        predictor.calibrate(0, -5.0)
+        assert predictor.predicted_energy_j(0) == 0.0
+        predictor.mark_dead(1, 1.0)
+        predictor.calibrate(1, 40.0)
+        assert predictor.predicted_energy_j(1) == 0.0
+
+    def test_consumption_update_length_mismatch_rejected(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0, 100.0), rates=(1.0, 1.0)))
+        with pytest.raises(ValueError, match="covers 1 nodes"):
+            predictor.set_consumption([0.5])
+
+    def test_consumption_update_zeroes_dead_slots(self):
+        predictor = TwinPredictor()
+        predictor.start(snapshot(capacities=(100.0, 100.0), rates=(1.0, 1.0)))
+        predictor.mark_dead(0, 1.0)
+        predictor.set_consumption([2.0, 3.0])
+        assert predictor.ledger.consumption_w[0] == 0.0
+        assert predictor.ledger.consumption_w[1] == 3.0

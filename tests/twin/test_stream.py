@@ -1,0 +1,93 @@
+"""Tests for the observation stream: ordering, fan-out, bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.twin.stream import (
+    ChargeCommitment,
+    DeathObservation,
+    ObservationStream,
+    RequestObservation,
+    StreamOrderError,
+)
+
+
+def request(t, node_id=0):
+    return RequestObservation(time=t, node_id=node_id, energy_needed_j=10.0)
+
+
+class TestOrdering:
+    def test_monotone_times_accepted(self):
+        stream = ObservationStream()
+        for t in (0.0, 1.0, 5.0, 5.0, 7.5):
+            stream.publish(request(t))
+        assert stream.count == 5
+        assert stream.last_time == 7.5
+
+    def test_equal_times_accepted(self):
+        stream = ObservationStream()
+        stream.publish(request(3.0))
+        stream.publish(DeathObservation(time=3.0, node_id=1))
+        assert stream.count == 2
+
+    def test_out_of_order_rejected_with_both_timestamps(self):
+        stream = ObservationStream()
+        stream.publish(request(100.0))
+        with pytest.raises(StreamOrderError) as excinfo:
+            stream.publish(request(99.0))
+        message = str(excinfo.value)
+        assert "99.0" in message
+        assert "100.0" in message
+        assert "out-of-order" in message
+
+    def test_rejected_observation_not_counted_or_fanned_out(self):
+        stream = ObservationStream()
+        seen = []
+        stream.subscribe(seen.append)
+        stream.publish(request(10.0))
+        with pytest.raises(StreamOrderError):
+            stream.publish(request(1.0))
+        assert stream.count == 1
+        assert stream.last_time == 10.0
+        assert len(seen) == 1
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_time_rejected(self, bad):
+        stream = ObservationStream()
+        with pytest.raises(StreamOrderError):
+            stream.publish(request(bad))
+
+    def test_tiny_backwards_jitter_tolerated(self):
+        stream = ObservationStream()
+        stream.publish(request(1.0))
+        stream.publish(request(1.0 - 1e-12))  # within the clock tolerance
+        assert stream.last_time == 1.0  # head never moves backwards
+
+
+class TestFanOut:
+    def test_subscribers_called_in_subscription_order(self):
+        stream = ObservationStream()
+        calls = []
+        stream.subscribe(lambda obs: calls.append(("a", obs.time)))
+        stream.subscribe(lambda obs: calls.append(("b", obs.time)))
+        stream.publish(request(1.0))
+        stream.publish(request(2.0))
+        assert calls == [("a", 1.0), ("b", 1.0), ("a", 2.0), ("b", 2.0)]
+
+    def test_late_subscriber_misses_earlier_observations(self):
+        stream = ObservationStream()
+        stream.publish(request(1.0))
+        seen = []
+        stream.subscribe(seen.append)
+        obs = ChargeCommitment(
+            time=2.0, node_id=0, claimed_j=5.0,
+            telemetry_energy_j=5.0, capacity_j=10.0,
+        )
+        stream.publish(obs)
+        assert seen == [obs]
+
+    def test_empty_stream_properties(self):
+        stream = ObservationStream()
+        assert stream.count == 0
+        assert stream.last_time is None
