@@ -22,18 +22,37 @@ from repro.analysis.tables import format_table
 from repro.core.csa import CsaPlanner
 from repro.core.optimal import solve_tide_exact
 from repro.core.tide import TideInstance, TideTarget
-from repro.network import build_network
+from repro.network import build_network, communication_graph
 from repro.utils.geometry import Point
 from repro.utils.rng import make_rng
 
 _RESULTS: dict[str, float] = {}
 _SIM_RESULTS: dict[int, dict[str, float]] = {}
+_TOPO_RESULTS: dict[int, dict[str, float]] = {}
 
 #: Simulated event pops per timed drive (each pop advances all N nodes).
 _ADVANCES = 200
 
 #: Required ledger-vs-scalar speedup of the N=1000 advance loop.
 _SPEEDUP_FLOOR = 5.0
+
+#: Recorded CSA n=80 mean of the from-scratch insertion scan (every
+#: (candidate, position) pair re-evaluated the whole trial route), from
+#: the committed sidecar before the incremental rewrite.
+_CSA_N80_BASELINE_S = 3.4517408187999536
+
+#: Required speedup of the incremental insertion scan over that baseline.
+_PLANNER_SPEEDUP_FLOOR = 5.0
+
+#: Field side per sim-throughput N beyond the default 100 m square; keeps
+#: node degree bounded so the one-time topology build stays tractable.
+_SIM_FIELDS: dict[int, dict[str, float]] = {
+    10_000: {"width": 1000.0, "height": 1000.0, "comm_range": 30.0},
+}
+
+#: Topology-smoke field side per N — constant density (~6 nodes per
+#: 100 m x 100 m at comm_range 20), so edge counts scale linearly.
+_TOPO_FIELD_SIDE: dict[int, float] = {10_000: 1250.0, 100_000: 4000.0}
 
 
 class _ScalarNode:
@@ -151,8 +170,18 @@ def bench_exp09_csa_runtime(benchmark, n):
     instance = make_instance(n)
     planner = CsaPlanner()
     plan = benchmark(planner.plan, instance)
-    _RESULTS[f"CSA n={n}"] = benchmark.stats.stats.mean
+    mean = benchmark.stats.stats.mean
+    _RESULTS[f"CSA n={n}"] = mean
     assert plan.evaluation.feasible
+    if n == 80:
+        # Regression floor on the incremental insertion scan: fall back
+        # to from-scratch trial evaluation and this trips immediately.
+        ceiling = _CSA_N80_BASELINE_S / _PLANNER_SPEEDUP_FLOOR
+        assert mean <= ceiling, (
+            f"CSA n=80 mean {mean:.3f}s exceeds {ceiling:.3f}s "
+            f"({_PLANNER_SPEEDUP_FLOOR:.0f}x under the recorded "
+            f"{_CSA_N80_BASELINE_S:.2f}s from-scratch baseline)"
+        )
 
 
 def bench_exp09_exact_runtime(benchmark):
@@ -164,19 +193,18 @@ def bench_exp09_exact_runtime(benchmark):
     assert plan.evaluation.feasible
 
 
-@pytest.mark.parametrize("n", [50, 200, 1000])
+@pytest.mark.parametrize("n", [50, 200, 1000, 10_000])
 def bench_exp09_sim_throughput(benchmark, n):
     """Event-loop advance throughput: SoA ledger vs the per-node loop."""
-    net = build_network(n, seed=0)
+    net = build_network(n, seed=0, **_SIM_FIELDS.get(n, {}))
     dt = 0.25  # small steps: measures dispatch cost, nobody dies mid-drive
 
     benchmark(_drive_ledger, net.ledger, dt)
     ledger_s = benchmark.stats.stats.mean
 
     nodes = _ScalarNode.clone_network(net)
-    scalar_s = min(
-        _timed(_drive_scalar, nodes, dt) for _ in range(3 if n >= 1000 else 5)
-    )
+    scalar_reps = 2 if n >= 10_000 else (3 if n >= 1000 else 5)
+    scalar_s = min(_timed(_drive_scalar, nodes, dt) for _ in range(scalar_reps))
 
     speedup = scalar_s / ledger_s
     _SIM_RESULTS[n] = {
@@ -190,6 +218,38 @@ def bench_exp09_sim_throughput(benchmark, n):
             f"N={n} advance loop speedup {speedup:.1f}x "
             f"below the {_SPEEDUP_FLOOR:.0f}x floor"
         )
+
+
+@pytest.mark.parametrize("n", [10_000, 100_000])
+def bench_exp09_topology_build(benchmark, n):
+    """Communication-graph construction smoke at scale.
+
+    The spatial grid index makes the all-pairs radio-range join linear in
+    the (bounded-density) deployment instead of the seed's dense O(N^2)
+    matrix, which at N=10^5 would need an ~80 GB broadcast.  One round
+    per size: these are smoke points guarding tractability, not
+    microbenchmarks.
+    """
+    side = _TOPO_FIELD_SIDE[n]
+    rng = make_rng(0, f"exp09-topology-{n}")
+    xs = rng.uniform(0.0, side, size=n)
+    ys = rng.uniform(0.0, side, size=n)
+    points = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+    base_station = Point(side / 2.0, side / 2.0)
+
+    graph = benchmark.pedantic(
+        communication_graph,
+        args=(points, base_station, 20.0),
+        rounds=2 if n <= 10_000 else 1,
+        iterations=1,
+    )
+    assert graph.number_of_nodes() == n + 1
+    assert graph.number_of_edges() > 0
+    _TOPO_RESULTS[n] = {
+        "build_s": benchmark.stats.stats.mean,
+        "edges": float(graph.number_of_edges()),
+        "field_side_m": side,
+    }
 
 
 def _timed(fn, *args):
@@ -228,6 +288,24 @@ def bench_exp09_report(benchmark):
                 title="EXP-09b: event-loop advance throughput",
             )
         )
+    if _TOPO_RESULTS:
+        topo_rows = [
+            [
+                f"N={n}",
+                f"{r['field_side_m']:.0f}",
+                f"{r['edges']:.0f}",
+                f"{r['build_s']:.2f}",
+            ]
+            for n, r in sorted(_TOPO_RESULTS.items())
+        ]
+        sections.append(
+            format_table(
+                ["network size", "field_side_m", "edges", "build_s"],
+                topo_rows,
+                title="EXP-09c: topology build at scale (spatial grid index)",
+            )
+        )
+    if _SIM_RESULTS:
         emit_json(
             "exp09_runtime",
             {
@@ -236,6 +314,11 @@ def bench_exp09_report(benchmark):
                 },
                 "planning_runtime_s": dict(sorted(_RESULTS.items())),
                 "speedup_floor": _SPEEDUP_FLOOR,
+                "topology_build": {
+                    str(n): r for n, r in sorted(_TOPO_RESULTS.items())
+                },
+                "csa_n80_baseline_s": _CSA_N80_BASELINE_S,
+                "planner_speedup_floor": _PLANNER_SPEEDUP_FLOOR,
             },
         )
     if sections:

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.tide import (
+    _TIME_EPS,
     RouteEvaluation,
     TideInstance,
     TidePlan,
@@ -116,43 +119,157 @@ class CsaPlanner:
     # ------------------------------------------------------------------
     # Greedy insertion
     # ------------------------------------------------------------------
+    #
+    # Each round must consider every (candidate, position) pair.  Doing
+    # that by re-evaluating the whole trial route from scratch costs
+    # O(k) per pair — O(n^3) per round, O(n^4) overall — which is what
+    # made planning superlinear in the exp09 runtime curve.  Instead the
+    # round precomputes, from the *current* route's schedule:
+    #
+    #   prev_clock[p]  departure time of the visit before position p
+    #                  (the start time for p == 0);
+    #   latest[p]      latest service start of the current visit at p
+    #                  that keeps the whole downstream suffix feasible,
+    #                  by the same backward recursion as
+    #                  :func:`~repro.core.tide.latest_start_schedule`
+    #                  with the window epsilon folded in per step;
+    #   removed[p]     length of the route leg an insertion at p splits.
+    #
+    # Inserting candidate u at position p then checks in O(1): u's own
+    # window (prefix timing is unchanged), the displaced successor
+    # against ``latest`` (which subsumes the entire suffix), and the
+    # closed-form energy delta
+    # ``(leg_in + leg_out - removed) * travel_cost + service_energy``
+    # against the budget (energy only grows along a route, so the final
+    # total binds iff every prefix does).  The scan vectorises over all
+    # k + 1 positions per candidate.  Only the single committed
+    # insertion per round pays a full :func:`evaluate_route`; should
+    # float rounding ever make that evaluation disagree with the O(1)
+    # screen (a boundary ulp), the pair is banned and the round rescans.
     def _greedy(
         self, instance: TideInstance, utility: Utility
     ) -> tuple[list[int], RouteEvaluation]:
         route: list[int] = []
         evaluation = evaluate_route(instance, route)
         remaining = set(instance.target_ids())
+        speed = instance.speed_m_s
+        travel_cost = instance.travel_cost_j_per_m
+        budget = instance.energy_budget_j
 
         while remaining:
             served = evaluation.served_ids()
-            best: tuple[float, float, int, int] | None = None  # ratio, gain, -pos, id
-            best_candidate: tuple[list[int], RouteEvaluation] | None = None
+            candidates = [
+                (node_id, gain)
+                for node_id in sorted(remaining)
+                for gain in (utility.marginal(served, node_id),)
+                if gain > self._min_gain
+            ]
+            if not candidates:
+                break
 
-            for node_id in sorted(remaining):
-                gain = utility.marginal(served, node_id)
-                if gain <= self._min_gain:
-                    continue
-                for position in range(len(route) + 1):
-                    trial = route[:position] + [node_id] + route[position:]
-                    trial_eval = evaluate_route(instance, trial)
-                    if not trial_eval.feasible:
+            k = len(route)
+            targets = [instance.target(node_id) for node_id in route]
+            prev_xy = np.empty((k + 1, 2), dtype=float)
+            prev_clock = np.empty(k + 1, dtype=float)
+            prev_xy[0] = (instance.start_position.x, instance.start_position.y)
+            prev_clock[0] = instance.start_time
+            for i, (target, visit) in enumerate(zip(targets, evaluation.visits)):
+                prev_xy[i + 1] = (target.position.x, target.position.y)
+                prev_clock[i + 1] = visit.departure
+            if k:
+                window_starts = np.array(
+                    [t.window_start for t in targets], dtype=float
+                )
+                latest = np.empty(k, dtype=float)
+                latest[k - 1] = targets[k - 1].window_end + _TIME_EPS
+                for q in range(k - 2, -1, -1):
+                    leg = targets[q].position.distance_to(targets[q + 1].position)
+                    latest[q] = min(
+                        targets[q].window_end + _TIME_EPS,
+                        latest[q + 1]
+                        - targets[q].service_duration
+                        - leg / speed,
+                    )
+                removed = np.append(
+                    np.hypot(
+                        prev_xy[:-1, 0] - prev_xy[1:, 0],
+                        prev_xy[:-1, 1] - prev_xy[1:, 1],
+                    ),
+                    0.0,
+                )
+            else:
+                window_starts = latest = np.empty(0, dtype=float)
+                removed = np.zeros(1, dtype=float)
+
+            banned: set[tuple[int, int]] = set()
+            committed = False
+            while True:
+                best: tuple[float, float, int, int] | None = None
+                best_node = best_pos = -1
+                for node_id, gain in candidates:
+                    target = instance.target(node_id)
+                    d_in = np.hypot(
+                        prev_xy[:, 0] - target.position.x,
+                        prev_xy[:, 1] - target.position.y,
+                    )
+                    start_u = np.maximum(
+                        prev_clock + d_in / speed, target.window_start
+                    )
+                    ok = start_u <= target.window_end + _TIME_EPS
+                    if k:
+                        # The displaced successor's next-hop distance is
+                        # the candidate's own inbound distance to it.
+                        start_next = np.maximum(
+                            start_u[:k]
+                            + target.service_duration
+                            + d_in[1:] / speed,
+                            window_starts,
+                        )
+                        ok[:k] &= start_next <= latest
+                        d_out = np.append(d_in[1:], 0.0)
+                    else:
+                        d_out = np.zeros(1, dtype=float)
+                    delta_e = (
+                        d_in + d_out - removed
+                    ) * travel_cost + target.service_energy_j
+                    ok &= evaluation.energy_j + delta_e <= budget + _TIME_EPS
+                    if not ok.any():
                         continue
-                    extra_cost = trial_eval.energy_j - evaluation.energy_j
                     if self._cost_benefit:
                         # Service energy is charged even for a zero-length
-                        # detour, so extra_cost > 0 whenever the service
+                        # detour, so delta_e > 0 whenever the service
                         # costs anything; guard the free case anyway.
-                        rank = gain / extra_cost if extra_cost > 0.0 else float("inf")
+                        safe = np.where(delta_e > 0.0, delta_e, 1.0)
+                        rank = np.where(delta_e > 0.0, gain / safe, np.inf)
                     else:
-                        rank = gain
-                    key = (rank, gain, -position, -node_id)
+                        rank = np.full(k + 1, gain)
+                    rank = np.where(ok, rank, -np.inf)
+                    for banned_node, banned_pos in banned:
+                        if banned_node == node_id:
+                            rank[banned_pos] = -np.inf
+                    # First-occurrence argmax = smallest position among
+                    # ties, matching the (rank, gain, -pos) key order.
+                    position = int(np.argmax(rank))
+                    top = float(rank[position])
+                    if top == -np.inf:
+                        continue
+                    key = (top, gain, -position, -node_id)
                     if best is None or key > best:
                         best = key
-                        best_candidate = (trial, trial_eval)
+                        best_node, best_pos = node_id, position
 
-            if best_candidate is None:
+                if best is None:
+                    break
+                trial = route[:best_pos] + [best_node] + route[best_pos:]
+                trial_eval = evaluate_route(instance, trial)
+                if trial_eval.feasible:
+                    route, evaluation = trial, trial_eval
+                    committed = True
+                    break
+                banned.add((best_node, best_pos))
+
+            if not committed:
                 break
-            route, evaluation = best_candidate
             remaining = set(instance.target_ids()) - set(route)
 
         return route, evaluation

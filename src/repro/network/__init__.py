@@ -12,6 +12,7 @@ from repro.network.energy_ledger import EnergyLedger
 from repro.network.keynodes import (
     KeyNodeInfo,
     connectivity_impact,
+    connectivity_impacts,
     identify_key_nodes,
 )
 from repro.network.network import Network, build_network
@@ -41,6 +42,7 @@ __all__ = [
     "build_routing_tree",
     "communication_graph",
     "connectivity_impact",
+    "connectivity_impacts",
     "deploy_clustered",
     "deploy_grid",
     "deploy_uniform",

@@ -24,7 +24,12 @@ from repro.network.routing import RoutingTree
 from repro.network.topology import BASE_STATION_ID
 from repro.network.traffic import TrafficModel, relay_loads
 
-__all__ = ["KeyNodeInfo", "connectivity_impact", "identify_key_nodes"]
+__all__ = [
+    "KeyNodeInfo",
+    "connectivity_impact",
+    "connectivity_impacts",
+    "identify_key_nodes",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,88 @@ def connectivity_impact(graph: nx.Graph, node_id: int) -> int:
     return len(stranded)
 
 
+def _block_cut_scan(graph: nx.Graph) -> tuple[dict[int, int], frozenset[int]]:
+    """Stranded counts and articulation points in one iterative DFS.
+
+    A single Tarjan-style lowlink pass rooted at the base station replaces
+    the per-candidate connected-component recomputation (O(N) passes of
+    O(V+E) each -> one O(V+E) pass): removing vertex ``v`` strands exactly
+    the DFS subtrees of its children ``c`` with ``low[c] >= disc[v]`` —
+    plus every node that was already cut off from the base station before
+    the removal.  The DFS is iterative, so deep chain topologies never
+    trip Python's recursion limit.
+
+    Returns ``(stranded_by_node, articulation_points)`` covering every
+    sensor node in the graph (articulation points are those of the base
+    station's component; vertices outside it are never articulation
+    points *for base-station reachability*).
+    """
+    root = BASE_STATION_ID
+    stranded: dict[int, int] = {}
+    if root not in graph:
+        raise ValueError("graph must contain the base station vertex")
+    disc: dict[int, int] = {root: 0}
+    low: dict[int, int] = {root: 0}
+    subtree: dict[int, int] = {root: 0}
+    cut_sum: dict[int, int] = {}
+    articulation: set[int] = set()
+    counter = 1
+    root_children = 0
+    stack: list[tuple[int, int | None, object]] = [(root, None, iter(graph.adj[root]))]
+    while stack:
+        v, parent, neighbours = stack[-1]
+        pushed = False
+        for w in neighbours:  # type: ignore[union-attr]
+            if w not in disc:
+                disc[w] = low[w] = counter
+                counter += 1
+                subtree[w] = 1
+                stack.append((w, v, iter(graph.adj[w])))
+                pushed = True
+                break
+            if w != parent and disc[w] < low[v]:
+                low[v] = disc[w]
+        if pushed:
+            continue
+        stack.pop()
+        if parent is None:
+            continue
+        if low[v] < low[parent]:
+            low[parent] = low[v]
+        subtree[parent] += subtree[v]
+        if parent == root:
+            root_children += 1
+        elif low[v] >= disc[parent]:
+            cut_sum[parent] = cut_sum.get(parent, 0) + subtree[v]
+            articulation.add(parent)
+    if root_children >= 2:
+        articulation.add(root)
+
+    # Sensor nodes outside the base station's component are unreachable
+    # whether or not any candidate dies, so they count for everyone.
+    total_sensors = graph.number_of_nodes() - 1
+    outside = total_sensors - (len(disc) - 1)
+    for v in graph.nodes:
+        if v == root:
+            continue
+        if v in disc:
+            stranded[v] = outside + cut_sum.get(v, 0)
+        else:
+            stranded[v] = outside - 1  # itself removed; the rest stay cut
+    return stranded, frozenset(articulation)
+
+
+def connectivity_impacts(graph: nx.Graph) -> dict[int, int]:
+    """:func:`connectivity_impact` for *every* sensor node, one O(V+E) pass.
+
+    Equivalent to calling :func:`connectivity_impact` per node (the
+    property tests pin the two together) without the per-candidate
+    component recomputation.
+    """
+    stranded, _articulation = _block_cut_scan(graph)
+    return stranded
+
+
 def identify_key_nodes(
     graph: nx.Graph,
     tree: RoutingTree,
@@ -100,11 +187,14 @@ def identify_key_nodes(
     n_total = max(len(candidates), 1)
     relays = relay_loads(tree, traffic)
     max_relay = max((relays.get(c, 0.0) for c in candidates), default=0.0)
-    articulation = set(nx.articulation_points(graph)) - {BASE_STATION_ID}
+    # One block-cut pass scores every candidate: stranded counts and
+    # articulation flags both fall out of the same DFS.
+    impacts, articulation_set = _block_cut_scan(graph)
+    articulation = articulation_set - {BASE_STATION_ID}
 
     scored: list[tuple[float, KeyNodeInfo]] = []
     for node_id in candidates:
-        stranded = connectivity_impact(graph, node_id)
+        stranded = impacts[node_id]
         relay = relays.get(node_id, 0.0)
         relay_norm = relay / max_relay if max_relay > 0.0 else 0.0
         score = stranded / n_total + relay_norm

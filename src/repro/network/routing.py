@@ -133,33 +133,41 @@ def build_routing_tree(graph: nx.Graph, alive: set[int] | None = None) -> Routin
     return RoutingTree(parent, uplink, disconnected)
 
 
+def _post_order(tree: RoutingTree) -> list[int]:
+    """Tree vertices, every child before its parent (children visited in
+    the same sorted order the recursive implementations used).
+
+    Iterative so chain topologies thousands of hops deep — well past
+    Python's ~1000-frame recursion limit — stay in bounds.
+    """
+    order: list[int] = []
+    stack: list[int] = [BASE_STATION_ID]
+    while stack:
+        node_id = stack.pop()
+        order.append(node_id)
+        stack.extend(tree.children(node_id))
+    order.reverse()
+    return order
+
+
 def subtree_sizes(tree: RoutingTree) -> dict[int, int]:
     """Number of sensor nodes in each node's subtree, itself included."""
     sizes: dict[int, int] = {}
-
-    def visit(node_id: int) -> int:
+    for node_id in _post_order(tree):
         total = 0 if node_id == BASE_STATION_ID else 1
         for child in tree.children(node_id):
-            total += visit(child)
+            total += sizes[child]
         sizes[node_id] = total
-        return total
-
-    visit(BASE_STATION_ID)
     return sizes
 
 
 def descendants_by_node(tree: RoutingTree) -> dict[int, frozenset[int]]:
     """Sensor-node descendants of every tree vertex (excluding itself)."""
     result: dict[int, frozenset[int]] = {}
-
-    def visit(node_id: int) -> frozenset[int]:
+    for node_id in _post_order(tree):
         acc: set[int] = set()
         for child in tree.children(node_id):
             acc.add(child)
-            acc |= visit(child)
-        frozen = frozenset(acc)
-        result[node_id] = frozen
-        return frozen
-
-    visit(BASE_STATION_ID)
+            acc |= result[child]
+        result[node_id] = frozenset(acc)
     return result

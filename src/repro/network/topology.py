@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 import networkx as nx
 import numpy as np
 
-from repro.utils.geometry import Point, pairwise_distances
+from repro.network.spatial import SpatialGridIndex
+from repro.utils.geometry import Point
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -84,14 +85,17 @@ def communication_graph(
     check_positive("comm_range", comm_range)
     all_points = list(positions) + [base_station]
     ids = list(range(len(positions))) + [BASE_STATION_ID]
-    dists = pairwise_distances(all_points)
     graph = nx.Graph()
     graph.add_nodes_from(ids)
-    n = len(all_points)
-    for i in range(n):
-        for j in range(i + 1, n):
-            if dists[i, j] <= comm_range:
-                graph.add_edge(ids[i], ids[j], distance=float(dists[i, j]))
+    # Spatial grid instead of the dense O(N^2) pairwise matrix: only
+    # points sharing a grid neighbourhood are distance-tested, and the
+    # (i, j) lexsort reproduces the historical double-loop insertion
+    # order (and its float64 edge lengths) bit for bit.
+    coords = np.array([(p.x, p.y) for p in all_points], dtype=float)
+    index = SpatialGridIndex(coords, cell_size=comm_range)
+    src, dst, dists = index.pairs_within(comm_range)
+    for i, j, d in zip(src.tolist(), dst.tolist(), dists.tolist()):
+        graph.add_edge(ids[i], ids[j], distance=d)
     return graph
 
 

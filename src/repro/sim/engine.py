@@ -55,6 +55,26 @@ class EventQueue:
         self._versions[key] = self._versions.get(key, 0) + 1
         return self._versions[key]
 
+    def forget(self, key: Any) -> None:
+        """Drop the entity's version entry; its outstanding events go stale.
+
+        The version table otherwise grows monotonically — entries for dead
+        nodes would linger for the whole horizon.  Scheduled events are
+        always stamped with a version >= 1 (see :meth:`schedule`), so once
+        the entry is gone ``current_version`` falls back to 0 and every
+        outstanding event for the key is discarded on pop.
+
+        ``forget`` is terminal: only call it for entities that will never
+        be scheduled or invalidated again (a dead node).  Scheduling the
+        key afterwards re-registers it at version 1, which would revive
+        any version-1 stragglers from before the forget.
+        """
+        self._versions.pop(key, None)
+
+    def tracked_keys(self) -> int:
+        """Number of entity keys currently holding a version entry."""
+        return len(self._versions)
+
     def schedule(
         self,
         time: float,
@@ -62,7 +82,11 @@ class EventQueue:
         payload: Any = None,
         version_key: Any = None,
     ) -> ScheduledEvent:
-        """Enqueue an event; stamps it with the entity's current version."""
+        """Enqueue an event; stamps it with the entity's current version.
+
+        A key's first schedule registers it at version 1 (never 0), so a
+        later :meth:`forget` reliably stales every stamped event.
+        """
         # NaN, "never" (+inf) and -inf are all rejected: a -inf entry
         # would silently sort before every real event in the heap.
         if not math.isfinite(time):
@@ -73,7 +97,7 @@ class EventQueue:
             kind=kind,
             payload=payload,
             version_key=version_key,
-            version=self._versions.get(version_key, 0) if version_key is not None else 0,
+            version=self._versions.setdefault(version_key, 1) if version_key is not None else 0,
         )
         heapq.heappush(self._heap, event)
         return event

@@ -226,10 +226,14 @@ class WrsnSimulation:
     def _reschedule_node(self, node_id: int) -> None:
         node = self.network.nodes[node_id]
         key = ("node", node_id)
-        self._queue.invalidate(key)
         if not node.alive:
+            # Dead nodes never reschedule: purge the version entry
+            # outright (any outstanding predictions go stale) instead of
+            # leaving it to grow the version table over long horizons.
+            self._queue.forget(key)
             self._request_due.pop(node_id, None)
             return
+        self._queue.invalidate(key)
         if (
             node_id not in self._pending
             and self.network.routing_tree.is_connected(node_id)

@@ -149,3 +149,96 @@ class TestScaling:
         plan = CsaPlanner().plan(inst)
         assert plan.evaluation.feasible
         assert len(plan.served) > 10
+
+
+class TestIncrementalScanEquivalence:
+    """The O(1)-per-trial insertion scan must choose exactly the routes
+    the historical from-scratch scan chose (every (candidate, position)
+    pair re-evaluated with ``evaluate_route``)."""
+
+    @staticmethod
+    def _reference_greedy(inst, utility, min_gain=1e-12, cost_benefit=True):
+        """Verbatim copy of the pre-incremental greedy loop."""
+        route = []
+        evaluation = evaluate_route(inst, route)
+        remaining = set(inst.target_ids())
+        while remaining:
+            served = evaluation.served_ids()
+            best = None
+            best_candidate = None
+            for node_id in sorted(remaining):
+                gain = utility.marginal(served, node_id)
+                if gain <= min_gain:
+                    continue
+                for position in range(len(route) + 1):
+                    trial = route[:position] + [node_id] + route[position:]
+                    trial_eval = evaluate_route(inst, trial)
+                    if not trial_eval.feasible:
+                        continue
+                    extra = trial_eval.energy_j - evaluation.energy_j
+                    if cost_benefit:
+                        rank = gain / extra if extra > 0.0 else float("inf")
+                    else:
+                        rank = gain
+                    key = (rank, gain, -position, -node_id)
+                    if best is None or key > best:
+                        best = key
+                        best_candidate = (trial, trial_eval)
+            if best_candidate is None:
+                break
+            route, evaluation = best_candidate
+            remaining = set(inst.target_ids()) - set(route)
+        return route
+
+    @pytest.mark.parametrize("cost_benefit", [True, False])
+    def test_matches_reference_on_randomized_instances(self, cost_benefit):
+        import random
+
+        from repro.core.utility import ModularUtility
+
+        rng = random.Random(11)
+        for _ in range(60):
+            n = rng.randint(1, 12)
+            targets = []
+            for i in range(n):
+                start = rng.uniform(0.0, 400.0)
+                targets.append(
+                    TideTarget(
+                        node_id=i,
+                        weight=rng.uniform(0.5, 3.0),
+                        position=Point(rng.uniform(0, 250), rng.uniform(0, 250)),
+                        window_start=start,
+                        window_end=start + rng.uniform(0.0, 300.0),
+                        service_duration=rng.uniform(0.0, 60.0),
+                        service_energy_j=rng.uniform(0.0, 500.0),
+                    )
+                )
+            inst = TideInstance(
+                targets=tuple(targets),
+                start_position=Point(125, 125),
+                start_time=0.0,
+                energy_budget_j=rng.uniform(2e3, 4e4),
+            )
+            utility = ModularUtility.from_targets(inst.targets)
+            reference = self._reference_greedy(
+                inst, utility, cost_benefit=cost_benefit
+            )
+            planner = CsaPlanner(cost_benefit=cost_benefit)
+            incremental, evaluation = planner._greedy(inst, utility)
+            assert incremental == reference
+            assert evaluation.feasible
+
+    def test_tight_windows_force_mid_route_insertions(self):
+        # Staggered windows along a line: the scan must insert into the
+        # middle of an existing route (exercising the latest[] suffix
+        # bound), not just append.
+        targets = [
+            target(0, x=100.0, start=0.0, end=50.0),
+            target(1, x=300.0, start=200.0, end=2000.0),
+            target(2, x=200.0, start=0.0, end=3000.0),
+        ]
+        inst = instance(targets)
+        plan = CsaPlanner().plan(inst)
+        assert plan.served == frozenset({0, 1, 2})
+        route = list(plan.route)
+        assert route.index(0) < route.index(2) < route.index(1)

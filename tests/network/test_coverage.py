@@ -79,3 +79,52 @@ class TestCoverageRatio:
         network = build_network(60, seed=5)
         with pytest.raises(ValueError):
             coverage_ratio(network, grid_resolution=1)
+
+
+class TestBlockedEvaluationEquivalence:
+    """The blocked / spatial-index sweeps must reproduce the seed's dense
+    ``(m, n, 2)`` broadcast bit for bit, in bounded memory."""
+
+    def _dense_fraction(self, points, sensors, radius):
+        deltas = points[:, None, :] - sensors[None, :, :]
+        covered = ((deltas**2).sum(axis=-1) <= radius**2).any(axis=1)
+        return float(covered.mean())
+
+    def test_blocked_matches_dense_randomized(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            m = int(rng.integers(1, 1500))
+            n = int(rng.integers(1, 3000))
+            radius = float(rng.uniform(2.0, 30.0))
+            points = rng.uniform(0.0, 120.0, size=(m, 2))
+            sensors = rng.uniform(0.0, 120.0, size=(n, 2))
+            assert covered_fraction_of_points(
+                points, sensors, radius
+            ) == self._dense_fraction(points, sensors, radius)
+
+    def test_indexed_path_matches_dense(self):
+        # Above the index threshold the evaluation routes through the
+        # spatial grid; the answer must not move.
+        rng = np.random.default_rng(43)
+        points = rng.uniform(0.0, 200.0, size=(400, 2))
+        sensors = rng.uniform(0.0, 200.0, size=(5000, 2))
+        assert covered_fraction_of_points(
+            points, sensors, 6.0
+        ) == self._dense_fraction(points, sensors, 6.0)
+
+    def test_peak_memory_bounded_at_scale(self):
+        # The seed's single broadcast allocated ~1 GB for a 25x25 grid
+        # over 10^5 sensors; the rewrite must stay well under 64 MB no
+        # matter how many sensors there are.
+        import tracemalloc
+
+        rng = np.random.default_rng(44)
+        xs, ys = np.meshgrid(np.linspace(0, 4000, 25), np.linspace(0, 4000, 25))
+        points = np.column_stack([xs.ravel(), ys.ravel()])
+        sensors = rng.uniform(0.0, 4000.0, size=(100_000, 2))
+        tracemalloc.start()
+        frac = covered_fraction_of_points(points, sensors, 12.0)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert 0.0 < frac < 1.0
+        assert peak < 64 * 1024 * 1024, f"peak {peak / 1e6:.0f} MB"

@@ -116,3 +116,50 @@ class TestOnRandomTopology:
         t1 = build_routing_tree(dep.graph())
         t2 = build_routing_tree(dep.graph())
         assert t1.parent == t2.parent
+
+
+class TestDeepChainTopology:
+    """Regression: the subtree accumulators used to recurse per child and
+    blew Python's ~1000-frame stack on chain topologies; the iterative
+    post-order sweep must handle chains far past that depth."""
+
+    DEPTH = 1600  # > default recursion limit with headroom
+
+    def _deep_chain_tree(self):
+        # BS at the origin, nodes strung out every 10 m with a 15 m radio
+        # range: each node hears only its immediate neighbours, so the
+        # routing tree is a single chain DEPTH hops deep.
+        positions = [Point(10.0 * (i + 1), 0.0) for i in range(self.DEPTH)]
+        graph = communication_graph(positions, Point(0.0, 0.0), comm_range=15.0)
+        return graph, build_routing_tree(graph)
+
+    def test_subtree_sizes_on_deep_chain(self):
+        _, tree = self._deep_chain_tree()
+        sizes = subtree_sizes(tree)
+        assert sizes[BASE_STATION_ID] == self.DEPTH
+        assert sizes[0] == self.DEPTH
+        assert sizes[self.DEPTH - 1] == 1
+        assert sizes[self.DEPTH // 2] == self.DEPTH - self.DEPTH // 2
+
+    def test_descendants_on_deep_chain(self):
+        _, tree = self._deep_chain_tree()
+        desc = descendants_by_node(tree)
+        assert desc[BASE_STATION_ID] == frozenset(range(self.DEPTH))
+        assert desc[self.DEPTH - 1] == frozenset()
+        assert desc[self.DEPTH - 3] == frozenset(
+            {self.DEPTH - 2, self.DEPTH - 1}
+        )
+
+    def test_relay_loads_and_key_nodes_on_deep_chain(self):
+        from repro.network.keynodes import identify_key_nodes
+        from repro.network.traffic import TrafficModel, relay_loads
+
+        graph, tree = self._deep_chain_tree()
+        traffic = TrafficModel.homogeneous(self.DEPTH, 100.0)
+        loads = relay_loads(tree, traffic)
+        assert loads[0] == pytest.approx(100.0 * (self.DEPTH - 1))
+        assert loads[self.DEPTH - 1] == 0.0
+        infos = identify_key_nodes(graph, tree, traffic, count=3)
+        # On a chain every inner node is an articulation point; the one
+        # closest to the base station strands the most and ranks first.
+        assert [info.node_id for info in infos] == [0, 1, 2]

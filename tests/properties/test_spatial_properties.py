@@ -1,0 +1,86 @@
+"""Property-based equivalence of the spatial-index fast paths.
+
+Every O(N^2) scan the spatial grid index replaced — the topology
+all-pairs join, the coverage broadcast, and the per-candidate
+connectivity recomputation — must agree with its brute-force original on
+arbitrary randomized deployments, including the degenerate empty-sensor
+and single-node cases.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.coverage import covered_fraction_of_points
+from repro.network.keynodes import connectivity_impact, connectivity_impacts
+from repro.network.spatial import SpatialGridIndex
+from repro.network.topology import BASE_STATION_ID, communication_graph
+from repro.utils.geometry import Point
+from repro.utils.rng import make_rng
+
+seeds = st.integers(min_value=0, max_value=40)
+
+
+class TestTopologyEquivalence:
+    @given(seeds, st.integers(min_value=1, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_pairs_match_dense_scan(self, seed, n):
+        rng = make_rng(seed, "spatial-prop")
+        points = rng.uniform(0.0, 150.0, size=(n, 2))
+        radius = float(rng.uniform(5.0, 50.0))
+        i, j, d = SpatialGridIndex(points, cell_size=radius).pairs_within(radius)
+        deltas = points[:, None, :] - points[None, :, :]
+        dense = np.sqrt((deltas**2).sum(axis=-1))
+        ii, jj = np.triu_indices(n, k=1)
+        keep = dense[ii, jj] <= radius
+        assert i.tolist() == ii[keep].tolist()
+        assert j.tolist() == jj[keep].tolist()
+        assert d.tolist() == dense[ii, jj][keep].tolist()
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_single_node_graph(self, seed):
+        rng = make_rng(seed, "spatial-prop-single")
+        pos = [Point(float(rng.uniform(0, 50)), float(rng.uniform(0, 50)))]
+        graph = communication_graph(pos, Point(25.0, 25.0), comm_range=40.0)
+        assert set(graph.nodes) == {0, BASE_STATION_ID}
+        expected = pos[0].distance_to(Point(25.0, 25.0)) <= 40.0
+        assert graph.has_edge(0, BASE_STATION_ID) == expected
+
+
+class TestCoverageEquivalence:
+    @given(seeds, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=30, deadline=None)
+    def test_fraction_matches_dense_broadcast(self, seed, n_sensors):
+        rng = make_rng(seed, "coverage-prop")
+        points = rng.uniform(0.0, 100.0, size=(64, 2))
+        sensors = rng.uniform(0.0, 100.0, size=(n_sensors, 2))
+        radius = float(rng.uniform(3.0, 30.0))
+        fast = covered_fraction_of_points(points, sensors, radius)
+        if n_sensors == 0:
+            assert fast == 0.0
+            return
+        deltas = points[:, None, :] - sensors[None, :, :]
+        dense = ((deltas**2).sum(axis=-1) <= radius**2).any(axis=1)
+        assert fast == float(dense.mean())
+
+
+class TestKeyNodeEquivalence:
+    @given(seeds, st.integers(min_value=2, max_value=40), st.floats(0.0, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_block_cut_scan_matches_per_node_removal(self, seed, n, dead_frac):
+        # Random deployment with a random subset of nodes dead: the
+        # single-pass block-cut scores must equal the brute per-node
+        # delete-and-count, including on disconnected alive subgraphs.
+        rng = make_rng(seed, "keynode-prop")
+        positions = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0.0, 100.0, size=(n, 2))
+        ]
+        graph = communication_graph(positions, Point(50.0, 50.0), comm_range=30.0)
+        alive = [v for v in range(n) if rng.uniform() >= dead_frac]
+        subgraph = graph.subgraph(set(alive) | {BASE_STATION_ID})
+        impacts = connectivity_impacts(subgraph)
+        assert set(impacts) == set(alive)
+        for node_id in alive:
+            assert impacts[node_id] == connectivity_impact(subgraph, node_id)

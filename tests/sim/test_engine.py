@@ -99,3 +99,58 @@ class TestValidation:
         q = EventQueue()
         q.schedule(1.0, "x", payload={"data": 42})
         assert q.pop().payload == {"data": 42}
+
+
+class TestForget:
+    def test_forget_shrinks_version_table(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), "request", version_key=("node", i))
+        assert q.tracked_keys() == 5
+        q.forget(("node", 2))
+        q.forget(("node", 4))
+        assert q.tracked_keys() == 3
+
+    def test_stale_events_discarded_after_forget(self):
+        q = EventQueue()
+        q.schedule(1.0, "death", version_key="n")
+        q.schedule(2.0, "death", version_key="n")
+        q.schedule(3.0, "other")
+        q.forget("n")
+        # Both stamped events are stale (stamp >= 1 vs fallback 0).
+        event = q.pop()
+        assert event is not None and event.kind == "other"
+        assert q.pop() is None
+
+    def test_forget_after_invalidations_still_stales(self):
+        q = EventQueue()
+        q.schedule(1.0, "death", version_key="n")
+        q.invalidate("n")
+        q.schedule(2.0, "death", version_key="n")
+        q.forget("n")
+        assert q.pop() is None
+
+    def test_forget_unknown_key_is_noop(self):
+        q = EventQueue()
+        q.forget("never-seen")
+        assert q.tracked_keys() == 0
+
+    def test_first_schedule_registers_at_version_one(self):
+        # forget() relies on stamped versions never being 0: a key's very
+        # first schedule must register it at version 1.
+        q = EventQueue()
+        event = q.schedule(1.0, "death", version_key="n")
+        assert event.version == 1
+        assert q.current_version("n") == 1
+        assert q.pop().kind == "death"
+
+    def test_schedule_after_forget_reregisters(self):
+        # The documented caveat: forget is terminal.  Scheduling the key
+        # again re-registers it at version 1, which also revives any
+        # version-1 stragglers still sitting in the heap.
+        q = EventQueue()
+        q.schedule(1.0, "death", version_key="n")
+        q.forget("n")
+        q.schedule(2.0, "death", version_key="n")
+        assert q.current_version("n") == 1
+        assert [e.time for e in (q.pop(), q.pop())] == [1.0, 2.0]

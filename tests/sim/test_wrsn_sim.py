@@ -4,6 +4,7 @@ import pytest
 
 from repro.detection.auditors import default_detector_suite
 from repro.mc.charger import ChargeMode
+from repro.sim.actions import MissionController
 from repro.sim.benign import BenignController
 from repro.sim.events import DepotRecharged, RequestIssued, ServiceCompleted
 from repro.sim.scenario import ScenarioConfig
@@ -141,3 +142,31 @@ class TestChargeModesInSim:
             if s.mode == ChargeMode.SPOOF
         }
         assert spoofed == recorded
+
+
+class TestVersionTableHygiene:
+    def test_dead_nodes_release_their_version_entries(self):
+        # With a charger that never serves anyone, every node eventually
+        # dies; each death must purge the node's version entry instead of
+        # letting the table grow for the whole horizon.
+        class IdleController(MissionController):
+            name = "idle"
+
+            def next_action(self, sim):
+                return None
+
+        cfg = ScenarioConfig(node_count=20, key_count=3, horizon_days=40)
+        sim = WrsnSimulation(
+            cfg.build_network(seed=3),
+            cfg.build_charger(),
+            IdleController(),
+            horizon_s=cfg.horizon_s,
+        )
+        result = sim.run()
+        dead = result.network.dead_ids()
+        assert dead  # the scenario must actually exercise deaths
+        for node_id in dead:
+            assert sim._queue.current_version(("node", node_id)) == 0
+        # Tracked keys: at most one per survivor plus the charger unit.
+        alive = result.network.alive_ids()
+        assert sim._queue.tracked_keys() <= len(alive) + 1
