@@ -16,7 +16,10 @@ so the speed never comes at the cost of a dropped diagnostic.
 
 A fourth timing runs the registry *minus* the concurrency pack
 (RL-C001..C005): the call-graph + CFG layers must not inflate a cold
-run beyond ``_PACK_OVERHEAD_CEILING`` of the pack-free time.
+run beyond ``_PACK_OVERHEAD_CEILING`` of the pack-free time.  A fifth
+does the same for the array-semantics pack (RL-N001..N005): the
+abstract interpreter is gated to numpy-touching functions, so it too
+must stay within the ceiling.
 """
 
 import os
@@ -38,10 +41,12 @@ SRC_TREE = pathlib.Path(__file__).parent.parent / "src" / "repro"
 #: scheduler noise on shared runners.
 _SPEEDUP_FLOOR = 1.3
 
-#: Maximum cold-serial slowdown the concurrency pack may cost relative
-#: to the same registry without RL-C rules.  The call graph and CFGs are
-#: linear passes over ASTs the engine parses anyway, so they must stay a
-#: fraction of total lint time, not a multiple of it.
+#: Maximum cold-serial slowdown an analysis pack (concurrency RL-C,
+#: array semantics RL-N) may cost relative to the same registry without
+#: it.  The call graph, CFGs, and the array interpreter are linear
+#: passes over ASTs the engine parses anyway — gated to the functions
+#: they apply to — so each must stay a fraction of total lint time, not
+#: a multiple of it.
 _PACK_OVERHEAD_CEILING = 1.5
 
 #: Timed repetitions per mode; the minimum is reported to damp scheduler
@@ -63,14 +68,14 @@ def _time_lint(cache_factory=None, jobs=1, engine=None):
     return best, findings
 
 
-def _engine_without_concurrency_pack():
+def _engine_without_pack(prefix):
     from repro.lint.registry import all_project_rules, all_rules
 
     return LintEngine(
-        rules=[c for c in all_rules() if not c.rule_id.startswith("RL-C")],
+        rules=[c for c in all_rules() if not c.rule_id.startswith(prefix)],
         project_rules=[
             c for c in all_project_rules()
-            if not c.rule_id.startswith("RL-C")
+            if not c.rule_id.startswith(prefix)
         ],
     )
 
@@ -101,14 +106,14 @@ def bench_lint_modes(tmp_path, benchmark):
     assert as_rows(parallel_findings) == as_rows(serial_findings)
     assert as_rows(warm_findings) == as_rows(serial_findings)
 
-    base_s, _base_findings = _time_lint(
-        engine=_engine_without_concurrency_pack()
-    )
+    no_c_s, _ = _time_lint(engine=_engine_without_pack("RL-C"))
+    no_n_s, _ = _time_lint(engine=_engine_without_pack("RL-N"))
 
     _RESULTS["cold serial"] = serial_s
     _RESULTS[f"cold parallel (jobs={jobs})"] = parallel_s
     _RESULTS["warm cached"] = warm_s
-    _RESULTS["cold serial (no RL-C pack)"] = base_s
+    _RESULTS["cold serial (no RL-C pack)"] = no_c_s
+    _RESULTS["cold serial (no RL-N pack)"] = no_n_s
 
     speedup = serial_s / warm_s
     assert speedup >= _SPEEDUP_FLOOR, (
@@ -116,10 +121,18 @@ def bench_lint_modes(tmp_path, benchmark):
         f"below the {_SPEEDUP_FLOOR:.1f}x floor"
     )
 
-    pack_overhead = serial_s / base_s
-    assert pack_overhead <= _PACK_OVERHEAD_CEILING, (
-        f"concurrency pack costs {pack_overhead:.2f}x of a pack-free "
-        f"cold run, above the {_PACK_OVERHEAD_CEILING:.1f}x ceiling"
+    concurrency_overhead = serial_s / no_c_s
+    assert concurrency_overhead <= _PACK_OVERHEAD_CEILING, (
+        f"concurrency pack costs {concurrency_overhead:.2f}x of a "
+        f"pack-free cold run, above the {_PACK_OVERHEAD_CEILING:.1f}x "
+        "ceiling"
+    )
+
+    numerics_overhead = serial_s / no_n_s
+    assert numerics_overhead <= _PACK_OVERHEAD_CEILING, (
+        f"array-semantics pack costs {numerics_overhead:.2f}x of a "
+        f"pack-free cold run, above the {_PACK_OVERHEAD_CEILING:.1f}x "
+        "ceiling"
     )
 
     rows = [
@@ -145,8 +158,9 @@ def bench_lint_modes(tmp_path, benchmark):
             "rounds": _ROUNDS,
             "speedup_warm_vs_cold_serial": speedup,
             "speedup_floor": _SPEEDUP_FLOOR,
-            "concurrency_pack_overhead": pack_overhead,
-            "concurrency_pack_overhead_ceiling": _PACK_OVERHEAD_CEILING,
+            "concurrency_pack_overhead": concurrency_overhead,
+            "numerics_pack_overhead": numerics_overhead,
+            "pack_overhead_ceiling": _PACK_OVERHEAD_CEILING,
             "findings": len(serial_findings),
         },
     )

@@ -36,6 +36,7 @@ from repro.utils.validation import (
     check_non_negative,
     check_non_negative_array,
     check_positive,
+    require_float64,
 )
 
 __all__ = [
@@ -216,7 +217,9 @@ def solve_null_phases_batch(
     if n <= 1 or m == 0:
         return phases
 
-    rows = np.arange(m)
+    # Explicit int64 rather than the platform-int arange default, so the
+    # row-index math stays overflow-free on 32-bit builds at any m.
+    rows = np.arange(m, dtype=np.int64)
     # Descending amplitude; 'stable' keeps ties in index order, matching
     # the scalar solver's sort.
     order = np.argsort(-amps, axis=1, kind="stable")
@@ -448,7 +451,8 @@ class ChargerArray:
         an ``(m, k)`` array of per-observation vectors.  Returns the
         ``(m,)`` complex field phasors.
         """
-        phases = np.asarray(emitted_phases, dtype=float)
+        observations = require_float64(observations, "observations")
+        phases = require_float64(emitted_phases, "emitted_phases")
         if phases.ndim not in (1, 2) or phases.shape[-1] != self.size:
             raise ValueError(
                 f"expected {self.size} phases per observation, "
@@ -509,6 +513,7 @@ class ChargerArray:
         self, charger_position: Point, targets: np.ndarray
     ) -> np.ndarray:
         """Beamforming phases for many targets at once, ``(m, k)``."""
+        targets = require_float64(targets, "targets")
         _, path_phases = self._path_quantities_many(charger_position, targets)
         return -path_phases
 
@@ -522,6 +527,7 @@ class ChargerArray:
         """
         if self.size < 2:
             raise ValueError("spoofing requires an array of at least two elements")
+        targets = require_float64(targets, "targets")
         amplitudes, path_phases = self._path_quantities_many(
             charger_position, targets
         )

@@ -39,7 +39,8 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--statistics",
         action="store_true",
-        help="print per-rule finding counts to stderr",
+        help="print per-rule finding counts and per-pack rule timings "
+        "to stderr",
     )
     parser.add_argument(
         "--baseline",
@@ -215,5 +216,7 @@ def run_lint(args: argparse.Namespace) -> int:
         # Downstream pager/head closed the pipe; the exit code still stands.
         pass
     if args.statistics:
-        print(render_statistics(findings), file=sys.stderr)
+        print(
+            render_statistics(findings, engine.rule_timings), file=sys.stderr
+        )
     return 1 if findings else 0

@@ -30,6 +30,7 @@ import re
 import tokenize
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from pathlib import Path, PurePosixPath
+from time import perf_counter
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding, sort_findings
@@ -215,9 +216,15 @@ _SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
 class _Dispatcher(ast.NodeVisitor):
     """Single-pass visitor feeding each node to the subscribed rules."""
 
-    def __init__(self, ctx: ModuleContext, rules: Sequence[Rule]) -> None:
+    def __init__(
+        self,
+        ctx: ModuleContext,
+        rules: Sequence[Rule],
+        timings: dict[str, float] | None = None,
+    ) -> None:
         self.ctx = ctx
         self.findings: list[tuple[ast.AST, str, str]] = []
+        self.timings = timings if timings is not None else {}
         self._by_type: dict[type, list[Rule]] = {}
         for rule in rules:
             for node_type in rule.node_types:
@@ -226,8 +233,12 @@ class _Dispatcher(ast.NodeVisitor):
     def visit(self, node: ast.AST) -> None:
         self.ctx.record_imports(node)
         for rule in self._by_type.get(type(node), ()):
+            start = perf_counter()
             for offending, message in rule.check(node, self.ctx):
                 self.findings.append((offending, rule.rule_id, message))
+            self.timings[rule.rule_id] = (
+                self.timings.get(rule.rule_id, 0.0) + perf_counter() - start
+            )
         if isinstance(node, _SCOPE_NODES):
             self.ctx.scope_stack.append(node)
             try:
@@ -273,12 +284,13 @@ def resolve_lint_files(paths: Iterable[str | Path]) -> list[Path]:
 
 def _lint_batch_worker(
     items: Sequence[tuple[str, str]],
-) -> list[tuple[str, int, int, str, str]]:
+) -> tuple[list[tuple[str, int, int, str, str]], dict[str, float]]:
     """Process-pool worker: run the per-file pass over a batch of sources.
 
-    Returns plain tuples (not :class:`Finding`) to keep the pickled
-    payload small and version-independent.  Workers always run the full
-    default rule set; engines with a custom rule selection lint serially.
+    Returns plain tuples (not :class:`Finding`) plus the batch's per-rule
+    timings, keeping the pickled payload small and version-independent.
+    Workers always run the full default rule set; engines with a custom
+    rule selection lint serially.
     """
     engine = LintEngine(project_rules=())
     out: list[tuple[str, int, int, str, str]] = []
@@ -288,7 +300,7 @@ def _lint_batch_worker(
                 (finding.path, finding.line, finding.col, finding.rule_id,
                  finding.message)
             )
-    return out
+    return out, engine.rule_timings
 
 
 class LintEngine:
@@ -305,6 +317,10 @@ class LintEngine:
             tuple(project_rules) if project_rules is not None
             else all_project_rules()
         )
+        #: Cumulative wall time spent inside each rule (rule id -> seconds),
+        #: accumulated across every lint call on this engine.  Cached files
+        #: contribute nothing — the rules never ran for them.
+        self.rule_timings: dict[str, float] = {}
 
     @property
     def rule_classes(self) -> tuple[type[Rule], ...]:
@@ -337,7 +353,7 @@ class LintEngine:
         suppressions = collect_suppressions(source)
         active = [cls() for cls in self._rule_classes]
         active = [rule for rule in active if rule.applies_to(ctx)]
-        dispatcher = _Dispatcher(ctx, active)
+        dispatcher = _Dispatcher(ctx, active, self.rule_timings)
         dispatcher.visit(tree)
 
         findings: list[Finding] = []
@@ -372,7 +388,12 @@ class LintEngine:
         seen: set[tuple[str, int, int, str, str]] = set()
         for cls in self._project_rule_classes:
             rule = cls()
-            for path, anchor, message in rule.check_project(project):
+            start = perf_counter()
+            results = list(rule.check_project(project))
+            self.rule_timings[cls.rule_id] = (
+                self.rule_timings.get(cls.rule_id, 0.0) + perf_counter() - start
+            )
+            for path, anchor, message in results:
                 if isinstance(anchor, int):
                     line, col, end_line = anchor, 0, anchor
                 elif anchor is not None:
@@ -419,8 +440,12 @@ class LintEngine:
             with ProcessPoolExecutor(
                 max_workers=jobs, mp_context=mp_context
             ) as pool:
-                for rows in pool.map(_lint_batch_worker, batches):
+                for rows, timings in pool.map(_lint_batch_worker, batches):
                     findings.extend(Finding(*row) for row in rows)
+                    for rule_id, seconds in timings.items():
+                        self.rule_timings[rule_id] = (
+                            self.rule_timings.get(rule_id, 0.0) + seconds
+                        )
         except (BrokenExecutor, OSError):  # pragma: no cover - pool breakage
             return None
         return findings

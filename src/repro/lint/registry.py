@@ -43,7 +43,8 @@ __all__ = [
 #: Bumped whenever rule semantics change, so content-addressed cache
 #: entries written by an older rule set are never reused.
 #: 3: concurrency pack (RL-C001..C005) + ``ignore[...]`` suppressions.
-RULESET_VERSION = "3"
+#: 4: array-semantics pack (RL-N001..N005).
+RULESET_VERSION = "4"
 
 _RULE_ID_PATTERN = re.compile(r"^RL-[A-Z]\d{3}$")
 

@@ -10,8 +10,9 @@ convention to SARIF's 1-based one.
 from __future__ import annotations
 
 import json
+import re
 from collections import Counter
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.lint.findings import Finding
 
@@ -117,8 +118,30 @@ def render_sarif(findings: Sequence[Finding]) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_statistics(findings: Sequence[Finding]) -> str:
-    """Per-rule finding counts, most frequent first (ties by rule id)."""
+#: ``RL-N001`` -> pack ``RL-N``: the letter names the pack, the digits the
+#: rule within it.
+_PACK_PREFIX = re.compile(r"^([A-Z]+-[A-Z]+)\d")
+
+
+def _pack_of(rule_id: str) -> str:
+    match = _PACK_PREFIX.match(rule_id)
+    return match.group(1) if match else rule_id
+
+
+def render_statistics(
+    findings: Sequence[Finding],
+    rule_timings: Mapping[str, float] | None = None,
+) -> str:
+    """Per-rule finding counts plus per-pack rule execution time.
+
+    Counts come first, most frequent rule first (ties by rule id).  When
+    ``rule_timings`` (rule id -> seconds, as accumulated on
+    :attr:`LintEngine.rule_timings`) is given, a second section
+    aggregates the time by rule pack — the letter prefix shared by a
+    family of rules, e.g. ``RL-N`` for the array-semantics pack — so the
+    cost of enabling a whole pack is visible at a glance, slowest pack
+    first.
+    """
     counts = Counter(finding.rule_id for finding in findings)
     lines = [
         f"{rule_id:<10} {count:>5}"
@@ -127,4 +150,15 @@ def render_statistics(findings: Sequence[Finding]) -> str:
         )
     ]
     lines.append(f"{'total':<10} {len(findings):>5}")
+    if rule_timings:
+        pack_seconds: dict[str, float] = {}
+        for rule_id, seconds in rule_timings.items():
+            pack = _pack_of(rule_id)
+            pack_seconds[pack] = pack_seconds.get(pack, 0.0) + seconds
+        lines.append("")
+        lines.append("pack timings:")
+        for pack, seconds in sorted(
+            pack_seconds.items(), key=lambda item: (-item[1], item[0])
+        ):
+            lines.append(f"{pack:<10} {seconds * 1000.0:>8.1f} ms")
     return "\n".join(lines)

@@ -6,7 +6,7 @@ are re-exported so tooling (and tests) can reference a rule without
 knowing which pack module defines it.
 """
 
-from repro.lint.rules import concurrency, determinism, hygiene, physics
+from repro.lint.rules import concurrency, determinism, hygiene, numerics, physics
 from repro.lint.rules.concurrency import (
     AcquireWithoutRelease,
     ResourceLeakOnPath,
@@ -19,6 +19,13 @@ from repro.lint.rules.determinism import (
     NoLegacyGlobalRng,
     NoUnseededDefaultRng,
     NoWallClockSeeding,
+)
+from repro.lint.rules.numerics import (
+    AliasedInPlaceWrite,
+    DtypeNarrowing,
+    PlatformIntOverflow,
+    UnguardedEmptyReduction,
+    UnintendedBroadcast,
 )
 from repro.lint.rules.hygiene import (
     NoBareExcept,
@@ -35,6 +42,8 @@ from repro.lint.rules.physics import (
 
 __all__ = [
     "AcquireWithoutRelease",
+    "AliasedInPlaceWrite",
+    "DtypeNarrowing",
     "NoBareExcept",
     "NoBuiltinShadowing",
     "NoFloatEquality",
@@ -45,14 +54,18 @@ __all__ = [
     "NoScalarKernelListComp",
     "NoUnseededDefaultRng",
     "NoWallClockSeeding",
+    "PlatformIntOverflow",
     "PublicModuleHasAll",
     "ResourceLeakOnPath",
     "SignalHandlerUnsafeCall",
     "SqliteCrossThread",
+    "UnguardedEmptyReduction",
     "UnguardedSharedWrite",
+    "UnintendedBroadcast",
     "ValidatedPhysicalConstructors",
     "concurrency",
     "determinism",
     "hygiene",
+    "numerics",
     "physics",
 ]

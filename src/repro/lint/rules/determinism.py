@@ -114,11 +114,12 @@ class NoWallClockSeeding(_DeterminismRule):
     """RL-D003: wall-clock reads in simulation code smuggle real time into
     what must be a purely virtual-time, seed-determined world.
 
-    Scope: :mod:`repro.campaign` and :mod:`repro.service` are exempt —
-    campaign telemetry measures how long *real* trial executions take,
-    and the service's lease TTLs, heartbeats and usage ledger are
-    wall-clock mechanisms by definition; neither feeds back into
-    simulated time or seeds.
+    Scope: :mod:`repro.campaign`, :mod:`repro.service` and
+    :mod:`repro.lint` are exempt — campaign telemetry measures how long
+    *real* trial executions take, the service's lease TTLs, heartbeats
+    and usage ledger are wall-clock mechanisms by definition, and the
+    linter times its own rule execution for ``--statistics``; none of
+    these feed back into simulated time or seeds.
     """
 
     rule_id = "RL-D003"
@@ -126,7 +127,9 @@ class NoWallClockSeeding(_DeterminismRule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return super().applies_to(ctx) and not ctx.has_dir("campaign", "service")
+        return super().applies_to(ctx) and not ctx.has_dir(
+            "campaign", "service", "lint"
+        )
 
     def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
         name = ctx.resolve_call_name(node.func)

@@ -28,6 +28,8 @@ import math
 
 import numpy as np
 
+from repro.utils.validation import require_float64
+
 __all__ = ["EnergyLedger"]
 
 #: Tolerance realising deaths scheduled at the exact predicted depletion
@@ -95,6 +97,50 @@ class EnergyLedger:
         self.clock[slot] = 0.0
         self.death_time[slot] = np.nan
         self.alive[slot] = True
+
+    def load_arrays(
+        self,
+        *,
+        capacity_j: "np.ndarray | object",
+        energy_j: "np.ndarray | object",
+        believed_j: "np.ndarray | object",
+        consumption_w: "np.ndarray | object",
+        clock: "float | np.ndarray | object",
+        alive: "np.ndarray | object",
+    ) -> None:
+        """Bulk-initialise every slot from parallel arrays.
+
+        The public array entry point (the digital twin seeds its replica
+        from a run-start snapshot through here): each array must cover
+        every slot, and externally supplied data cannot smuggle narrowed
+        floats into the bit-for-bit drain arithmetic —
+        :func:`~repro.utils.validation.require_float64` rejects them at
+        the boundary.  ``clock`` may be a scalar (one shared start time)
+        or a per-slot array.
+        """
+        count = len(self)
+        fields = {
+            "capacity_j": require_float64(capacity_j, "capacity_j"),
+            "energy_j": require_float64(energy_j, "energy_j"),
+            "believed_j": require_float64(believed_j, "believed_j"),
+            "consumption_w": require_float64(consumption_w, "consumption_w"),
+        }
+        for name, values in fields.items():
+            if values.shape != (count,):
+                raise ValueError(
+                    f"{name} must have shape ({count},), got {values.shape}"
+                )
+        alive_mask = np.asarray(alive, dtype=bool)
+        if alive_mask.shape != (count,):
+            raise ValueError(
+                f"alive must have shape ({count},), got {alive_mask.shape}"
+            )
+        self.capacity_j[:] = fields["capacity_j"]
+        self.energy_j[:] = fields["energy_j"]
+        self.believed_j[:] = fields["believed_j"]
+        self.consumption_w[:] = fields["consumption_w"]
+        self.clock[:] = require_float64(clock, "clock")
+        self.alive[:] = alive_mask
 
     # ------------------------------------------------------------------
     # Scalar (per-slot) path — the reference semantics
@@ -164,9 +210,11 @@ class EnergyLedger:
         over the arrays replaces the per-node Python loop.
         """
         clock = self.clock
-        max_clock = float(clock.max())
+        # The ledger always holds >= 1 slot (enforced in __init__), so
+        # these reductions can never see an empty array.
+        max_clock = float(clock.max())  # reprolint: ignore[RL-N004]
         if time < max_clock - _CLOCK_TOL:
-            slot = int(clock.argmax())
+            slot = int(clock.argmax())  # reprolint: ignore[RL-N004]
             raise ValueError(
                 f"cannot advance slot {slot} to {time} "
                 f"(clock already at {float(clock[slot])})"

@@ -236,7 +236,9 @@ class SpatialGridIndex:
         """
         empty = np.zeros(0, dtype=np.int64)
         if dx == 0 and dy == 0:
-            valid = np.arange(len(self._keys))
+            # Explicit int64: np.arange defaults to the *platform* int,
+            # and every other position array in the index is int64.
+            valid = np.arange(len(self._keys), dtype=np.int64)
             b_pos = valid
         else:
             # Decompose keys so out-of-range neighbour coordinates are

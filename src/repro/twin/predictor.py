@@ -56,13 +56,15 @@ class TwinPredictor:
             self._ledger = None
             return
         ledger = EnergyLedger(count)
-        ledger.capacity_j[:] = snapshot.capacity_j
-        ledger.energy_j[:] = snapshot.believed_j
-        ledger.believed_j[:] = snapshot.believed_j
-        ledger.consumption_w[:] = snapshot.consumption_w
-        ledger.clock[:] = snapshot.time
-        alive = np.asarray(snapshot.alive, dtype=bool)
-        ledger.alive[:] = alive
+        ledger.load_arrays(
+            capacity_j=snapshot.capacity_j,
+            energy_j=snapshot.believed_j,
+            believed_j=snapshot.believed_j,
+            consumption_w=snapshot.consumption_w,
+            clock=snapshot.time,
+            alive=snapshot.alive,
+        )
+        alive = ledger.alive
         ledger.energy_j[~alive] = 0.0
         ledger.believed_j[~alive] = 0.0
         self._ledger = ledger

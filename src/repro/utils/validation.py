@@ -21,6 +21,7 @@ __all__ = [
     "check_non_negative_array",
     "check_positive",
     "check_probability",
+    "require_float64",
 ]
 
 
@@ -68,6 +69,33 @@ def check_non_negative_array(name: str, value: Any) -> np.ndarray:
     if np.any(result < 0.0):
         raise ValueError(f"{name} must be >= 0 everywhere")
     return result
+
+
+#: Narrowed float dtypes rejected at the bit-for-bit kernel boundaries.
+_NARROWED_DTYPES = (np.dtype(np.float16), np.dtype(np.float32), np.dtype(np.complex64))
+
+
+def require_float64(arr: Any, name: str) -> np.ndarray:
+    """Return ``arr`` as a float64 ndarray, rejecting narrowed floats.
+
+    The vectorized kernels (:class:`~repro.network.energy_ledger.EnergyLedger`,
+    the :class:`~repro.em.charger_array.ChargerArray` batch APIs) must stay
+    bit-for-bit faithful to the paper's tables, which requires float64 end
+    to end.  Python scalars, sequences and integer arrays convert exactly
+    and are accepted; float16/float32 (and complex64) input is *rejected*
+    rather than silently widened, because the precision was already lost
+    upstream and widening would only hide the divergence.
+    """
+    result = np.asarray(arr)
+    if result.dtype == np.float64:
+        return result
+    if result.dtype in _NARROWED_DTYPES:
+        raise TypeError(
+            f"{name} must be float64, got {result.dtype}: the bit-for-bit "
+            "kernels forbid narrowed floats — convert the upstream data "
+            "to float64 before it reaches this boundary"
+        )
+    return np.asarray(arr, dtype=np.float64)
 
 
 def check_probability(name: str, value: Any) -> float:

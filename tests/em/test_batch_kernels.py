@@ -160,3 +160,49 @@ class TestElementwiseKernels:
                 two_wave_rf_power(0.01, 0.004, float(d)), rel=1e-15, abs=0.0
             )
         assert batch.min() >= 0.0
+
+
+class TestFloat64Boundary:
+    """Narrowed-float input is rejected at the batch API boundary.
+
+    ``require_float64`` guards every array-accepting ``ChargerArray``
+    entry point: float32 data has already lost the precision the
+    bit-for-bit kernels depend on, so it must fail loudly instead of
+    being silently widened.
+    """
+
+    def test_fields_at_many_rejects_float32_observations(self):
+        array = ChargerArray.uniform_linear(4)
+        obs = observation_grid().astype(np.float32)
+        with pytest.raises(TypeError, match="observations must be float64"):
+            array.fields_at_many(obs, CHARGER, [0.0] * 4)
+
+    def test_fields_at_many_rejects_float32_phases(self):
+        array = ChargerArray.uniform_linear(4)
+        phases = np.zeros(4, dtype=np.float32)
+        with pytest.raises(TypeError, match="emitted_phases must be float64"):
+            array.fields_at_many(observation_grid(), CHARGER, phases)
+
+    def test_beamform_phases_many_rejects_float32_targets(self):
+        array = ChargerArray.uniform_linear(3)
+        targets = observation_grid().astype(np.float32)
+        with pytest.raises(TypeError, match="targets must be float64"):
+            array.beamform_phases_many(CHARGER, targets)
+
+    def test_spoof_phases_many_rejects_float32_targets(self):
+        array = ChargerArray.uniform_linear(3)
+        targets = observation_grid().astype(np.float32)
+        with pytest.raises(TypeError, match="targets must be float64"):
+            array.spoof_phases_many(CHARGER, targets)
+
+    def test_exact_inputs_still_widen(self):
+        # Python lists and integer arrays convert exactly — the boundary
+        # only rejects dtypes where precision was already lost.
+        array = ChargerArray.uniform_linear(2)
+        obs = np.array([[1, 0], [2, 0]], dtype=np.int64)
+        fields = array.fields_at_many(obs, CHARGER, [0.0, 0.0])
+        assert fields.dtype == np.complex128
+        expected = array.fields_at_many(
+            obs.astype(np.float64), CHARGER, [0.0, 0.0]
+        )
+        np.testing.assert_array_equal(fields, expected)

@@ -716,9 +716,10 @@ RULE_FIXTURES: tuple[RuleFixture, ...] = (
     ),
 )
 
-# The concurrency pack's fixtures live in their own module (the snippets
-# are structurally larger); the import sits below the table because the
-# module imports RuleFixture/_src back from this package.
+# The concurrency and numerics packs' fixtures live in their own modules
+# (the snippets are structurally larger); the imports sit below the table
+# because those modules import RuleFixture/_src back from this package.
 from tests.lint.fixtures.concurrency import CONCURRENCY_FIXTURES  # noqa: E402
+from tests.lint.fixtures.numerics import NUMERICS_FIXTURES  # noqa: E402
 
-RULE_FIXTURES = RULE_FIXTURES + CONCURRENCY_FIXTURES
+RULE_FIXTURES = RULE_FIXTURES + CONCURRENCY_FIXTURES + NUMERICS_FIXTURES

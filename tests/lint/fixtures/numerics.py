@@ -1,0 +1,217 @@
+"""Per-rule fixtures for the array-semantics pack (RL-N001..RL-N005).
+
+Separate from the main table because each snippet must carry enough
+array context (allocations, annotations, shapes) for the abstract
+interpreter to reason about, and every ``suppressed`` variant exercises
+the bracketed ``# reprolint: ignore[...]`` suppression alias the pack's
+in-tree exemptions use.  RL-N001 is scoped to the bit-for-bit layers,
+so its fixture lives under ``em/``; the others are project-wide.
+"""
+
+from __future__ import annotations
+
+from tests.lint.fixtures import RuleFixture, _src
+
+NUMERICS_FIXTURES: tuple[RuleFixture, ...] = (
+    RuleFixture(
+        rule_id="RL-N001",
+        path="src/repro/em/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["compact"]
+
+
+            def compact(field_v_m: np.ndarray) -> np.ndarray:
+                return field_v_m.astype(np.float32)
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["compact"]
+
+
+            def compact(field_v_m: np.ndarray) -> np.ndarray:
+                return field_v_m.astype(np.float64)
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["compact"]
+
+
+            def compact(field_v_m: np.ndarray) -> np.ndarray:
+                return field_v_m.astype(np.float32)  # reprolint: ignore[RL-N001]
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-N002",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["gaps"]
+
+
+            def gaps(n: int) -> np.ndarray:
+                xs = np.zeros(n, dtype=np.float64)
+                ys = np.zeros((n, 1), dtype=np.float64)
+                return xs - ys
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["gaps"]
+
+
+            def gaps(n: int) -> np.ndarray:
+                xs = np.zeros(n, dtype=np.float64)
+                return xs[:, None] - xs[None, :]
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["gaps"]
+
+
+            def gaps(n: int) -> np.ndarray:
+                xs = np.zeros(n, dtype=np.float64)
+                ys = np.zeros((n, 1), dtype=np.float64)
+                return xs - ys  # reprolint: ignore[RL-N002]
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-N003",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["zero_head"]
+
+
+            def zero_head(samples: np.ndarray) -> np.ndarray:
+                head = samples[0:8]
+                head[:] = 0.0
+                return head
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["zero_head"]
+
+
+            def zero_head(samples: np.ndarray) -> np.ndarray:
+                head = samples[0:8].copy()
+                head[:] = 0.0
+                return head
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["zero_head"]
+
+
+            def zero_head(samples: np.ndarray) -> np.ndarray:
+                head = samples[0:8]
+                head[:] = 0.0  # reprolint: ignore[RL-N003]
+                return head
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-N004",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["hottest"]
+
+
+            def hottest(readings: np.ndarray) -> float:
+                return float(readings.max())
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["hottest"]
+
+
+            def hottest(readings: np.ndarray) -> float:
+                if readings.size == 0:
+                    return 0.0
+                return float(readings.max())
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["hottest"]
+
+
+            def hottest(readings: np.ndarray) -> float:
+                return float(readings.max())  # reprolint: ignore[RL-N004]
+            """
+        ),
+    ),
+    RuleFixture(
+        rule_id="RL-N005",
+        path="src/repro/analysis/snippet.py",
+        bad=_src(
+            """
+            import numpy as np
+
+            __all__ = ["cell_keys"]
+
+
+            def cell_keys(n: int) -> np.ndarray:
+                cols = np.arange(n)
+                return cols * 100000
+            """
+        ),
+        good=_src(
+            """
+            import numpy as np
+
+            __all__ = ["cell_keys"]
+
+
+            def cell_keys(n: int) -> np.ndarray:
+                cols = np.arange(n, dtype=np.int64)
+                return cols * 100000
+            """
+        ),
+        suppressed=_src(
+            """
+            import numpy as np
+
+            __all__ = ["cell_keys"]
+
+
+            def cell_keys(n: int) -> np.ndarray:
+                cols = np.arange(n)
+                return cols * 100000  # reprolint: ignore[RL-N005]
+            """
+        ),
+    ),
+)

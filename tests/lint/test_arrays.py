@@ -1,0 +1,502 @@
+"""Domain-level tests for the array-semantics abstract interpreter.
+
+Mirrors ``test_cfg.py``'s precision suites: the lattice operations are
+pinned by algebraic-law and table tests, the broadcast unifier by the
+cases the rules depend on (unknown dims, 0-dims, scalar promotion,
+mutual stretching), and the may-alias transfer by interpreting small
+functions end to end and asserting which events survive.
+"""
+
+import itertools
+
+import pytest
+
+from repro.lint.arrays import (
+    DTYPE_TOP,
+    ArrayAnalysis,
+    ArrayValue,
+    Env,
+    broadcast_shapes,
+    dtype_join,
+    dtype_meet,
+    format_shape,
+    promote,
+    shape_join,
+)
+from repro.lint.project import ProjectModel
+
+_DTYPES = [
+    None, "bool", "pyint", "int32", "intp", "int64", "pyfloat",
+    "float32", "float64", "complex128", DTYPE_TOP,
+]
+
+
+def _events(source: str, path: str = "src/repro/em/mod.py"):
+    project = ProjectModel.from_sources([(path, source)])
+    analysis = ArrayAnalysis.of(project)
+    return [
+        (event.kind, event.node.lineno)
+        for record in project
+        for event in analysis.events(record)
+    ]
+
+
+def _kinds(source: str, path: str = "src/repro/em/mod.py"):
+    return [kind for kind, _line in _events(source, path)]
+
+
+# ----------------------------------------------------------------------
+# Dtype lattice laws
+# ----------------------------------------------------------------------
+class TestDtypeLattice:
+    @pytest.mark.parametrize("dtype", _DTYPES)
+    def test_join_and_meet_are_idempotent(self, dtype):
+        assert dtype_join(dtype, dtype) == dtype
+        assert dtype_meet(dtype, dtype) == dtype
+
+    def test_join_and_meet_are_commutative(self):
+        for a, b in itertools.product(_DTYPES, repeat=2):
+            assert dtype_join(a, b) == dtype_join(b, a)
+            assert dtype_meet(a, b) == dtype_meet(b, a)
+
+    def test_join_is_associative(self):
+        for a, b, c in itertools.product(_DTYPES, repeat=3):
+            assert dtype_join(dtype_join(a, b), c) == dtype_join(
+                a, dtype_join(b, c)
+            )
+
+    def test_bottom_and_top_behave(self):
+        # None is the identity of join and the absorber of meet.
+        for dtype in _DTYPES:
+            assert dtype_join(None, dtype) == dtype
+            assert dtype_meet(None, dtype) is None
+        # TOP absorbs join and is the identity of meet.
+        for dtype in _DTYPES[1:]:
+            assert dtype_join(DTYPE_TOP, dtype) == DTYPE_TOP
+            assert dtype_meet(DTYPE_TOP, dtype) == dtype
+
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            ("bool", "int32", "int32"),
+            ("int32", "int64", "int64"),
+            ("int64", "float32", "float32"),
+            ("float32", "float64", "float64"),
+            ("float64", "complex128", "complex128"),
+            ("pyint", "int32", "int32"),
+            ("pyfloat", "float32", "float32"),
+        ],
+    )
+    def test_join_table(self, a, b, expected):
+        assert dtype_join(a, b) == expected
+        assert dtype_meet(a, b) == (a if expected == b else b)
+
+
+class TestPromotion:
+    @pytest.mark.parametrize(
+        ("a", "b", "expected"),
+        [
+            # Weak python scalars never widen a concrete same-kind dtype.
+            ("float32", "pyfloat", "float32"),
+            ("float64", "pyfloat", "float64"),
+            ("int32", "pyint", "int32"),
+            ("int64", "pyint", "int64"),
+            # A python float against an int array produces float64.
+            ("int64", "pyfloat", "float64"),
+            ("int32", "pyfloat", "float64"),
+            ("bool", "pyint", "intp"),
+            # Concrete pairs take the chain maximum.
+            ("int32", "float32", "float32"),
+            ("float32", "float64", "float64"),
+            ("int32", "int64", "int64"),
+            ("float64", "complex128", "complex128"),
+            # Two weak scalars stay weak (float wins).
+            ("pyint", "pyfloat", "pyfloat"),
+        ],
+    )
+    def test_promotion_table(self, a, b, expected):
+        assert promote(a, b) == expected
+        assert promote(b, a) == expected
+
+    def test_unknown_operand_poisons_the_result(self):
+        assert promote(DTYPE_TOP, "float64") == DTYPE_TOP
+        assert promote(None, "float64") == DTYPE_TOP
+
+
+# ----------------------------------------------------------------------
+# Symbolic shapes
+# ----------------------------------------------------------------------
+class TestShapeJoin:
+    def test_equal_dims_survive_and_conflicts_go_unknown(self):
+        assert shape_join(("n", 2), ("n", 3)) == ("n", None)
+        assert shape_join(("n", 2), ("n", 2)) == ("n", 2)
+
+    def test_rank_mismatch_or_unknown_is_unknown(self):
+        assert shape_join(("n",), ("n", 2)) is None
+        assert shape_join(None, ("n",)) is None
+
+
+class TestBroadcast:
+    def test_matching_symbols_unify_without_stretch(self):
+        assert broadcast_shapes(("n",), ("n",)) == (("n",), False)
+
+    def test_literal_one_stretches_one_side_only(self):
+        shape, mutual = broadcast_shapes(("n", 1), ("n", "m"))
+        assert shape == ("n", "m")
+        assert mutual is False
+
+    def test_mutual_stretch_is_detected(self):
+        shape, mutual = broadcast_shapes(("n",), ("n", 1))
+        assert shape == ("n", "n")
+        assert mutual is True
+
+    def test_scalar_promotion_is_never_a_stretch(self):
+        assert broadcast_shapes((), ("n", "m")) == (("n", "m"), False)
+        assert broadcast_shapes(("n",), ()) == (("n",), False)
+
+    def test_zero_dims_pass_through(self):
+        assert broadcast_shapes((0,), (0,)) == ((0,), False)
+        # A literal 1 against 0 stretches nothing (0 is not > 1).
+        assert broadcast_shapes((1,), (0,)) == ((0,), False)
+
+    def test_unknown_dims_unify_to_unknown_without_stretch(self):
+        shape, mutual = broadcast_shapes((None, 2), ("n", 2))
+        assert shape == (None, 2)
+        assert mutual is False
+
+    def test_unknown_rank_stays_unknown(self):
+        assert broadcast_shapes(None, ("n",)) == (None, False)
+
+    def test_distinct_symbols_do_not_claim_a_stretch(self):
+        # n and m may be equal at runtime; without a literal 1 there is
+        # no broadcast evidence, so the dim goes unknown quietly.
+        shape, mutual = broadcast_shapes(("n",), ("m",))
+        assert shape == (None,)
+        assert mutual is False
+
+    def test_distinct_symbol_outer_product_is_a_mutual_stretch(self):
+        # (n,) op (m, 1) -> (m, n): both sides replicate.
+        shape, mutual = broadcast_shapes(("n",), ("m", 1))
+        assert shape == ("m", "n")
+        assert mutual is True
+
+    def test_format_shape(self):
+        assert format_shape(("n", 1)) == "(n, 1)"
+        assert format_shape(("n",)) == "(n,)"
+        assert format_shape(None) == "(?)"
+
+
+# ----------------------------------------------------------------------
+# Environment lattice (what the CFG solver relies on)
+# ----------------------------------------------------------------------
+class TestEnv:
+    def test_empty_frozenset_is_the_solver_identity(self):
+        env = Env({"x": ArrayValue(dtype="float64")})
+        assert (frozenset() | env) is env
+        assert (env | frozenset()) is env
+
+    def test_join_merges_per_variable(self):
+        left = Env({"x": ArrayValue(dtype="float32", shape=("n",))})
+        right = Env({"x": ArrayValue(dtype="float64", shape=("n",))})
+        merged = left | right
+        assert merged["x"].dtype == "float64"
+        assert merged["x"].shape == ("n",)
+
+    def test_one_sided_bindings_survive_a_join(self):
+        left = Env({"x": ArrayValue(dtype="float64")})
+        right = Env({"y": ArrayValue(dtype="int64")})
+        merged = left | right
+        assert set(merged) == {"x", "y"}
+
+    def test_equality_is_structural(self):
+        a = Env({"x": ArrayValue(dtype="float64")})
+        b = Env({"x": ArrayValue(dtype="float64")})
+        assert a == b
+        assert a != Env({"x": ArrayValue(dtype="float32")})
+
+
+# ----------------------------------------------------------------------
+# May-alias transfer, end to end
+# ----------------------------------------------------------------------
+class TestAliasTransfer:
+    def test_slice_of_parameter_keeps_the_alias(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    v = x[0:4]\n"
+            "    v[:] = 0.0\n"
+            "    return v\n"
+        )
+        assert kinds == ["alias-write"]
+
+    def test_reshape_and_ravel_keep_the_alias(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    v = x.reshape(2, 2).ravel()\n"
+            "    v += 1.0\n"
+            "    return v\n"
+        )
+        assert kinds == ["alias-write"]
+
+    def test_copy_cuts_the_alias(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    v = x[0:4].copy()\n"
+            "    v[:] = 0.0\n"
+            "    return v\n"
+        )
+        assert kinds == []
+
+    def test_arithmetic_produces_a_fresh_buffer(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    v = x * 2.0\n"
+            "    v[:] = 0.0\n"
+            "    return v\n"
+        )
+        assert kinds == []
+
+    def test_sibling_views_of_one_allocation_conflict(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    buf = np.zeros(n, dtype=np.float64)\n"
+            "    view = buf[0:2]\n"
+            "    view[:] = 1.0\n"
+            "    return buf\n"
+        )
+        assert kinds == ["alias-write"]
+
+    def test_dead_sibling_does_not_conflict(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    buf = np.zeros(n, dtype=np.float64)\n"
+            "    view = buf[0:2]\n"
+            "    view[:] = 1.0\n"
+            "    return view\n"
+        )
+        assert kinds == []
+
+
+# ----------------------------------------------------------------------
+# Guard recognition (RL-N004 precision)
+# ----------------------------------------------------------------------
+class TestGuards:
+    def test_unguarded_parameter_reduction_fires(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> float:\n"
+            "    return float(x.min())\n"
+        )
+        assert kinds == ["empty-reduce"]
+
+    def test_early_exit_size_guard_silences(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> float:\n"
+            "    if x.size == 0:\n"
+            "        return 0.0\n"
+            "    return float(x.min())\n"
+        )
+        assert kinds == []
+
+    def test_len_link_guard_silences(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> float:\n"
+            "    n = len(x)\n"
+            "    if n == 0:\n"
+            "        return 0.0\n"
+            "    return float(x.min())\n"
+        )
+        assert kinds == []
+
+    def test_positive_symbolic_dim_needs_no_guard(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(k: int) -> float:\n"
+            "    buf = np.zeros(k + 1, dtype=np.float64)\n"
+            "    return float(buf.max())\n"
+        )
+        assert kinds == []
+
+    def test_local_unknown_shape_is_not_reported(self):
+        # Locals of unknown shape with no external provenance stay
+        # silent — flagging them would drown the rule in noise.
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> float:\n"
+            "    a = np.zeros(n, dtype=np.float64)\n"
+            "    b = np.flatnonzero(a > 0.0)\n"
+            "    return float(b.argmax())\n"
+        )
+        assert kinds == []
+
+
+# ----------------------------------------------------------------------
+# Inter-procedural summaries
+# ----------------------------------------------------------------------
+class TestSummaries:
+    def test_view_returned_by_helper_carries_aliasing(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['head', 'f']\n"
+            "def head(x: np.ndarray) -> np.ndarray:\n"
+            "    return x[0:4]\n"
+            "def f(y: np.ndarray) -> np.ndarray:\n"
+            "    h = head(y)\n"
+            "    h[:] = 0.0\n"
+            "    return h\n"
+        )
+        assert kinds == ["alias-write"]
+
+    def test_fresh_array_returned_by_helper_is_safe(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['dup', 'f']\n"
+            "def dup(x: np.ndarray) -> np.ndarray:\n"
+            "    return x[0:4].copy()\n"
+            "def f(y: np.ndarray) -> np.ndarray:\n"
+            "    h = dup(y)\n"
+            "    h[:] = 0.0\n"
+            "    return h\n"
+        )
+        assert kinds == []
+
+    def test_recursive_helpers_terminate_at_top(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['g', 'f']\n"
+            "def g(x: np.ndarray, depth: int) -> np.ndarray:\n"
+            "    if depth == 0:\n"
+            "        return x\n"
+            "    return g(x[0:2], depth - 1)\n"
+            "def f(y: np.ndarray) -> float:\n"
+            "    h = g(y, 3)\n"
+            "    return float(h.sum())\n"
+        )
+        assert kinds == []
+
+
+# ----------------------------------------------------------------------
+# Dtype tracking, end to end
+# ----------------------------------------------------------------------
+class TestDtypeTracking:
+    def test_narrowing_astype_fires_and_widening_does_not(self):
+        narrow = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    return x.astype(np.float32)\n"
+        )
+        widen = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(x: np.ndarray) -> np.ndarray:\n"
+            "    return x.astype(np.float64)\n"
+        )
+        assert narrow == ["narrow"]
+        assert widen == []
+
+    def test_int_true_division_fires(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    a = np.arange(n, dtype=np.int64)\n"
+            "    b = np.arange(n, dtype=np.int64)\n"
+            "    return a / b\n"
+        )
+        assert kinds == ["narrow"]
+
+    def test_mixed_where_fires(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    a = np.zeros(n, dtype=np.float32)\n"
+            "    b = np.zeros(n, dtype=np.float64)\n"
+            "    return np.where(a > 0.0, a, b)\n"
+        )
+        assert kinds == ["narrow"]
+
+    def test_platform_int_product_fires_and_int64_does_not(self):
+        bad = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    keys = np.arange(n)\n"
+            "    return keys * 100000\n"
+        )
+        good = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    keys = np.arange(n, dtype=np.int64)\n"
+            "    return keys * 100000\n"
+        )
+        assert bad == ["int-overflow"]
+        assert good == []
+
+    def test_branch_join_widens_the_dtype(self):
+        # float32 on one branch, float64 on the other: the join is
+        # float64, so a later astype(np.float64) cannot be a narrowing.
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int, flag: bool) -> np.ndarray:\n"
+            "    if flag:\n"
+            "        a = np.zeros(n, dtype=np.float64)\n"
+            "    else:\n"
+            "        a = np.ones(n, dtype=np.float64)\n"
+            "    return a.astype(np.float64)\n"
+        )
+        assert kinds == []
+
+
+class TestBroadcastTracking:
+    def test_mutual_stretch_fires(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    xs = np.zeros(n, dtype=np.float64)\n"
+            "    ys = np.zeros((n, 1), dtype=np.float64)\n"
+            "    return xs + ys\n"
+        )
+        assert kinds == ["broadcast"]
+
+    def test_explicit_axis_insertion_is_exempt(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    xs = np.zeros(n, dtype=np.float64)\n"
+            "    return xs[:, None] - xs[None, :]\n"
+        )
+        assert kinds == []
+
+    def test_same_shape_arithmetic_is_silent(self):
+        kinds = _kinds(
+            "import numpy as np\n"
+            "__all__ = ['f']\n"
+            "def f(n: int) -> np.ndarray:\n"
+            "    xs = np.zeros(n, dtype=np.float64)\n"
+            "    return xs * 2.0 + xs\n"
+        )
+        assert kinds == []

@@ -63,6 +63,20 @@ class TestLintCommand:
         assert "RL-H001" in captured.err
         assert "total" in captured.err
 
+    def test_statistics_report_per_pack_timings(self, tmp_path, capsys):
+        path = _write_pkg(
+            tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(["lint", "--statistics", path]) == 1
+        err = capsys.readouterr().err
+        assert "pack timings:" in err
+        timing_section = err.split("pack timings:")[1]
+        # Every registered pack ran and reports a time, the new
+        # array-semantics pack included.
+        for pack in ("RL-N", "RL-C", "RL-H"):
+            assert pack in timing_section
+        assert "ms" in timing_section
+
     def test_sarif_format_is_valid_json(self, tmp_path, capsys):
         path = _write_pkg(
             tmp_path, "dirty.py", "def f(acc=[]):\n    return acc\n"

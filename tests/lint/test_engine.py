@@ -210,7 +210,7 @@ class TestRegistry:
 
         project_ids = [rule.rule_id for rule in all_project_rules()]
         assert project_ids == sorted(project_ids)
-        assert len(project_ids) == 8
+        assert len(project_ids) == 13
         per_file_ids = {rule.rule_id for rule in all_rules()}
         assert per_file_ids.isdisjoint(project_ids)
 

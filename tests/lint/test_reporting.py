@@ -71,3 +71,20 @@ class TestTextAndStatistics:
         counts = [int(line.split()[-1]) for line in lines[:-1]]
         assert counts == sorted(counts, reverse=True)
         assert sum(counts) == int(lines[-1].split()[-1])
+
+    def test_statistics_aggregate_timings_by_pack(self):
+        timings = {
+            "RL-N001": 0.010,
+            "RL-N004": 0.020,
+            "RL-C002": 0.001,
+            "RL-H001": 0.002,
+        }
+        stats = render_statistics(_findings(), timings)
+        section = stats.split("pack timings:")[1].splitlines()
+        rows = [line.split() for line in section if line]
+        assert [row[0] for row in rows] == ["RL-N", "RL-H", "RL-C"]
+        assert rows[0][1] == "30.0"  # RL-N001 + RL-N004, in ms
+
+    def test_statistics_omit_timing_section_without_timings(self):
+        assert "pack timings" not in render_statistics(_findings())
+        assert "pack timings" not in render_statistics(_findings(), {})

@@ -160,3 +160,55 @@ class TestScalarVectorEquivalence:
                     mirror.consumption_w[:] = net.ledger.consumption_w
                 if net.ledger.alive_count() == 0:
                     break
+
+
+class TestLoadArrays:
+    def test_round_trip_matches_per_slot_fills(self):
+        rng = np.random.default_rng(7)
+        reference = random_ledger(16, rng)
+        loaded = EnergyLedger(16)
+        loaded.load_arrays(
+            capacity_j=reference.capacity_j,
+            energy_j=reference.energy_j,
+            believed_j=reference.believed_j,
+            consumption_w=reference.consumption_w,
+            clock=reference.clock,
+            alive=reference.alive,
+        )
+        assert_ledgers_bitwise_equal(loaded, reference)
+
+    def test_scalar_clock_broadcasts(self):
+        ledger = EnergyLedger(3)
+        ledger.load_arrays(
+            capacity_j=np.full(3, 100.0),
+            energy_j=np.full(3, 50.0),
+            believed_j=np.full(3, 50.0),
+            consumption_w=np.zeros(3),
+            clock=4.5,
+            alive=np.ones(3, dtype=bool),
+        )
+        np.testing.assert_array_equal(ledger.clock, np.full(3, 4.5))
+
+    def test_float32_arrays_rejected_at_the_boundary(self):
+        ledger = EnergyLedger(3)
+        with pytest.raises(TypeError, match="capacity_j must be float64"):
+            ledger.load_arrays(
+                capacity_j=np.full(3, 100.0, dtype=np.float32),
+                energy_j=np.full(3, 50.0),
+                believed_j=np.full(3, 50.0),
+                consumption_w=np.zeros(3),
+                clock=0.0,
+                alive=np.ones(3, dtype=bool),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        ledger = EnergyLedger(3)
+        with pytest.raises(ValueError, match=r"energy_j must have shape \(3,\)"):
+            ledger.load_arrays(
+                capacity_j=np.full(3, 100.0),
+                energy_j=np.full(4, 50.0),
+                believed_j=np.full(3, 50.0),
+                consumption_w=np.zeros(3),
+                clock=0.0,
+                alive=np.ones(3, dtype=bool),
+            )

@@ -176,3 +176,24 @@ class TestCommunicationGraphEquivalence:
                 brute.edges(data="distance")
             )
             assert list(fast.nodes) == list(brute.nodes)
+
+
+class TestIndexDtypes:
+    def test_same_cell_join_positions_are_int64(self):
+        # Regression: the (0, 0) offset used np.arange's platform-int
+        # default while every other join path produced int64; composite
+        # key math must stay int64 on every path (RL-N005).
+        rng = make_rng(5)
+        pts = rng.uniform(0.0, 50.0, size=(64, 2))
+        index = SpatialGridIndex(pts, cell_size=10.0)
+        a_pos, b_pos = index._join_offset(0, 0)
+        assert a_pos.dtype == np.int64
+        assert b_pos.dtype == np.int64
+
+    def test_pair_indices_are_int64(self):
+        rng = make_rng(6)
+        pts = rng.uniform(0.0, 50.0, size=(64, 2))
+        i, j, dist = SpatialGridIndex(pts, cell_size=10.0).pairs_within(12.0)
+        assert i.dtype == np.int64
+        assert j.dtype == np.int64
+        assert dist.dtype == np.float64

@@ -183,3 +183,32 @@ class TestCheckInRange:
     def test_rejects_outside(self):
         with pytest.raises(ValueError):
             check_in_range("x", 11, 5, 10)
+
+
+class TestRequireFloat64:
+    def test_float64_array_passes_through_unchanged(self):
+        from repro.utils.validation import require_float64
+
+        arr = np.array([1.0, 2.0], dtype=np.float64)
+        result = require_float64(arr, "arr")
+        assert result is arr
+
+    def test_exact_inputs_convert(self):
+        from repro.utils.validation import require_float64
+
+        assert require_float64([1, 2, 3], "xs").dtype == np.float64
+        assert require_float64(np.arange(4), "xs").dtype == np.float64
+        assert require_float64(2.5, "x").dtype == np.float64
+
+    @pytest.mark.parametrize("dtype", [np.float16, np.float32, np.complex64])
+    def test_narrowed_floats_rejected(self, dtype):
+        from repro.utils.validation import require_float64
+
+        with pytest.raises(
+            TypeError,
+            match=re.escape(
+                f"phases must be float64, got {np.dtype(dtype)}: the "
+                "bit-for-bit kernels forbid narrowed floats"
+            ),
+        ):
+            require_float64(np.zeros(3, dtype=dtype), "phases")
